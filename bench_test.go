@@ -1,0 +1,224 @@
+// Package repro's root benchmark suite regenerates every experiment of the
+// paper (E1..E7, one benchmark per claim — the paper's "tables and
+// figures") and benchmarks the simulator's hot paths. Run:
+//
+//	go test -bench=. -benchmem
+//
+// Experiment benchmarks use reduced sweeps so a full -bench=. pass stays in
+// seconds; cmd/avgbench runs the full-size tables.
+package repro
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/adversary"
+	"repro/internal/algorithms/coloring"
+	"repro/internal/algorithms/largestid"
+	"repro/internal/algorithms/mis"
+	"repro/internal/analytic"
+	"repro/internal/experiments"
+	"repro/internal/graph"
+	"repro/internal/ids"
+	"repro/internal/linial"
+	"repro/internal/local"
+)
+
+// benchExperiment runs one registered experiment with a bench-sized sweep.
+func benchExperiment(b *testing.B, id string, cfg experiments.Config) {
+	b.Helper()
+	e, err := experiments.Get(id)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tab, err := e.Run(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(tab.Rows) == 0 {
+			b.Fatal("empty table")
+		}
+	}
+}
+
+// BenchmarkE1LargestIDWorstCase regenerates E1: the classic measure of the
+// largest-ID problem is linear (max radius = n/2 at the max-ID vertex).
+func BenchmarkE1LargestIDWorstCase(b *testing.B) {
+	benchExperiment(b, "E1", experiments.Config{Seed: 1, Sizes: []int{64, 256, 1024}, Trials: 2})
+}
+
+// BenchmarkE2LargestIDAverage regenerates E2: the average measure of the
+// same algorithm is Θ(log n) — the paper's exponential separation — with
+// the worst-case permutation reconstructed exactly from the recurrence.
+func BenchmarkE2LargestIDAverage(b *testing.B) {
+	benchExperiment(b, "E2", experiments.Config{Seed: 1, Sizes: []int{64, 256, 1024, 4096}, Trials: 2})
+}
+
+// BenchmarkE3Recurrence regenerates E3: a(p) == A000788(p) == Θ(n ln n).
+func BenchmarkE3Recurrence(b *testing.B) {
+	benchExperiment(b, "E3", experiments.Config{Seed: 1, Sizes: []int{64, 1024, 16384}})
+}
+
+// BenchmarkE4ColeVishkin regenerates E4: 3-colouring in O(log* n) for every
+// vertex, with and without knowledge of the identifier space.
+func BenchmarkE4ColeVishkin(b *testing.B) {
+	benchExperiment(b, "E4", experiments.Config{Seed: 1, Sizes: []int{64, 1024, 16384}})
+}
+
+// BenchmarkE5AdversarialColouring regenerates E5: the Theorem-1 permutation
+// keeps the 3-colouring average radius at its Ω(log* n) floor.
+func BenchmarkE5AdversarialColouring(b *testing.B) {
+	benchExperiment(b, "E5", experiments.Config{Seed: 1, Sizes: []int{64, 128}})
+}
+
+// BenchmarkE6RandomExpectation regenerates E6: the expectation over random
+// permutations (§4 further work) is Θ(log n) as well.
+func BenchmarkE6RandomExpectation(b *testing.B) {
+	benchExperiment(b, "E6", experiments.Config{Seed: 1, Sizes: []int{64, 256, 1024}, Trials: 5})
+}
+
+// BenchmarkE7Characterisation regenerates E7: largest ID separates the two
+// measures, colouring and MIS do not (§4 characterisation question).
+func BenchmarkE7Characterisation(b *testing.B) {
+	benchExperiment(b, "E7", experiments.Config{Seed: 1, Sizes: []int{64, 256, 1024}})
+}
+
+// BenchmarkE8LinialThreshold regenerates E8: exact 3-colourability of the
+// smallest neighbourhood graphs (feasible cases only; the s=7
+// impossibility proof runs in the full table via cmd/avgbench).
+func BenchmarkE8LinialThreshold(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		v, err := linial.ThreeColorable(6, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !v.Usable {
+			b.Fatal("s=6 must be feasible")
+		}
+	}
+}
+
+// BenchmarkE9GeneralGraphs regenerates E9: the measure separation across
+// graph families (§4's "more general graphs" question).
+func BenchmarkE9GeneralGraphs(b *testing.B) {
+	benchExperiment(b, "E9", experiments.Config{Seed: 1, Sizes: []int{256, 1024}, Trials: 2})
+}
+
+// --- simulator hot paths ---
+
+// BenchmarkViewEnginePruning measures the view engine running the pruning
+// algorithm over a full random cycle (the core of E1/E2/E6).
+func BenchmarkViewEnginePruning(b *testing.B) {
+	const n = 4096
+	c := graph.MustCycle(n)
+	a := ids.Random(n, rand.New(rand.NewSource(1)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := local.RunView(c, a, largestid.Pruning{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkViewEngineColeVishkin measures a full CV colouring run.
+func BenchmarkViewEngineColeVishkin(b *testing.B) {
+	const n = 4096
+	c := graph.MustCycle(n)
+	a := ids.Random(n, rand.New(rand.NewSource(2)))
+	alg := coloring.ForMaxID(a.MaxID())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := local.RunView(c, a, alg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkViewEngineUniform measures the no-knowledge colouring.
+func BenchmarkViewEngineUniform(b *testing.B) {
+	const n = 1024
+	c := graph.MustCycle(n)
+	a := ids.Random(n, rand.New(rand.NewSource(3)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := local.RunView(c, a, coloring.Uniform{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkViewEngineMIS measures the composed MIS algorithm.
+func BenchmarkViewEngineMIS(b *testing.B) {
+	const n = 512
+	c := graph.MustCycle(n)
+	a := ids.Random(n, rand.New(rand.NewSource(4)))
+	alg := mis.FromColoring{Base: coloring.ForMaxID(a.MaxID())}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := local.RunView(c, a, alg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMessageEngineGather measures the goroutine-per-node message
+// engine running the gather adapter (the round-based formulation).
+func BenchmarkMessageEngineGather(b *testing.B) {
+	const n = 256
+	c := graph.MustCycle(n)
+	a := ids.Random(n, rand.New(rand.NewSource(5)))
+	alg := local.NewGather(largestid.Pruning{})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := local.RunMessage(c, a, alg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRecurrenceDP measures the exact a(p) dynamic program.
+func BenchmarkRecurrenceDP(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := analytic.Recurrence(1 << 14); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAdversaryBuild measures the Theorem-1 permutation construction.
+func BenchmarkAdversaryBuild(b *testing.B) {
+	const n = 128
+	builder := adversary.Builder{Alg: coloring.ForMaxID(n - 1)}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rng := rand.New(rand.NewSource(int64(i)))
+		if _, _, err := builder.Build(n, rng); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkBallGrowth measures the incremental ball builder the view engine
+// depends on.
+func BenchmarkBallGrowth(b *testing.B) {
+	const n = 1 << 14
+	c := graph.MustCycle(n)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bb := graph.NewBallBuilder(c, 0)
+		for r := 0; r < n/2; r++ {
+			bb.Grow()
+		}
+	}
+}

@@ -1,0 +1,36 @@
+package main
+
+import "testing"
+
+func TestRunCV(t *testing.T) {
+	if err := run([]string{"-n", "64", "-alg", "cv"}); err != nil {
+		t.Errorf("cv: %v", err)
+	}
+}
+
+func TestRunUniform(t *testing.T) {
+	if err := run([]string{"-n", "64", "-alg", "uniform"}); err != nil {
+		t.Errorf("uniform: %v", err)
+	}
+}
+
+func TestRunExplicitTarget(t *testing.T) {
+	if err := run([]string{"-n", "64", "-target", "1"}); err != nil {
+		t.Errorf("target 1: %v", err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run([]string{"-alg", "nope"}); err == nil {
+		t.Error("unknown algorithm accepted")
+	}
+	if err := run([]string{"-n", "2"}); err == nil {
+		t.Error("n=2 accepted")
+	}
+	if err := run([]string{"-target", "50", "-n", "32"}); err == nil {
+		t.Error("unreachable target accepted")
+	}
+	if err := run([]string{"-nope"}); err == nil {
+		t.Error("bad flag accepted")
+	}
+}

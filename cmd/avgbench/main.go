@@ -1,0 +1,85 @@
+// Command avgbench regenerates the paper's experiment tables (E1..E7, see
+// DESIGN.md for the index).
+//
+// Usage:
+//
+//	avgbench -e E2              # one experiment, default sweep
+//	avgbench -e all -seed 7     # everything, reproducibly
+//	avgbench -e E4 -sizes 64,1024,65536 -trials 3
+//	avgbench -e E3 -csv         # machine-readable output
+package main
+
+import (
+	"encoding/csv"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "avgbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("avgbench", flag.ContinueOnError)
+	expID := fs.String("e", "all", "experiment ID (E1..E9) or 'all'")
+	seed := fs.Int64("seed", 1, "random seed (equal seeds reproduce tables)")
+	sizesFlag := fs.String("sizes", "", "comma-separated n sweep override")
+	trials := fs.Int("trials", 0, "permutations sampled per size (0 = default)")
+	asCSV := fs.Bool("csv", false, "emit CSV instead of aligned text")
+	list := fs.Bool("list", false, "list experiments and exit")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *list {
+		for _, e := range experiments.All() {
+			fmt.Printf("%s  %s\n    %s\n", e.ID, e.Title, e.Claim)
+		}
+		return nil
+	}
+
+	cfg := experiments.Config{Seed: *seed, Trials: *trials}
+	if *sizesFlag != "" {
+		for _, part := range strings.Split(*sizesFlag, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(part))
+			if err != nil {
+				return fmt.Errorf("parse -sizes: %w", err)
+			}
+			cfg.Sizes = append(cfg.Sizes, n)
+		}
+	}
+
+	var selected []experiments.Experiment
+	if strings.EqualFold(*expID, "all") {
+		selected = experiments.All()
+	} else {
+		e, err := experiments.Get(strings.ToUpper(*expID))
+		if err != nil {
+			return err
+		}
+		selected = []experiments.Experiment{e}
+	}
+
+	for _, e := range selected {
+		fmt.Printf("== %s: %s\n   claim: %s\n", e.ID, e.Title, e.Claim)
+		tab, err := e.Run(cfg)
+		if err != nil {
+			return fmt.Errorf("%s: %w", e.ID, err)
+		}
+		if *asCSV {
+			if err := tab.WriteCSV(csv.NewWriter(os.Stdout)); err != nil {
+				return err
+			}
+		} else {
+			fmt.Println(tab.Render())
+		}
+	}
+	return nil
+}

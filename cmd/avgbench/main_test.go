@@ -1,0 +1,39 @@
+package main
+
+import "testing"
+
+func TestRunSingleExperiment(t *testing.T) {
+	if err := run([]string{"-e", "E3", "-sizes", "16,64"}); err != nil {
+		t.Errorf("E3: %v", err)
+	}
+}
+
+func TestRunLowercaseID(t *testing.T) {
+	if err := run([]string{"-e", "e1", "-sizes", "16", "-trials", "1"}); err != nil {
+		t.Errorf("lowercase id: %v", err)
+	}
+}
+
+func TestRunCSV(t *testing.T) {
+	if err := run([]string{"-e", "E3", "-sizes", "16", "-csv"}); err != nil {
+		t.Errorf("csv: %v", err)
+	}
+}
+
+func TestRunList(t *testing.T) {
+	if err := run([]string{"-list"}); err != nil {
+		t.Errorf("list: %v", err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run([]string{"-e", "E99"}); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+	if err := run([]string{"-sizes", "abc"}); err == nil {
+		t.Error("bad sizes accepted")
+	}
+	if err := run([]string{"-nope"}); err == nil {
+		t.Error("bad flag accepted")
+	}
+}

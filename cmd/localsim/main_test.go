@@ -1,0 +1,49 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunAllAlgorithms(t *testing.T) {
+	for _, alg := range []string{"pruning", "fullview", "cv", "uniform", "greedy", "mis", "changroberts", "cvmsg"} {
+		if err := run([]string{"-n", "12", "-alg", alg, "-q"}); err != nil {
+			t.Errorf("alg %s: %v", alg, err)
+		}
+	}
+}
+
+func TestRunAllIDSchemes(t *testing.T) {
+	for _, scheme := range []string{"random", "identity", "reversed", "bitrev", "worst"} {
+		if err := run([]string{"-n", "10", "-ids", scheme, "-q"}); err != nil {
+			t.Errorf("ids %s: %v", scheme, err)
+		}
+	}
+}
+
+func TestRunMessageEngine(t *testing.T) {
+	if err := run([]string{"-n", "8", "-alg", "pruning", "-engine", "message", "-q"}); err != nil {
+		t.Errorf("message engine: %v", err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	cases := map[string][]string{
+		"badAlg":    {"-alg", "nope"},
+		"badIDs":    {"-ids", "nope"},
+		"badEngine": {"-engine", "nope"},
+		"badN":      {"-n", "2"},
+	}
+	for name, args := range cases {
+		if err := run(append(args, "-q")); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+}
+
+func TestRunFlagParseError(t *testing.T) {
+	err := run([]string{"-definitely-not-a-flag"})
+	if err == nil || !strings.Contains(err.Error(), "flag") {
+		t.Errorf("err = %v, want flag parse error", err)
+	}
+}

@@ -1,0 +1,88 @@
+// Dynamic: the paper's first motivation (§1) — in a dynamic network, "the
+// average time to update the labels of the graph after a change at a random
+// node can be estimated using the average measure".
+//
+// We run largest-ID on a ring, then repeatedly swap the identifiers of two
+// random vertices and measure the re-decision cost: which vertices' views
+// changed within their decision radius (they must recompute), and how much
+// radius the recomputation costs. The expected update cost tracks the
+// AVERAGE radius, not the worst case.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"repro/internal/algorithms/largestid"
+	"repro/internal/graph"
+	"repro/internal/ids"
+	"repro/internal/local"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	const (
+		n      = 512
+		trials = 50
+	)
+	ring, err := graph.NewCycle(n)
+	if err != nil {
+		return err
+	}
+	rng := rand.New(rand.NewSource(7))
+	assignment := ids.Random(n, rng)
+
+	before, err := local.RunView(ring, assignment, largestid.Pruning{})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("largest-ID on C_%d: max radius %d, avg radius %.2f\n",
+		n, before.MaxRadius(), before.AvgRadius())
+	fmt.Println()
+
+	var totalAffected, totalCost int
+	for trial := 0; trial < trials; trial++ {
+		u, w := rng.Intn(n), rng.Intn(n)
+		mutated := assignment.Clone()
+		mutated[u], mutated[w] = mutated[w], mutated[u]
+
+		after, err := local.RunView(ring, mutated, largestid.Pruning{})
+		if err != nil {
+			return err
+		}
+		// A vertex must re-decide iff a changed identifier lies within its
+		// OLD decision radius; its update cost is its NEW radius.
+		affected, cost := 0, 0
+		for v := 0; v < n; v++ {
+			du, dw := ring.Dist(v, u), ring.Dist(v, w)
+			if du > before.Radii[v] && dw > before.Radii[v] {
+				continue // the change is invisible to v's final view
+			}
+			affected++
+			cost += after.Radii[v]
+		}
+		totalAffected += affected
+		totalCost += cost
+	}
+
+	avgAffected := float64(totalAffected) / trials
+	perNode := float64(totalCost) / trials / n
+	fmt.Printf("after a random identifier swap (averaged over %d trials):\n", trials)
+	fmt.Printf("  vertices needing re-decision:      %.1f of %d (%.1f%%)\n",
+		avgAffected, n, 100*avgAffected/float64(n))
+	fmt.Printf("  per-node expected update time:     %.2f radius units\n", perNode)
+	fmt.Printf("  paper's average measure (a priori): %.2f  <- the right estimator\n", before.AvgRadius())
+	fmt.Printf("  classic worst-case measure:        %d     <- overestimates by %.0fx\n",
+		before.MaxRadius(), float64(before.MaxRadius())/perNode)
+	fmt.Println()
+	fmt.Println("\"The average time to update the labels of the graph after a change at a")
+	fmt.Println("random node can be estimated using the average measure\" (§1): the classic")
+	fmt.Println("measure would have predicted two orders of magnitude more work.")
+	return nil
+}

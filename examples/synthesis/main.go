@@ -1,0 +1,69 @@
+// Synthesis: below Theorem 1's black box. The paper's lower bound (§3)
+// quantifies over all algorithms via the notion of MINIMAL algorithms; this
+// example makes one. We 3-colour Linial's neighbourhood graph N_1(s)
+// exactly and turn the witness into a lookup-table algorithm that colours
+// every in-space ring at radius exactly 1 — then watch it hit the exact
+// impossibility wall at s = 7.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/graph"
+	"repro/internal/ids"
+	"repro/internal/linial"
+	"repro/internal/local"
+	"repro/internal/problems"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	fmt.Println("exact feasibility of radius-1 3-colouring, by identifier space:")
+	for s := 4; s <= 7; s++ {
+		verdict, err := linial.ThreeColorable(s, 1)
+		if err != nil {
+			return err
+		}
+		status := "IMPOSSIBLE (proved exhaustively)"
+		if verdict.Usable {
+			status = "possible"
+		}
+		fmt.Printf("  s=%d: N_1(%d) has %3d views, %4d edges -> %s\n",
+			s, s, verdict.Views, verdict.Edges, status)
+	}
+	fmt.Println()
+
+	// Synthesize the table for the largest feasible space and run it.
+	table, err := linial.Synthesize(6, 1)
+	if err != nil {
+		return err
+	}
+	ring := graph.MustCycle(6)
+	assignment, err := ids.FromPerm([]int{4, 1, 5, 0, 3, 2})
+	if err != nil {
+		return err
+	}
+	res, err := local.RunView(ring, assignment, table)
+	if err != nil {
+		return err
+	}
+	if err := (problems.Coloring{K: 3}).Verify(ring, assignment, res.Outputs); err != nil {
+		return fmt.Errorf("synthesized colouring invalid: %w", err)
+	}
+	fmt.Printf("synthesized %s on C_6 (ids %v):\n", table.Name(), assignment)
+	fmt.Printf("  colours: %v\n", res.Outputs)
+	fmt.Printf("  radius:  max=%d avg=%.1f — every vertex decides at radius 1,\n",
+		res.MaxRadius(), res.AvgRadius())
+	fmt.Println("  the minimum any 3-colouring algorithm can achieve (radius 0 fails at s=4).")
+	fmt.Println()
+	fmt.Println("Theorem 1 in action: even such minimal algorithms cannot push the")
+	fmt.Println("AVERAGE below Ω(log* n) once the identifier space grows — at s=7 the")
+	fmt.Println("table construction provably ceases to exist.")
+	return nil
+}

@@ -1,0 +1,201 @@
+package adversary
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"repro/internal/algorithms/coloring"
+	"repro/internal/graph"
+	"repro/internal/ids"
+	"repro/internal/local"
+	"repro/internal/problems"
+)
+
+func TestDefaultTargetRadius(t *testing.T) {
+	tests := []struct {
+		n, want int
+	}{
+		{4, 1},      // log*(2)/2 = 0 -> clamped to 1
+		{32, 1},     // log*(16) = 3 -> 1
+		{200000, 2}, // log*(100000) = 5 -> 2
+	}
+	for _, tt := range tests {
+		if got := DefaultTargetRadius(tt.n); got != tt.want {
+			t.Errorf("DefaultTargetRadius(%d) = %d, want %d", tt.n, got, tt.want)
+		}
+	}
+}
+
+func TestBuildProducesValidPermutation(t *testing.T) {
+	const n = 128
+	rng := rand.New(rand.NewSource(30))
+	b := Builder{Alg: coloring.ForMaxID(n - 1)}
+	pi, report, err := b.Build(n, rng)
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	if err := pi.Validate(); err != nil {
+		t.Fatalf("pi invalid: %v", err)
+	}
+	if len(pi) != n {
+		t.Fatalf("pi length %d", len(pi))
+	}
+	if report.Slices == 0 {
+		t.Error("no slices carved")
+	}
+	wantCover := report.Slices*(2*report.TargetRadius+1) + report.Tail
+	if wantCover != n {
+		t.Errorf("slices+tail cover %d, want %d", wantCover, n)
+	}
+	// More than half the identifiers must sit in carved slices (the loop
+	// runs while the pool exceeds n/2).
+	if report.Tail > n/2 {
+		t.Errorf("tail %d exceeds n/2", report.Tail)
+	}
+}
+
+// TestSliceCentersKeepTargetRadius is the transplant property at the heart
+// of the proof: every slice centre retains radius >= R under pi.
+func TestSliceCentersKeepTargetRadius(t *testing.T) {
+	const n = 96
+	rng := rand.New(rand.NewSource(31))
+	alg := coloring.ForMaxID(n - 1)
+	b := Builder{Alg: alg}
+	pi, report, err := b.Build(n, rng)
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	c := graph.MustCycle(n)
+	res, err := local.RunView(c, pi, alg)
+	if err != nil {
+		t.Fatalf("RunView: %v", err)
+	}
+	if err := (problems.Coloring{K: 3}).Verify(c, pi, res.Outputs); err != nil {
+		t.Fatalf("colouring under pi broken: %v", err)
+	}
+	for _, centre := range report.SliceCenters {
+		if res.Radii[centre] < report.TargetRadius {
+			t.Errorf("slice centre %d has radius %d < target %d",
+				centre, res.Radii[centre], report.TargetRadius)
+		}
+	}
+}
+
+// TestAdversaryKeepsAverageUp is E5 in miniature: under the adversarial pi
+// the average radius stays at the algorithm's floor — averaging does not
+// beat Ω(log* n).
+func TestAdversaryKeepsAverageUp(t *testing.T) {
+	const n = 256
+	rng := rand.New(rand.NewSource(32))
+	alg := coloring.Uniform{}
+	b := Builder{Alg: alg}
+	pi, _, err := b.Build(n, rng)
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	c := graph.MustCycle(n)
+	advRes, err := local.RunView(c, pi, alg)
+	if err != nil {
+		t.Fatalf("RunView adversarial: %v", err)
+	}
+	rndRes, err := local.RunView(c, ids.Random(n, rng), alg)
+	if err != nil {
+		t.Fatalf("RunView random: %v", err)
+	}
+	if advRes.AvgRadius() < 1 {
+		t.Errorf("adversarial average %v below 1", advRes.AvgRadius())
+	}
+	// The adversary must do at least as well as (close to) a random draw.
+	if advRes.AvgRadius() < rndRes.AvgRadius()/3 {
+		t.Errorf("adversarial avg %v far below random avg %v",
+			advRes.AvgRadius(), rndRes.AvgRadius())
+	}
+}
+
+func TestBuildRejectsTinyCycles(t *testing.T) {
+	b := Builder{Alg: coloring.ForMaxID(4)}
+	if _, _, err := b.Build(2, rand.New(rand.NewSource(1))); err == nil {
+		t.Error("n=2 accepted")
+	}
+}
+
+func TestBuildUnreachableTarget(t *testing.T) {
+	// A radius-0 algorithm can never be forced to radius 5.
+	b := Builder{Alg: constantAlg{}, TargetRadius: 5, MaxTries: 4}
+	_, _, err := b.Build(64, rand.New(rand.NewSource(2)))
+	if !errors.Is(err, ErrNoHardInstance) {
+		t.Errorf("err = %v, want ErrNoHardInstance", err)
+	}
+}
+
+// constantAlg decides instantly — an (incorrect) colouring stand-in used to
+// exercise the failure path.
+type constantAlg struct{}
+
+func (constantAlg) Name() string                  { return "constant" }
+func (constantAlg) Decide(local.View) (int, bool) { return 0, true }
+
+func TestLemma2ViolationsFlatRadii(t *testing.T) {
+	c := graph.MustCycle(16)
+	flat := make([]int, 16)
+	for i := range flat {
+		flat[i] = 3
+	}
+	if v := Lemma2Violations(c, flat, 5); v != 0 {
+		t.Errorf("flat radii produced %d violations", v)
+	}
+}
+
+func TestLemma2ViolationsSpike(t *testing.T) {
+	// One huge radius between two tiny ones violates the bound for small k.
+	c := graph.MustCycle(12)
+	radii := make([]int, 12)
+	radii[5] = 100
+	if v := Lemma2Violations(c, radii, 3); v == 0 {
+		t.Error("spike not flagged")
+	}
+}
+
+func TestLemma2ViolationsLengthMismatch(t *testing.T) {
+	c := graph.MustCycle(8)
+	if v := Lemma2Violations(c, []int{1, 2}, 3); v != 0 {
+		t.Errorf("mismatched input produced %d", v)
+	}
+}
+
+func TestLemma3RatioFlat(t *testing.T) {
+	c := graph.MustCycle(10)
+	radii := []int{4, 4, 4, 4, 4, 4, 4, 4, 4, 4}
+	ratio, ok := Lemma3Ratio(c, radii)
+	if !ok {
+		t.Fatal("no ratio computed")
+	}
+	if ratio != 1 {
+		t.Errorf("flat ratio = %v, want 1", ratio)
+	}
+}
+
+func TestLemma3RatioSpike(t *testing.T) {
+	// An isolated radius spike amid zeros drives the ratio down.
+	c := graph.MustCycle(20)
+	radii := make([]int, 20)
+	radii[7] = 10
+	ratio, ok := Lemma3Ratio(c, radii)
+	if !ok {
+		t.Fatal("no ratio computed")
+	}
+	if ratio > 0.2 {
+		t.Errorf("spiky ratio = %v, want small", ratio)
+	}
+}
+
+func TestLemma3RatioNoEligibleVertices(t *testing.T) {
+	c := graph.MustCycle(5)
+	if _, ok := Lemma3Ratio(c, []int{0, 1, 0, 1, 0}); ok {
+		t.Error("ratio reported with no radius >= 2")
+	}
+	if _, ok := Lemma3Ratio(c, []int{1, 2}); ok {
+		t.Error("mismatched input accepted")
+	}
+}

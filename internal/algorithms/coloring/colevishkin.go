@@ -1,0 +1,224 @@
+package coloring
+
+import (
+	"fmt"
+	"math/bits"
+
+	"repro/internal/local"
+)
+
+// cvStep performs one Cole-Vishkin colour-reduction step: find the lowest
+// bit position i at which own and pred differ and recolour to 2i + own_i.
+// The invariant "my colour differs from my predecessor's" is preserved:
+// if two neighbours picked the same (i, b), the successor's bit i would
+// both differ from and equal its predecessor's bit i.
+func cvStep(own, pred int) int {
+	diff := own ^ pred
+	if diff == 0 {
+		// Adjacent equal colours mean the distinct-ID precondition or the
+		// bit budget was violated upstream: fail fast.
+		panic("coloring: cvStep on equal colours")
+	}
+	i := bits.TrailingZeros(uint(diff))
+	return 2*i + (own>>i)&1
+}
+
+// iterationsToSix returns the number of cvStep iterations needed to bring
+// colours from the given bit budget strictly below 6: the log*-type
+// quantity governing Cole-Vishkin's running time.
+func iterationsToSix(bitBudget int) int {
+	if bitBudget < 1 {
+		return 0
+	}
+	k := 0
+	maxVal := 1<<uint(bitBudget) - 1
+	for maxVal >= 6 {
+		length := bits.Len(uint(maxVal))
+		maxVal = 2*(length-1) + 1
+		k++
+	}
+	return k
+}
+
+// fixedEntry marks a cone entry whose colour is already final (committed in
+// an earlier phase of the uniform algorithm): it constrains its neighbours
+// but is never recoloured.
+const fixedEntry = -2
+
+// reduceCone simulates colour-class reduction sub-rounds on a colour cone
+// centred at index c of cur and returns the centre's final colour. In the
+// sub-round for class `classes[t]`, every position whose ORIGINAL colour is
+// that class recolours to the smallest colour of {0,1,2} unused by its two
+// neighbours' current colours. cur must extend len(classes) positions on
+// each side of c. Entries equal to none impose no constraint and never
+// change; fixedEntry originals never recolour but their values constrain.
+//
+// Sequential in-place updating equals the parallel semantics because two
+// adjacent positions never share an original colour class (the 6-colouring
+// is proper among committers).
+func reduceCone(cur []int, c int, classes []int) int {
+	return reduceConeWithOrig(cur, append([]int(nil), cur...), c, classes)
+}
+
+// reduceConeWithOrig is reduceCone with an explicit original-class slice,
+// letting the uniform algorithm mark earlier-phase finals as fixedEntry
+// (constraining but never recolouring).
+func reduceConeWithOrig(cur, orig []int, c int, classes []int) int {
+	r := len(classes)
+	for t, colour := range classes {
+		w := r - 1 - t
+		for pos := c - w; pos <= c+w; pos++ {
+			if orig[pos] != colour {
+				continue
+			}
+			cur[pos] = freeColour(cur[pos-1], cur[pos+1])
+		}
+	}
+	return cur[c]
+}
+
+// classicClasses is the textbook 6-to-3 schedule: only colours 5, 4, 3 need
+// recolouring when the 6-colouring is globally proper.
+var classicClasses = []int{5, 4, 3}
+
+// allClasses recolours every committer once (in the sub-round of its
+// original colour), which is what the uniform algorithm needs: a committer
+// whose Cole-Vishkin colour already lies in {0,1,2} may still collide with
+// a neighbour committed in an earlier phase and must re-pick.
+var allClasses = []int{5, 4, 3, 2, 1, 0}
+
+// reduceCircle runs the classic sub-rounds on a whole cycle of colours
+// (modular indexing), returning the final colours.
+func reduceCircle(cur []int, classes []int) []int {
+	n := len(cur)
+	out := append([]int(nil), cur...)
+	orig := append([]int(nil), cur...)
+	for _, colour := range classes {
+		next := append([]int(nil), out...)
+		for pos := 0; pos < n; pos++ {
+			if orig[pos] != colour {
+				continue
+			}
+			next[pos] = freeColour(out[(pos-1+n)%n], out[(pos+1)%n])
+		}
+		out = next
+	}
+	return out
+}
+
+// freeColour returns the smallest colour in {0,1,2} unused by the two
+// neighbour constraints (either may be none).
+func freeColour(left, right int) int {
+	for c := 0; c < 3; c++ {
+		if c != left && c != right {
+			return c
+		}
+	}
+	// Unreachable: two constraints cannot block three colours.
+	panic("coloring: no free colour among three")
+}
+
+// ColeVishkin is the classic synchronised 3-colouring of an oriented ring.
+// Every vertex decides at radius k+3 where k = iterationsToSix(IDBits) —
+// identical for all vertices, so the average and the maximum radius
+// coincide, matching the paper's observation that Cole-Vishkin is already
+// optimal for the average measure (Theorem 1 shows Ω(log* n) is unavoidable
+// on average).
+//
+// IDBits is the identifier bit budget the schedule is derived from; every
+// identifier in the execution must fit in it. Use NewColeVishkin to bind it
+// to an instance.
+type ColeVishkin struct {
+	// IDBits is the number of bits identifiers are promised to fit in.
+	IDBits int
+}
+
+var _ local.ViewAlgorithm = ColeVishkin{}
+
+// NewColeVishkin returns a ColeVishkin schedule for identifiers < 2^bits.
+func NewColeVishkin(bitBudget int) ColeVishkin {
+	return ColeVishkin{IDBits: bitBudget}
+}
+
+// ForMaxID returns the schedule for instances whose largest identifier is
+// maxID (the standard "IDs fit in ceil(log2 n) bits" assumption).
+func ForMaxID(maxID int) ColeVishkin {
+	if maxID < 1 {
+		return ColeVishkin{IDBits: 1}
+	}
+	return ColeVishkin{IDBits: bits.Len(uint(maxID))}
+}
+
+// Name implements local.ViewAlgorithm.
+func (cv ColeVishkin) Name() string {
+	return fmt.Sprintf("coloring/colevishkin(b=%d)", cv.IDBits)
+}
+
+// Decide simulates the full synchronised schedule (k Cole-Vishkin
+// iterations, then the 6-to-3 reduction) on the visible segment. It commits
+// once the view either covers the whole ring or spans the k+3 dependency
+// cone of the centre's final colour.
+func (cv ColeVishkin) Decide(v local.View) (int, bool) {
+	k := iterationsToSix(cv.IDBits)
+	need := k + 3
+	if v.Radius() < need && !v.Closed(2) {
+		return 0, false
+	}
+	seg := extractSegment(v)
+	if seg.closed {
+		return cv.colourClosed(seg), true
+	}
+	return cv.colourSegment(seg, k), true
+}
+
+// colourSegment computes the centre's final colour from an open segment
+// spanning [centre-(k+3), centre+3].
+func (cv ColeVishkin) colourSegment(seg segment, k int) int {
+	// cur[j] is the colour of position centre-3+j; the CV chain for each of
+	// the 7 cone positions consumes its k predecessors.
+	cone := make([]int, 7)
+	for j := range cone {
+		offset := j - 3
+		cone[j] = cv.chainColour(seg, offset, k)
+	}
+	return reduceCone(cone, 3, classicClasses)
+}
+
+// chainColour computes the centre-relative position's colour after k
+// Cole-Vishkin iterations, consuming its k predecessors within the segment.
+func (cv ColeVishkin) chainColour(seg segment, offset, k int) int {
+	chain := make([]int, k+1)
+	for i := range chain {
+		id, ok := seg.id(offset - k + i)
+		if !ok {
+			// Decide only calls this with a sufficient span; reaching this
+			// branch is an engine/algorithm contract violation.
+			panic("coloring: segment too short for Cole-Vishkin chain")
+		}
+		chain[i] = id
+	}
+	for it := 0; it < k; it++ {
+		next := make([]int, len(chain)-1)
+		for i := 1; i < len(chain); i++ {
+			next[i-1] = cvStep(chain[i], chain[i-1])
+		}
+		chain = next
+	}
+	return chain[0]
+}
+
+// colourClosed runs the synchronised schedule on the entire (small) ring.
+func (cv ColeVishkin) colourClosed(seg segment) int {
+	n := len(seg.ids)
+	colours := append([]int(nil), seg.ids...)
+	k := iterationsToSix(cv.IDBits)
+	for it := 0; it < k; it++ {
+		next := make([]int, n)
+		for pos := 0; pos < n; pos++ {
+			next[pos] = cvStep(colours[pos], colours[(pos-1+n)%n])
+		}
+		colours = next
+	}
+	final := reduceCircle(colours, classicClasses)
+	return final[seg.center]
+}

@@ -1,0 +1,92 @@
+package coloring
+
+import (
+	"fmt"
+
+	"repro/internal/local"
+)
+
+// ColeVishkinMessage is the native round-based Cole-Vishkin: nodes exchange
+// their current colours (O(log)-size messages, not full views) on an
+// oriented ring. Rounds 1..k shrink colours along the clockwise direction;
+// rounds k+1..k+3 run the classic 6-to-3 reduction; every node decides at
+// round k+3 exactly — the message-engine twin of the ColeVishkin view
+// algorithm, used to validate that the two formulations of the model agree
+// beyond the generic gather adapter.
+type ColeVishkinMessage struct {
+	// IDBits is the identifier bit budget, as in ColeVishkin.
+	IDBits int
+}
+
+var _ local.MessageAlgorithm = ColeVishkinMessage{}
+
+// Name implements local.MessageAlgorithm.
+func (cv ColeVishkinMessage) Name() string {
+	return fmt.Sprintf("coloring/cvmessage(b=%d)", cv.IDBits)
+}
+
+// NewNode implements local.MessageAlgorithm; it assumes the oriented-ring
+// port convention (port 0 = successor, port 1 = predecessor).
+func (cv ColeVishkinMessage) NewNode(id, degree int) local.MessageNode {
+	return &cvNode{
+		colour: id,
+		degree: degree,
+		k:      iterationsToSix(cv.IDBits),
+	}
+}
+
+type cvNode struct {
+	colour int
+	degree int
+	k      int
+	round  int
+
+	decided bool
+}
+
+// Init sends the initial colour (the identifier) in both directions: the
+// successor needs it for the shrink phase, both neighbours for reduction.
+func (n *cvNode) Init() []any { return n.broadcast() }
+
+// Round advances the synchronised schedule one step.
+func (n *cvNode) Round(recv []any) []any {
+	n.round++
+	if n.degree >= 2 {
+		switch {
+		case n.round <= n.k:
+			// Shrink: adopt cvStep against the predecessor's colour
+			// (received through port 1, i.e. sent by the predecessor).
+			if pred, ok := recv[1].(int); ok {
+				n.colour = cvStep(n.colour, pred)
+			}
+		case n.round <= n.k+3:
+			// Reduction sub-round for colour class 5, 4, 3.
+			class := 5 - (n.round - n.k - 1)
+			if n.colour == class {
+				left, right := none, none
+				if v, ok := recv[1].(int); ok {
+					left = v
+				}
+				if v, ok := recv[0].(int); ok {
+					right = v
+				}
+				n.colour = freeColour(left, right)
+			}
+		}
+	}
+	if n.round >= n.k+3 {
+		n.decided = true
+	}
+	return n.broadcast()
+}
+
+// Output implements local.MessageNode.
+func (n *cvNode) Output() (int, bool) { return n.colour, n.decided }
+
+func (n *cvNode) broadcast() []any {
+	msgs := make([]any, n.degree)
+	for p := range msgs {
+		msgs[p] = n.colour
+	}
+	return msgs
+}

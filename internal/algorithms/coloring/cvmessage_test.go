@@ -1,0 +1,82 @@
+package coloring
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/ids"
+	"repro/internal/local"
+	"repro/internal/problems"
+)
+
+func TestCVMessageProper(t *testing.T) {
+	rng := rand.New(rand.NewSource(50))
+	for _, n := range []int{3, 4, 5, 8, 17, 64, 256} {
+		c := graph.MustCycle(n)
+		for trial := 0; trial < 3; trial++ {
+			a := ids.Random(n, rng)
+			alg := ColeVishkinMessage{IDBits: bitsFor(a.MaxID())}
+			res, err := local.RunMessage(c, a, alg)
+			if err != nil {
+				t.Fatalf("n=%d: RunMessage: %v", n, err)
+			}
+			if err := (problems.Coloring{K: 3}).Verify(c, a, res.Outputs); err != nil {
+				t.Errorf("n=%d trial %d: %v", n, trial, err)
+			}
+		}
+	}
+}
+
+func TestCVMessageMatchesViewAlgorithm(t *testing.T) {
+	// The native message implementation and the view simulation run the
+	// same synchronised schedule, so their colours must coincide exactly.
+	rng := rand.New(rand.NewSource(51))
+	for _, n := range []int{5, 16, 40, 128} {
+		c := graph.MustCycle(n)
+		a := ids.Random(n, rng)
+		viewAlg := ForMaxID(a.MaxID())
+		msgAlg := ColeVishkinMessage{IDBits: viewAlg.IDBits}
+
+		view, err := local.RunView(c, a, viewAlg)
+		if err != nil {
+			t.Fatalf("RunView: %v", err)
+		}
+		msg, err := local.RunMessage(c, a, msgAlg)
+		if err != nil {
+			t.Fatalf("RunMessage: %v", err)
+		}
+		for v := 0; v < n; v++ {
+			if view.Outputs[v] != msg.Outputs[v] {
+				t.Errorf("n=%d vertex %d: view colour %d, message colour %d",
+					n, v, view.Outputs[v], msg.Outputs[v])
+			}
+		}
+		want := iterationsToSix(msgAlg.IDBits) + 3
+		for v, r := range msg.Radii {
+			if r != want {
+				t.Errorf("n=%d vertex %d: round %d, want %d", n, v, r, want)
+			}
+		}
+	}
+}
+
+func TestCVMessageUniformRounds(t *testing.T) {
+	const n = 128
+	c := graph.MustCycle(n)
+	a := ids.Random(n, rand.New(rand.NewSource(52)))
+	alg := ColeVishkinMessage{IDBits: bitsFor(a.MaxID())}
+	res, err := local.RunMessage(c, a, alg)
+	if err != nil {
+		t.Fatalf("RunMessage: %v", err)
+	}
+	if res.AvgRadius() != float64(res.MaxRadius()) {
+		t.Errorf("avg %v != max %d: CV must be perfectly synchronous",
+			res.AvgRadius(), res.MaxRadius())
+	}
+}
+
+// bitsFor mirrors ForMaxID's bit computation for message construction.
+func bitsFor(maxID int) int {
+	return ForMaxID(maxID).IDBits
+}

@@ -1,0 +1,58 @@
+package coloring
+
+import (
+	"sort"
+
+	"repro/internal/local"
+)
+
+// FullViewGreedy is the linear-radius baseline colouring: every vertex
+// waits until its view provably covers the whole graph, then all vertices
+// compute the same canonical greedy colouring (process vertices in
+// decreasing identifier order, assign the smallest colour unused by
+// already-coloured neighbours). On graphs of maximum degree D it uses at
+// most D+1 colours — 3 on cycles.
+//
+// Its radius is the closure radius for every vertex (Θ(n) on the cycle),
+// for both measures: the baseline the adversary experiment (E5) compares
+// against, and the "second type" of algorithm in the characterisation
+// experiment (E7).
+type FullViewGreedy struct{}
+
+var _ local.ViewAlgorithm = FullViewGreedy{}
+
+// Name implements local.ViewAlgorithm.
+func (FullViewGreedy) Name() string { return "coloring/fullviewgreedy" }
+
+// Decide waits for a complete view and returns the centre's greedy colour.
+func (FullViewGreedy) Decide(v local.View) (int, bool) {
+	if !v.Complete() {
+		return 0, false
+	}
+	// Order all visible vertices by decreasing identifier; identifiers are
+	// distinct, so the order — and hence the colouring — is identical at
+	// every vertex.
+	order := make([]int, v.Size())
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return v.ID(order[a]) > v.ID(order[b]) })
+	colours := make([]int, v.Size())
+	for i := range colours {
+		colours[i] = none
+	}
+	for _, i := range order {
+		used := make(map[int]bool, v.DegreeWithin(i))
+		for _, j := range v.Neighbors(i) {
+			if colours[j] != none {
+				used[colours[j]] = true
+			}
+		}
+		c := 0
+		for used[c] {
+			c++
+		}
+		colours[i] = c
+	}
+	return colours[0], true
+}

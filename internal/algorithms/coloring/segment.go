@@ -1,0 +1,102 @@
+// Package coloring implements the 3-colouring algorithms of §3 of the
+// paper on consistently oriented rings:
+//
+//   - ColeVishkin: the classic synchronised algorithm [Cole-Vishkin 1986],
+//     parameterised by the identifier bit budget, deciding at the same
+//     O(log* of the ID space) radius at every vertex;
+//   - Uniform: a pruned variant that needs no global knowledge at all
+//     (neither n nor the ID space), committing vertices in phases of
+//     doubly-exponentially growing bit guesses — the spirit of [2][4] in
+//     the paper's references;
+//   - FullViewGreedy: the linear-radius baseline that waits for a complete
+//     view and colours greedily in decreasing-ID order.
+package coloring
+
+import "repro/internal/local"
+
+// segment is the part of an oriented ring a view reveals: identifiers laid
+// out in successor (clockwise) order. When closed is true the ids slice is
+// the entire cycle and indexing is modular; otherwise ids[center] is the
+// viewing vertex and the slice spans [center-left .. center+right].
+type segment struct {
+	ids    []int
+	center int
+	closed bool
+}
+
+// none is the sentinel for "no colour constraint" in reduction cones.
+const none = -1
+
+// extractSegment reads the oriented ID sequence out of a view on a ring.
+// It relies on the OrientedRing port convention (port 0 = successor,
+// port 1 = predecessor): every interior vertex of the view exposes its full
+// port-ordered adjacency row, so the walk follows row[0] forward and row[1]
+// backward until it hits the frontier or wraps around.
+func extractSegment(v local.View) segment {
+	// Walk the successor chain.
+	var forward []int
+	cur := 0
+	for {
+		row := v.Neighbors(cur)
+		if len(row) < 2 {
+			break // frontier vertex: cannot tell its ports apart, stop before it
+		}
+		next := row[0]
+		if next == 0 {
+			// Wrapped: the view covers the whole ring.
+			ids := make([]int, 0, len(forward)+1)
+			ids = append(ids, v.CenterID())
+			for _, i := range forward {
+				ids = append(ids, v.ID(i))
+			}
+			return segment{ids: ids, center: 0, closed: true}
+		}
+		forward = append(forward, next)
+		cur = next
+	}
+	// Walk the predecessor chain.
+	var backward []int
+	cur = 0
+	for {
+		row := v.Neighbors(cur)
+		if len(row) < 2 {
+			break
+		}
+		prev := row[1]
+		backward = append(backward, prev)
+		cur = prev
+	}
+	ids := make([]int, 0, len(backward)+1+len(forward))
+	for i := len(backward) - 1; i >= 0; i-- {
+		ids = append(ids, v.ID(backward[i]))
+	}
+	center := len(ids)
+	ids = append(ids, v.CenterID())
+	for _, i := range forward {
+		ids = append(ids, v.ID(i))
+	}
+	return segment{ids: ids, center: center}
+}
+
+// id returns the identifier at the given offset from the segment centre,
+// reporting false when the position lies outside the visible range.
+func (s segment) id(offset int) (int, bool) {
+	if s.closed {
+		n := len(s.ids)
+		return s.ids[((s.center+offset)%n+n)%n], true
+	}
+	pos := s.center + offset
+	if pos < 0 || pos >= len(s.ids) {
+		return 0, false
+	}
+	return s.ids[pos], true
+}
+
+// span reports how far the segment extends to the left and right of the
+// centre (both are n-1 when closed, which over-covers harmlessly).
+func (s segment) span() (left, right int) {
+	if s.closed {
+		return len(s.ids) - 1, len(s.ids) - 1
+	}
+	return s.center, len(s.ids) - 1 - s.center
+}

@@ -1,0 +1,99 @@
+package coloring
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/ids"
+	"repro/internal/local"
+	"repro/internal/problems"
+)
+
+// TestColeVishkinSparseIDSpace exercises the bit budget with identifiers
+// far larger than n: the schedule must lengthen (log* of the space, not of
+// n) and stay correct.
+func TestColeVishkinSparseIDSpace(t *testing.T) {
+	rng := rand.New(rand.NewSource(80))
+	const n = 128
+	c := graph.MustCycle(n)
+	for _, spaceBits := range []int{10, 20, 40, 60} {
+		a, err := ids.RandomSparse(n, 1<<uint(spaceBits), rng)
+		if err != nil {
+			t.Fatalf("RandomSparse: %v", err)
+		}
+		alg := ForMaxID(a.MaxID())
+		res, err := local.RunView(c, a, alg)
+		if err != nil {
+			t.Fatalf("bits=%d: RunView: %v", spaceBits, err)
+		}
+		if err := (problems.Coloring{K: 3}).Verify(c, a, res.Outputs); err != nil {
+			t.Errorf("bits=%d: %v", spaceBits, err)
+		}
+		want := iterationsToSix(alg.IDBits) + 3
+		if res.MaxRadius() != want {
+			t.Errorf("bits=%d: radius %d, want %d", spaceBits, res.MaxRadius(), want)
+		}
+	}
+}
+
+// TestUniformSparseIDSpace drives the uniform algorithm into its later
+// phases: identifiers around 2^40 defeat the 4-bit and 16-bit guesses, so
+// vertices commit in phase 3 — and mixed-magnitude assignments mix phases
+// maximally.
+func TestUniformSparseIDSpace(t *testing.T) {
+	rng := rand.New(rand.NewSource(81))
+	const n = 96
+	c := graph.MustCycle(n)
+
+	big, err := ids.RandomSparse(n, 1<<40, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := local.RunView(c, big, Uniform{})
+	if err != nil {
+		t.Fatalf("RunView big: %v", err)
+	}
+	if err := (problems.Coloring{K: 3}).Verify(c, big, res.Outputs); err != nil {
+		t.Errorf("big IDs: %v", err)
+	}
+
+	// Mixed magnitudes: tiny IDs interleaved with huge ones.
+	mixed := make(ids.Assignment, n)
+	for v := range mixed {
+		if v%2 == 0 {
+			mixed[v] = v / 2 // 0..47: phase-0/1 eligible
+		} else {
+			mixed[v] = 1<<35 + v // enormous: phase 3
+		}
+	}
+	if err := mixed.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	res2, err := local.RunView(c, mixed, Uniform{})
+	if err != nil {
+		t.Fatalf("RunView mixed: %v", err)
+	}
+	if err := (problems.Coloring{K: 3}).Verify(c, mixed, res2.Outputs); err != nil {
+		t.Errorf("mixed magnitudes: %v", err)
+	}
+}
+
+// TestCVMessageSparse runs the native message CV with sparse identifiers.
+func TestCVMessageSparse(t *testing.T) {
+	rng := rand.New(rand.NewSource(82))
+	const n = 64
+	c := graph.MustCycle(n)
+	a, err := ids.RandomSparse(n, 1<<30, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	alg := ColeVishkinMessage{IDBits: ForMaxID(a.MaxID()).IDBits}
+	res, err := local.RunMessage(c, a, alg)
+	if err != nil {
+		t.Fatalf("RunMessage: %v", err)
+	}
+	if err := (problems.Coloring{K: 3}).Verify(c, a, res.Outputs); err != nil {
+		t.Errorf("sparse message CV: %v", err)
+	}
+}

@@ -1,0 +1,178 @@
+package coloring
+
+import (
+	"math/bits"
+
+	"repro/internal/local"
+)
+
+// Uniform is a 3-colouring of the oriented ring that uses no global
+// knowledge whatsoever — neither n nor the identifier space. It realises
+// the paper's remark that 3-colouring the ring is possible "even without
+// the knowledge of n" ([2][4] in its references) by a pruned, phase-based
+// construction:
+//
+//   - Phase i guesses that identifiers fit in guessBits[i] bits; the
+//     guesses grow as a tower (4, 16, 62), so the first sufficient guess is
+//     reached after O(log*) phases and the final guess covers every int.
+//   - A vertex commits in the first phase whose guess covers every
+//     identifier within its commitment window; committed vertices run the
+//     phase's Cole-Vishkin schedule followed by a cross-phase-safe
+//     reduction (every committer re-picks a colour in {0,1,2} in the
+//     sub-round of its 6-colour, avoiding both same-phase current colours
+//     and the final colours of neighbours committed in earlier phases).
+//   - Vertices whose neighbourhood contains too-large identifiers stay
+//     uncommitted and retry in the next phase, where they must avoid the
+//     already-fixed colours around them.
+//
+// Every quantity above is a deterministic function of an ID window, so the
+// whole construction is evaluated demand-driven inside Decide: the vertex
+// grows its radius exactly until its own final colour is determined.
+type Uniform struct{}
+
+var _ local.ViewAlgorithm = Uniform{}
+
+// guessBits are the per-phase identifier bit guesses. The tower 4 -> 2^4 ->
+// (2^16, capped at 62) terminates in three phases for every representable
+// identifier, which is the log* phenomenon in miniature.
+var guessBits = []int{4, 16, 62}
+
+// Name implements local.ViewAlgorithm.
+func (Uniform) Name() string { return "coloring/uniform" }
+
+// Decide evaluates the centre's final colour demand-driven and commits as
+// soon as every input of that computation lies inside the view.
+func (Uniform) Decide(v local.View) (int, bool) {
+	seg := extractSegment(v)
+	ev := uniformEval{seg: seg}
+	colour, ok := ev.finalColour(0)
+	if !ok {
+		return 0, false
+	}
+	return colour, true
+}
+
+// uniformEval evaluates the deterministic phase construction over a visible
+// segment. Every method returns ok=false when the answer depends on
+// identifiers outside the segment — the signal to grow the radius.
+type uniformEval struct {
+	seg segment
+}
+
+// commitWindow is the half-width of the phase-i commitment predicate: the
+// Cole-Vishkin chains of a committer and of both its neighbours must be
+// valid, which k+2 covers.
+func commitWindow(phase int) int {
+	return iterationsToSix(guessBits[phase]) + 2
+}
+
+// phaseOf returns the first phase whose guess covers every identifier
+// within the commitment window of the position.
+func (ev uniformEval) phaseOf(offset int) (int, bool) {
+	for phase := range guessBits {
+		fits, ok := ev.windowFits(offset, commitWindow(phase), guessBits[phase])
+		if fits && ok {
+			return phase, true
+		}
+		if !ok {
+			// The window is not fully visible and no visible identifier
+			// disproves the guess: undecidable at this radius.
+			return 0, false
+		}
+	}
+	// Unreachable for int identifiers: the last guess admits everything.
+	return 0, false
+}
+
+// windowFits reports whether every identifier within distance w of the
+// position fits in the bit budget. fits=false with ok=true means a visible
+// identifier already disproves the guess.
+func (ev uniformEval) windowFits(offset, w, bitBudget int) (fits, ok bool) {
+	limitExceeded := false
+	allVisible := true
+	for d := -w; d <= w; d++ {
+		id, visible := ev.seg.id(offset + d)
+		if !visible {
+			allVisible = false
+			continue
+		}
+		if bits.Len(uint(id)) > bitBudget {
+			limitExceeded = true
+		}
+	}
+	if limitExceeded {
+		return false, true
+	}
+	return allVisible, allVisible
+}
+
+// cv6 returns the position's colour after the phase's Cole-Vishkin
+// iterations (a value < 6 whenever the position committed in this phase).
+func (ev uniformEval) cv6(offset, phase int) (int, bool) {
+	k := iterationsToSix(guessBits[phase])
+	chain := make([]int, k+1)
+	for i := range chain {
+		id, visible := ev.seg.id(offset - k + i)
+		if !visible {
+			return 0, false
+		}
+		chain[i] = id
+	}
+	for it := 0; it < k; it++ {
+		next := make([]int, len(chain)-1)
+		for i := 1; i < len(chain); i++ {
+			next[i-1] = cvStep(chain[i], chain[i-1])
+		}
+		chain = next
+	}
+	return chain[0], true
+}
+
+// finalColour returns the position's committed colour in {0,1,2}. It
+// recurses into neighbours committed in strictly earlier phases, so the
+// recursion depth is bounded by the number of phases.
+func (ev uniformEval) finalColour(offset int) (int, bool) {
+	phase, ok := ev.phaseOf(offset)
+	if !ok {
+		return 0, false
+	}
+	r := len(allClasses)
+	cone := make([]int, 2*r+1)
+	for j := range cone {
+		uOff := offset + j - r
+		uPhase, ok := ev.phaseOf(uOff)
+		if !ok {
+			return 0, false
+		}
+		switch {
+		case uPhase == phase:
+			c, ok := ev.cv6(uOff, phase)
+			if !ok {
+				return 0, false
+			}
+			cone[j] = c
+		case uPhase < phase:
+			c, ok := ev.finalColour(uOff)
+			if !ok {
+				return 0, false
+			}
+			cone[j] = c
+		default:
+			cone[j] = none
+		}
+	}
+	// Entries committed earlier are constraints, never recoloured: replace
+	// their "original class" with fixedEntry while keeping their value.
+	orig := append([]int(nil), cone...)
+	for j := range cone {
+		uOff := offset + j - r
+		uPhase, ok := ev.phaseOf(uOff)
+		if !ok {
+			return 0, false
+		}
+		if uPhase < phase {
+			orig[j] = fixedEntry
+		}
+	}
+	return reduceConeWithOrig(cone, orig, r, allClasses), true
+}

@@ -1,0 +1,85 @@
+package largestid
+
+import (
+	"repro/internal/local"
+	"repro/internal/problems"
+)
+
+// ChangRoberts is the classic small-message leader-election algorithm on an
+// oriented ring, as a native MessageAlgorithm: each node launches a probe
+// carrying its identifier clockwise; nodes swallow probes smaller than
+// their own identifier and relay the rest (keeping only the largest pending
+// probe — smaller ones are dominated anyway). The maximum's probe is the
+// only one to circle the ring: when a node receives its own identifier back
+// it outputs Yes; a node that sees any larger probe outputs No.
+//
+// It solves the same problem as Pruning with O(1)-size messages instead of
+// full views. Decision rounds: No at the distance to the nearest
+// counter-clockwise dominator (>= the view radius), Yes at exactly n. Both
+// measures keep their §2 character: the worst case is linear, the average
+// logarithmic — the separation does not depend on the full-information
+// assumption.
+type ChangRoberts struct{}
+
+var _ local.MessageAlgorithm = ChangRoberts{}
+
+// Name implements local.MessageAlgorithm.
+func (ChangRoberts) Name() string { return "largestid/changroberts" }
+
+// NewNode implements local.MessageAlgorithm. It assumes the oriented-ring
+// port convention (port 0 = successor, port 1 = predecessor), hence
+// degree 2.
+func (ChangRoberts) NewNode(id, degree int) local.MessageNode {
+	return &crNode{id: id, degree: degree, pending: id}
+}
+
+type crNode struct {
+	id      int
+	degree  int
+	pending int // largest probe waiting to be forwarded clockwise; -1 none
+
+	out     int
+	decided bool
+}
+
+// Init launches the node's own probe clockwise (port 0).
+func (n *crNode) Init() []any {
+	msgs := make([]any, n.degree)
+	if n.degree > 0 {
+		msgs[0] = n.pending
+	}
+	n.pending = -1
+	return msgs
+}
+
+// Round processes the probe arriving from the predecessor (port 1).
+func (n *crNode) Round(recv []any) []any {
+	msgs := make([]any, n.degree)
+	if n.degree >= 2 {
+		if probe, ok := recv[1].(int); ok {
+			switch {
+			case probe == n.id:
+				// The node's own probe circled the ring: it is the leader.
+				n.out = problems.Yes
+				n.decided = true
+			case probe > n.id:
+				if !n.decided {
+					n.out = problems.No
+					n.decided = true
+				}
+				if probe > n.pending {
+					n.pending = probe
+				}
+			}
+			// probe < n.id is swallowed.
+		}
+	}
+	if n.pending >= 0 {
+		msgs[0] = n.pending
+		n.pending = -1
+	}
+	return msgs
+}
+
+// Output implements local.MessageNode.
+func (n *crNode) Output() (int, bool) { return n.out, n.decided }

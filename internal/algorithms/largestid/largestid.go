@@ -1,0 +1,68 @@
+// Package largestid implements the algorithms of §2 of the paper for the
+// largest-ID problem: every vertex must output Yes iff it carries the
+// globally largest identifier — "a classic way to elect a leader".
+//
+// Pruning is the paper's algorithm: grow the radius until a larger
+// identifier appears (output No) or the view provably covers the whole
+// graph (output Yes). Its worst-case radius is linear — the maximum-ID
+// vertex must see everything — but its average radius is Θ(log n), the
+// paper's exponential separation.
+//
+// FullView is the trivial baseline: every vertex waits until it sees the
+// whole graph; both measures are linear.
+package largestid
+
+import (
+	"repro/internal/local"
+	"repro/internal/problems"
+)
+
+// Pruning is the §2 algorithm. It is symmetric (needs no orientation) and
+// works on any connected graph family, using view-completeness (every
+// visible vertex shows its full degree) as the "I have seen everything"
+// certificate.
+type Pruning struct{}
+
+var _ local.ViewAlgorithm = Pruning{}
+
+// Name implements local.ViewAlgorithm.
+func (Pruning) Name() string { return "largestid/pruning" }
+
+// Decide stops at the first radius that reveals a larger identifier (No)
+// or proves the view complete (Yes). Only the freshly revealed frontier
+// needs scanning: earlier vertices were checked at smaller radii.
+func (Pruning) Decide(v local.View) (int, bool) {
+	own := v.CenterID()
+	for i := v.FrontierStart(); i < v.Size(); i++ {
+		if v.ID(i) > own {
+			return problems.No, true
+		}
+	}
+	if v.Complete() {
+		return problems.Yes, true
+	}
+	return 0, false
+}
+
+// FullView is the linear baseline: wait for a complete view, then answer by
+// global comparison.
+type FullView struct{}
+
+var _ local.ViewAlgorithm = FullView{}
+
+// Name implements local.ViewAlgorithm.
+func (FullView) Name() string { return "largestid/fullview" }
+
+// Decide waits for completeness and compares against the global maximum.
+func (FullView) Decide(v local.View) (int, bool) {
+	if !v.Complete() {
+		return 0, false
+	}
+	own := v.CenterID()
+	for i := 0; i < v.Size(); i++ {
+		if v.ID(i) > own {
+			return problems.No, true
+		}
+	}
+	return problems.Yes, true
+}

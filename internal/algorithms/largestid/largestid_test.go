@@ -1,0 +1,216 @@
+package largestid
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/graph"
+	"repro/internal/ids"
+	"repro/internal/local"
+	"repro/internal/problems"
+)
+
+// expectedCycleRadius computes the §2 prediction for the pruning algorithm
+// on a cycle: the maximum-ID vertex needs the closure radius floor(n/2);
+// every other vertex stops at its distance to the nearest strictly larger
+// identifier.
+func expectedCycleRadius(c graph.Cycle, a ids.Assignment, v int) int {
+	if v == a.ArgMax() {
+		return c.N() / 2
+	}
+	best := c.N()
+	for u := 0; u < c.N(); u++ {
+		if a[u] > a[v] && c.Dist(u, v) < best {
+			best = c.Dist(u, v)
+		}
+	}
+	return best
+}
+
+func TestPruningCorrectOnCycles(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range []int{3, 4, 5, 10, 33, 64} {
+		c := graph.MustCycle(n)
+		for trial := 0; trial < 5; trial++ {
+			a := ids.Random(n, rng)
+			res, err := local.RunView(c, a, Pruning{})
+			if err != nil {
+				t.Fatalf("n=%d: RunView: %v", n, err)
+			}
+			if err := (problems.LargestID{}).Verify(c, a, res.Outputs); err != nil {
+				t.Errorf("n=%d trial %d: %v", n, trial, err)
+			}
+		}
+	}
+}
+
+func TestPruningRadiiMatchPaperPrediction(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, n := range []int{3, 4, 7, 16, 41} {
+		c := graph.MustCycle(n)
+		for trial := 0; trial < 4; trial++ {
+			a := ids.Random(n, rng)
+			res, err := local.RunView(c, a, Pruning{})
+			if err != nil {
+				t.Fatalf("RunView: %v", err)
+			}
+			for v := 0; v < n; v++ {
+				want := expectedCycleRadius(c, a, v)
+				if res.Radii[v] != want {
+					t.Errorf("n=%d trial %d vertex %d: radius %d, want %d",
+						n, trial, v, res.Radii[v], want)
+				}
+			}
+		}
+	}
+}
+
+func TestPruningMaxVertexIsLinear(t *testing.T) {
+	// The classic measure: the max-ID vertex needs floor(n/2) regardless of
+	// the permutation (§2: "needs to see all the cycle").
+	for _, n := range []int{4, 5, 100, 101} {
+		c := graph.MustCycle(n)
+		a, err := ids.MaxAt(n, n/3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := local.RunView(c, a, Pruning{})
+		if err != nil {
+			t.Fatalf("RunView: %v", err)
+		}
+		if got := res.Radii[n/3]; got != n/2 {
+			t.Errorf("n=%d: max vertex radius %d, want %d", n, got, n/2)
+		}
+		if res.MaxRadius() != n/2 {
+			t.Errorf("n=%d: MaxRadius %d, want %d", n, res.MaxRadius(), n/2)
+		}
+	}
+}
+
+func TestPruningAverageBeatsWorstCase(t *testing.T) {
+	// The separation claim in miniature: on a 256-cycle the average radius
+	// must be far below the worst case n/2. (Θ(log n) vs Θ(n); the full
+	// sweep is experiment E2.)
+	const n = 256
+	c := graph.MustCycle(n)
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 5; trial++ {
+		a := ids.Random(n, rng)
+		res, err := local.RunView(c, a, Pruning{})
+		if err != nil {
+			t.Fatalf("RunView: %v", err)
+		}
+		if res.MaxRadius() != n/2 {
+			t.Errorf("MaxRadius = %d, want %d", res.MaxRadius(), n/2)
+		}
+		if avg := res.AvgRadius(); avg > 20 {
+			t.Errorf("trial %d: AvgRadius = %v, expected O(log n) << n/2 = %d", trial, avg, n/2)
+		}
+	}
+}
+
+func TestPruningOnPathsAndTrees(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	tree, err := graph.NewRandomTree(30, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gs := map[string]graph.Graph{
+		"P17":  graph.MustPath(17),
+		"tree": tree,
+		"grid": mustGrid(t, 5, 6),
+	}
+	for name, g := range gs {
+		a := ids.Random(g.N(), rng)
+		res, err := local.RunView(g, a, Pruning{})
+		if err != nil {
+			t.Fatalf("%s: RunView: %v", name, err)
+		}
+		if err := (problems.LargestID{}).Verify(g, a, res.Outputs); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+}
+
+func TestFullViewCorrectAndLinear(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for _, n := range []int{3, 8, 21} {
+		c := graph.MustCycle(n)
+		a := ids.Random(n, rng)
+		res, err := local.RunView(c, a, FullView{})
+		if err != nil {
+			t.Fatalf("RunView: %v", err)
+		}
+		if err := (problems.LargestID{}).Verify(c, a, res.Outputs); err != nil {
+			t.Errorf("n=%d: %v", n, err)
+		}
+		for v, r := range res.Radii {
+			if r != n/2 {
+				t.Errorf("n=%d vertex %d: fullview radius %d, want closure %d", n, v, r, n/2)
+			}
+		}
+	}
+}
+
+func TestPruningNeverExceedsFullView(t *testing.T) {
+	prop := func(seed int64) bool {
+		n := 16
+		c := graph.MustCycle(n)
+		a := ids.Random(n, rand.New(rand.NewSource(seed)))
+		pr, err := local.RunView(c, a, Pruning{})
+		if err != nil {
+			return false
+		}
+		fv, err := local.RunView(c, a, FullView{})
+		if err != nil {
+			return false
+		}
+		for v := 0; v < n; v++ {
+			if pr.Radii[v] > fv.Radii[v] {
+				return false
+			}
+			if pr.Outputs[v] != fv.Outputs[v] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Errorf("pruning dominated by fullview violated: %v", err)
+	}
+}
+
+func TestPruningGatherEquivalence(t *testing.T) {
+	c := graph.MustCycle(11)
+	a := ids.Random(11, rand.New(rand.NewSource(6)))
+	view, err := local.RunView(c, a, Pruning{})
+	if err != nil {
+		t.Fatalf("RunView: %v", err)
+	}
+	msg, err := local.RunMessage(c, a, local.NewGather(Pruning{}))
+	if err != nil {
+		t.Fatalf("RunMessage: %v", err)
+	}
+	for v := 0; v < 11; v++ {
+		if view.Outputs[v] != msg.Outputs[v] {
+			t.Errorf("vertex %d outputs differ", v)
+		}
+		want := view.Radii[v]
+		if want > 0 {
+			want++
+		}
+		if msg.Radii[v] != want {
+			t.Errorf("vertex %d: rounds %d, want %d", v, msg.Radii[v], want)
+		}
+	}
+}
+
+func mustGrid(t *testing.T, r, c int) graph.Graph {
+	t.Helper()
+	g, err := graph.NewGrid(r, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}

@@ -1,0 +1,94 @@
+// Package mis derives a maximal independent set from any proper colouring
+// algorithm by the classic colour-class schedule: colour classes join the
+// set in increasing order, each vertex joining iff none of its neighbours
+// joined before it. Composed with an O(log* n) ring colouring this yields
+// an O(log* n) MIS — like colouring, a problem where the paper's average
+// measure cannot beat the classic one asymptotically.
+package mis
+
+import (
+	"repro/internal/local"
+	"repro/internal/problems"
+)
+
+// FromColoring turns a proper-colouring view algorithm into an MIS view
+// algorithm. A vertex simulates the colouring of every vertex within the
+// needed distance (via local.Subview) and evaluates the join schedule:
+//
+//	joined(u)  <=>  for all neighbours w of u:
+//	                NOT (colour(w) < colour(u) AND joined(w))
+//
+// The recursion is well-founded (colours strictly decrease) and reaches at
+// most maxColour hops, so the decision radius exceeds the base colouring's
+// radius by only that constant.
+type FromColoring struct {
+	// Base must produce a proper colouring on the target graph family.
+	Base local.ViewAlgorithm
+}
+
+var _ local.ViewAlgorithm = FromColoring{}
+
+// Name implements local.ViewAlgorithm.
+func (m FromColoring) Name() string { return "mis(" + m.Base.Name() + ")" }
+
+// Decide evaluates joined(centre) demand-driven; any colour or neighbourhood
+// that is not yet visible postpones the decision to a larger radius.
+func (m FromColoring) Decide(v local.View) (int, bool) {
+	joined, ok := m.joined(v, 0)
+	if !ok {
+		return 0, false
+	}
+	if joined {
+		return problems.Yes, true
+	}
+	return problems.No, true
+}
+
+// colourOf simulates the base colouring at local vertex u by growing a
+// subview until the base decides. Once the subview is complete no larger
+// radius can add information, so an undecided base is a dead end rather
+// than a request for more view.
+func (m FromColoring) colourOf(v local.View, u int) (int, bool) {
+	for q := 0; ; q++ {
+		sub, ok := local.Subview(v, u, q)
+		if !ok {
+			return 0, false
+		}
+		if c, done := m.Base.Decide(sub); done {
+			return c, true
+		}
+		if sub.Complete() {
+			return 0, false
+		}
+	}
+}
+
+// joined evaluates the join schedule at local vertex u. It requires u's
+// full neighbourhood to be visible.
+func (m FromColoring) joined(v local.View, u int) (bool, bool) {
+	cu, ok := m.colourOf(v, u)
+	if !ok {
+		return false, false
+	}
+	if v.DegreeWithin(u) != v.TrueDegree(u) {
+		// Some neighbour of u is invisible: cannot evaluate the schedule.
+		return false, false
+	}
+	for _, w := range v.Neighbors(u) {
+		cw, ok := m.colourOf(v, w)
+		if !ok {
+			return false, false
+		}
+		if cw >= cu {
+			continue // w joins no earlier than u; no constraint
+		}
+		wJoined, ok := m.joined(v, w)
+		if !ok {
+			return false, false
+		}
+		if wJoined {
+			return false, true // dominated by an earlier class member
+		}
+	}
+	return true, true
+}

@@ -1,0 +1,127 @@
+package mis
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/algorithms/coloring"
+	"repro/internal/graph"
+	"repro/internal/ids"
+	"repro/internal/local"
+	"repro/internal/problems"
+)
+
+func TestMISFromColeVishkin(t *testing.T) {
+	rng := rand.New(rand.NewSource(20))
+	for _, n := range []int{3, 4, 5, 8, 17, 64, 300} {
+		c := graph.MustCycle(n)
+		for trial := 0; trial < 3; trial++ {
+			a := ids.Random(n, rng)
+			alg := FromColoring{Base: coloring.ForMaxID(a.MaxID())}
+			res, err := local.RunView(c, a, alg)
+			if err != nil {
+				t.Fatalf("n=%d: RunView: %v", n, err)
+			}
+			if err := (problems.MIS{}).Verify(c, a, res.Outputs); err != nil {
+				t.Errorf("n=%d trial %d: %v", n, trial, err)
+			}
+		}
+	}
+}
+
+func TestMISFromUniform(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for _, n := range []int{5, 16, 33, 128} {
+		c := graph.MustCycle(n)
+		a := ids.Random(n, rng)
+		res, err := local.RunView(c, a, FromColoring{Base: coloring.Uniform{}})
+		if err != nil {
+			t.Fatalf("n=%d: RunView: %v", n, err)
+		}
+		if err := (problems.MIS{}).Verify(c, a, res.Outputs); err != nil {
+			t.Errorf("n=%d: %v", n, err)
+		}
+	}
+}
+
+func TestMISFromFullViewGreedyOnOtherTopologies(t *testing.T) {
+	// The join schedule is generic: with a full-view greedy base it yields
+	// an MIS on paths and trees too.
+	rng := rand.New(rand.NewSource(22))
+	tree, err := graph.NewRandomTree(20, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gs := map[string]graph.Graph{
+		"P11":  graph.MustPath(11),
+		"tree": tree,
+	}
+	for name, g := range gs {
+		a := ids.Random(g.N(), rng)
+		res, err := local.RunView(g, a, FromColoring{Base: coloring.FullViewGreedy{}})
+		if err != nil {
+			t.Fatalf("%s: RunView: %v", name, err)
+		}
+		if err := (problems.MIS{}).Verify(g, a, res.Outputs); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+}
+
+func TestMISRadiusConstantOverhead(t *testing.T) {
+	// MIS must cost only a constant more than its base colouring, keeping
+	// avg ~ max (the "second type" of problem in the characterisation).
+	const n = 1024
+	c := graph.MustCycle(n)
+	a := ids.Random(n, rand.New(rand.NewSource(23)))
+	base := coloring.ForMaxID(a.MaxID())
+	colRes, err := local.RunView(c, a, base)
+	if err != nil {
+		t.Fatalf("RunView base: %v", err)
+	}
+	misRes, err := local.RunView(c, a, FromColoring{Base: base})
+	if err != nil {
+		t.Fatalf("RunView mis: %v", err)
+	}
+	if misRes.MaxRadius() > colRes.MaxRadius()+3 {
+		t.Errorf("MIS radius %d exceeds colouring radius %d + 3",
+			misRes.MaxRadius(), colRes.MaxRadius())
+	}
+	if misRes.AvgRadius() < float64(misRes.MaxRadius())/4 {
+		t.Errorf("MIS avg %v far below max %d; expected flat distribution",
+			misRes.AvgRadius(), misRes.MaxRadius())
+	}
+}
+
+func TestMISExhaustiveTinyRings(t *testing.T) {
+	for _, n := range []int{3, 4, 5, 6} {
+		c := graph.MustCycle(n)
+		perm := make([]int, n)
+		for i := range perm {
+			perm[i] = i
+		}
+		var rec func(k int)
+		rec = func(k int) {
+			if k == n {
+				a, err := ids.FromPerm(perm)
+				if err != nil {
+					t.Fatal(err)
+				}
+				res, err := local.RunView(c, a, FromColoring{Base: coloring.ForMaxID(n - 1)})
+				if err != nil {
+					t.Fatalf("n=%d perm %v: %v", n, perm, err)
+				}
+				if err := (problems.MIS{}).Verify(c, a, res.Outputs); err != nil {
+					t.Fatalf("n=%d perm %v: %v", n, perm, err)
+				}
+				return
+			}
+			for i := k; i < n; i++ {
+				perm[k], perm[i] = perm[i], perm[k]
+				rec(k + 1)
+				perm[k], perm[i] = perm[i], perm[k]
+			}
+		}
+		rec(0)
+	}
+}

@@ -1,0 +1,141 @@
+// Package analytic provides the number-theoretic companions of §2 and §3 of
+// the paper: the exact recurrence a(p) bounding the worst-case sum of
+// radii on a p-vertex segment, its OEIS A000788 closed form, the log*
+// function from Linial's bound, and harmonic numbers for the
+// random-permutation expectation.
+package analytic
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+)
+
+// Recurrence computes a(0..p) by exact dynamic programming:
+//
+//	a(0) = 0,  a(1) = 1,
+//	a(p) = max_{1 <= k <= ceil(p/2)} { k + a(k-1) + a(p-k) }
+//
+// — §2 of the paper: the maximum, over permutations of the identifiers, of
+// the sum of radii in a segment with p vertices, where the segment's
+// largest identifier sits at position k and contributes radius k, splitting
+// the rest into independent sub-segments.
+func Recurrence(p int) ([]int64, error) {
+	if p < 0 {
+		return nil, fmt.Errorf("analytic: negative segment length %d", p)
+	}
+	a := make([]int64, p+1)
+	if p >= 1 {
+		a[1] = 1
+	}
+	for m := 2; m <= p; m++ {
+		best := int64(0)
+		half := (m + 1) / 2
+		for k := 1; k <= half; k++ {
+			if v := int64(k) + a[k-1] + a[m-k]; v > best {
+				best = v
+			}
+		}
+		a[m] = best
+	}
+	return a, nil
+}
+
+// BitSum returns the number of 1 bits in the binary expansion of v.
+func BitSum(v int64) int64 {
+	if v < 0 {
+		return 0
+	}
+	return int64(bits.OnesCount64(uint64(v)))
+}
+
+// A000788 returns the total number of 1 bits in the binary expansions of
+// 0..n — the OEIS sequence the paper points at for a(n) — computed by the
+// classic digit-DP closed form in O(log n).
+//
+// For each bit position b with block size 2^(b+1): full blocks contribute
+// 2^b ones each, and the partial block contributes max(0, rem - 2^b).
+func A000788(n int64) (int64, error) {
+	if n < 0 {
+		return 0, fmt.Errorf("analytic: A000788 of negative %d", n)
+	}
+	m := n + 1 // count over 0..n = the first m non-negative integers
+	var total int64
+	for b := 0; int64(1)<<uint(b) <= n; b++ {
+		block := int64(1) << uint(b+1)
+		half := int64(1) << uint(b)
+		total += (m / block) * half
+		if rem := m % block; rem > half {
+			total += rem - half
+		}
+	}
+	return total, nil
+}
+
+// LogStar returns the iterated logarithm base 2: the number of times log2
+// must be applied to n before the value drops to at most 1. LogStar(1) = 0,
+// LogStar(2) = 1, LogStar(16) = 3, LogStar(65536) = 4.
+func LogStar(n float64) int {
+	if n <= 1 {
+		return 0
+	}
+	count := 0
+	for n > 1 {
+		n = math.Log2(n)
+		count++
+	}
+	return count
+}
+
+// Harmonic returns H_n = 1 + 1/2 + ... + 1/n; H_0 = 0. The expected radius
+// of a uniformly random vertex under random identifiers is harmonic-like,
+// which experiment E6 checks.
+func Harmonic(n int) float64 {
+	sum := 0.0
+	for i := 1; i <= n; i++ {
+		sum += 1 / float64(i)
+	}
+	return sum
+}
+
+// NLogN returns n·ln(n) (0 for n < 1), the reference curve for a(n).
+func NLogN(n int) float64 {
+	if n < 1 {
+		return 0
+	}
+	return float64(n) * math.Log(float64(n))
+}
+
+// SegmentRadii computes, for a concrete identifier layout on a p-vertex
+// segment, the radius the §2 model assigns to each position: the least d
+// such that the window of radius d around the position either leaves the
+// segment or contains a strictly larger identifier. This is the quantity
+// whose permutation-maximal sum the recurrence a(p) captures, and the
+// brute-force oracle the tests compare the DP against.
+func SegmentRadii(segIDs []int) []int {
+	p := len(segIDs)
+	radii := make([]int, p)
+	for j := range segIDs {
+		d := 1
+		for {
+			// Leaving the segment on either side stops the search, as does
+			// any strictly larger identifier within distance d.
+			if j-d < 0 || j+d >= p {
+				break
+			}
+			found := false
+			for o := j - d; o <= j+d; o++ {
+				if segIDs[o] > segIDs[j] {
+					found = true
+					break
+				}
+			}
+			if found {
+				break
+			}
+			d++
+		}
+		radii[j] = d
+	}
+	return radii
+}

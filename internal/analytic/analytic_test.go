@@ -1,0 +1,252 @@
+package analytic
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRecurrenceSmallValues(t *testing.T) {
+	// Hand-computed from the definition in §2.
+	want := []int64{0, 1, 2, 4, 5, 7, 9, 12, 13}
+	a, err := Recurrence(8)
+	if err != nil {
+		t.Fatalf("Recurrence: %v", err)
+	}
+	for p, w := range want {
+		if a[p] != w {
+			t.Errorf("a(%d) = %d, want %d", p, a[p], w)
+		}
+	}
+}
+
+func TestRecurrenceRejectsNegative(t *testing.T) {
+	if _, err := Recurrence(-1); err == nil {
+		t.Error("negative p accepted")
+	}
+}
+
+func TestA000788KnownPrefix(t *testing.T) {
+	// OEIS A000788: 0, 1, 2, 4, 5, 7, 9, 12, 13, 15, 17, 20, 22, 25, 28, 32.
+	want := []int64{0, 1, 2, 4, 5, 7, 9, 12, 13, 15, 17, 20, 22, 25, 28, 32}
+	for n, w := range want {
+		got, err := A000788(int64(n))
+		if err != nil {
+			t.Fatalf("A000788(%d): %v", n, err)
+		}
+		if got != w {
+			t.Errorf("A000788(%d) = %d, want %d", n, got, w)
+		}
+	}
+	if _, err := A000788(-1); err == nil {
+		t.Error("negative n accepted")
+	}
+}
+
+func TestA000788MatchesNaiveSum(t *testing.T) {
+	var running int64
+	for n := int64(0); n <= 4096; n++ {
+		running += BitSum(n)
+		got, err := A000788(n)
+		if err != nil {
+			t.Fatalf("A000788(%d): %v", n, err)
+		}
+		if got != running {
+			t.Fatalf("A000788(%d) = %d, naive sum = %d", n, got, running)
+		}
+	}
+}
+
+// TestRecurrenceEqualsA000788 is the paper's pointer made exact: the
+// segment recurrence IS the OEIS sequence, term by term.
+func TestRecurrenceEqualsA000788(t *testing.T) {
+	const p = 1 << 15
+	a, err := Recurrence(p)
+	if err != nil {
+		t.Fatalf("Recurrence: %v", err)
+	}
+	for m := 0; m <= p; m += 7 { // sampled; the full check runs in the bench
+		want, err := A000788(int64(m))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a[m] != want {
+			t.Fatalf("a(%d) = %d, A000788 = %d", m, a[m], want)
+		}
+	}
+}
+
+// TestRecurrenceIsThetaNLogN checks the paper's growth claim: a(n)/(n ln n)
+// stays within constant bounds.
+func TestRecurrenceIsThetaNLogN(t *testing.T) {
+	a, err := Recurrence(1 << 14)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []int{1 << 8, 1 << 10, 1 << 12, 1 << 14} {
+		ratio := float64(a[p]) / NLogN(p)
+		// a(n) ~ n log2(n)/2 = n ln n / (2 ln 2) ~ 0.72 n ln n.
+		if ratio < 0.4 || ratio > 1.1 {
+			t.Errorf("a(%d)/(n ln n) = %v outside [0.4, 1.1]", p, ratio)
+		}
+	}
+}
+
+// TestRecurrenceMatchesBruteForce maximises the radius sum over every
+// permutation of small segments, confirming that the DP captures exactly
+// the worst case of the §2 segment model.
+func TestRecurrenceMatchesBruteForce(t *testing.T) {
+	a, err := Recurrence(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for p := 1; p <= 8; p++ {
+		best := 0
+		perm := make([]int, p)
+		for i := range perm {
+			perm[i] = i
+		}
+		var rec func(k int)
+		rec = func(k int) {
+			if k == p {
+				sum := 0
+				for _, r := range SegmentRadii(perm) {
+					sum += r
+				}
+				if sum > best {
+					best = sum
+				}
+				return
+			}
+			for i := k; i < p; i++ {
+				perm[k], perm[i] = perm[i], perm[k]
+				rec(k + 1)
+				perm[k], perm[i] = perm[i], perm[k]
+			}
+		}
+		rec(0)
+		if int64(best) != a[p] {
+			t.Errorf("brute force max for p=%d is %d, recurrence says %d", p, best, a[p])
+		}
+	}
+}
+
+func TestSegmentRadiiExamples(t *testing.T) {
+	tests := []struct {
+		ids  []int
+		want []int
+	}{
+		{[]int{0}, []int{1}},
+		{[]int{0, 1}, []int{1, 1}}, // the max sits at the right end: exits at d=1
+		{[]int{1, 0}, []int{1, 1}},
+		{[]int{2, 0, 1}, []int{1, 1, 1}},
+		{[]int{0, 2, 1}, []int{1, 2, 1}}, // centre max needs d=2 to exit
+		// Increasing layout: everyone sees a bigger ID or an end at d=1.
+		{[]int{0, 1, 2, 3}, []int{1, 1, 1, 1}},
+		// Worst case for p=3 (a(3)=4): max in the middle.
+		{[]int{1, 2, 0}, []int{1, 2, 1}},
+	}
+	for _, tt := range tests {
+		got := SegmentRadii(tt.ids)
+		for j := range tt.want {
+			if got[j] != tt.want[j] {
+				t.Errorf("SegmentRadii(%v) = %v, want %v", tt.ids, got, tt.want)
+				break
+			}
+		}
+	}
+}
+
+func TestSegmentRadiiSumNeverExceedsRecurrence(t *testing.T) {
+	a, err := Recurrence(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prop := func(seed int64) bool {
+		rng := newDeterministicPerm(seed, 40)
+		sum := 0
+		for _, r := range SegmentRadii(rng) {
+			sum += r
+		}
+		return int64(sum) <= a[40]
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Errorf("a(p) is not an upper bound: %v", err)
+	}
+}
+
+// newDeterministicPerm builds a permutation of 0..n-1 from a seed without
+// math/rand, keeping the property test hermetic.
+func newDeterministicPerm(seed int64, n int) []int {
+	perm := make([]int, n)
+	for i := range perm {
+		perm[i] = i
+	}
+	state := uint64(seed)*2862933555777941757 + 3037000493
+	for i := n - 1; i > 0; i-- {
+		state = state*2862933555777941757 + 3037000493
+		j := int(state % uint64(i+1))
+		perm[i], perm[j] = perm[j], perm[i]
+	}
+	return perm
+}
+
+func TestLogStar(t *testing.T) {
+	tests := []struct {
+		n    float64
+		want int
+	}{
+		{0, 0},
+		{1, 0},
+		{2, 1},
+		{4, 2},
+		{16, 3},
+		{65536, 4},
+		{1e18, 5},
+	}
+	for _, tt := range tests {
+		if got := LogStar(tt.n); got != tt.want {
+			t.Errorf("LogStar(%v) = %d, want %d", tt.n, got, tt.want)
+		}
+	}
+}
+
+func TestHarmonic(t *testing.T) {
+	if Harmonic(0) != 0 {
+		t.Error("H_0 != 0")
+	}
+	if Harmonic(1) != 1 {
+		t.Error("H_1 != 1")
+	}
+	if math.Abs(Harmonic(2)-1.5) > 1e-12 {
+		t.Error("H_2 != 1.5")
+	}
+	// H_n ~ ln n + gamma.
+	const gamma = 0.5772156649015329
+	if math.Abs(Harmonic(100000)-(math.Log(100000)+gamma)) > 1e-4 {
+		t.Errorf("H_100000 = %v far from ln n + gamma", Harmonic(100000))
+	}
+}
+
+func TestNLogN(t *testing.T) {
+	if NLogN(0) != 0 || NLogN(-5) != 0 {
+		t.Error("NLogN of non-positive should be 0")
+	}
+	if math.Abs(NLogN(8)-8*math.Log(8)) > 1e-12 {
+		t.Error("NLogN(8) wrong")
+	}
+}
+
+func TestBitSum(t *testing.T) {
+	tests := []struct {
+		v    int64
+		want int64
+	}{
+		{0, 0}, {1, 1}, {2, 1}, {3, 2}, {255, 8}, {256, 1}, {-5, 0},
+	}
+	for _, tt := range tests {
+		if got := BitSum(tt.v); got != tt.want {
+			t.Errorf("BitSum(%d) = %d, want %d", tt.v, got, tt.want)
+		}
+	}
+}

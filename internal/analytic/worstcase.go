@@ -1,0 +1,84 @@
+package analytic
+
+import "fmt"
+
+// WorstSegmentPerm reconstructs, from the recurrence's argmax choices, a
+// permutation of {0..p-1} whose segment radius sum achieves a(p) exactly.
+// The construction mirrors the recurrence: place the segment's largest
+// identifier at an optimal split position k, then solve the two
+// sub-segments recursively (their identifier ranks can be assigned in
+// blocks, since only relative order matters and the split vertex dominates
+// both sides).
+func WorstSegmentPerm(p int) ([]int, error) {
+	if p < 0 {
+		return nil, fmt.Errorf("analytic: negative segment length %d", p)
+	}
+	a, err := Recurrence(p)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]int, p)
+	var build func(lo, hi, rankLo int)
+	build = func(lo, hi, rankLo int) {
+		m := hi - lo
+		if m <= 0 {
+			return
+		}
+		if m == 1 {
+			out[lo] = rankLo
+			return
+		}
+		k := bestSplit(a, m)
+		// Positions lo..lo+k-2 form the left sub-segment (k-1 vertices),
+		// position lo+k-1 holds the block maximum, the rest is the right
+		// sub-segment (m-k vertices).
+		build(lo, lo+k-1, rankLo)
+		out[lo+k-1] = rankLo + m - 1
+		build(lo+k, hi, rankLo+k-1)
+	}
+	build(0, p, 0)
+	return out, nil
+}
+
+// bestSplit returns the k achieving the recurrence maximum for length m.
+func bestSplit(a []int64, m int) int {
+	best, bestK := int64(-1), 1
+	half := (m + 1) / 2
+	for k := 1; k <= half; k++ {
+		if v := int64(k) + a[k-1] + a[m-k]; v > best {
+			best, bestK = v, k
+		}
+	}
+	return bestK
+}
+
+// WorstCyclePerm builds the identifier assignment of an n-cycle achieving
+// the worst-case radius sum of the §2 pruning algorithm exactly: the global
+// maximum at vertex 0 (radius floor(n/2)) and the worst segment layout on
+// the remaining n-1 vertices (radius sum a(n-1)).
+func WorstCyclePerm(n int) ([]int, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("analytic: need n >= 1, got %d", n)
+	}
+	seg, err := WorstSegmentPerm(n - 1)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]int, n)
+	out[0] = n - 1
+	copy(out[1:], seg)
+	return out, nil
+}
+
+// WorstCycleSum returns the exact worst-case radius sum of the pruning
+// algorithm on an n-cycle: a(n-1) + floor(n/2).
+func WorstCycleSum(n int) (int64, error) {
+	if n < 1 {
+		return 0, fmt.Errorf("analytic: need n >= 1, got %d", n)
+	}
+	a, err := A000788(int64(n - 1))
+	if err != nil {
+		return 0, err
+	}
+	return a + int64(n/2), nil
+}

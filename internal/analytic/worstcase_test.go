@@ -1,0 +1,70 @@
+package analytic
+
+import "testing"
+
+func TestWorstSegmentPermAchievesRecurrence(t *testing.T) {
+	a, err := Recurrence(256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []int{0, 1, 2, 3, 4, 5, 8, 13, 32, 100, 256} {
+		perm, err := WorstSegmentPerm(p)
+		if err != nil {
+			t.Fatalf("WorstSegmentPerm(%d): %v", p, err)
+		}
+		if len(perm) != p {
+			t.Fatalf("p=%d: length %d", p, len(perm))
+		}
+		seen := make(map[int]bool, p)
+		for _, id := range perm {
+			if id < 0 || id >= p || seen[id] {
+				t.Fatalf("p=%d: not a permutation: %v", p, perm)
+			}
+			seen[id] = true
+		}
+		sum := 0
+		for _, r := range SegmentRadii(perm) {
+			sum += r
+		}
+		if int64(sum) != a[p] {
+			t.Errorf("p=%d: reconstructed sum %d, want a(p)=%d", p, sum, a[p])
+		}
+	}
+}
+
+func TestWorstSegmentPermRejectsNegative(t *testing.T) {
+	if _, err := WorstSegmentPerm(-2); err == nil {
+		t.Error("negative p accepted")
+	}
+}
+
+func TestWorstCyclePermShape(t *testing.T) {
+	perm, err := WorstCyclePerm(10)
+	if err != nil {
+		t.Fatalf("WorstCyclePerm: %v", err)
+	}
+	if perm[0] != 9 {
+		t.Errorf("global max not at vertex 0: %v", perm)
+	}
+	seen := make(map[int]bool, 10)
+	for _, id := range perm {
+		if id < 0 || id >= 10 || seen[id] {
+			t.Fatalf("not a permutation: %v", perm)
+		}
+		seen[id] = true
+	}
+}
+
+func TestWorstCycleSum(t *testing.T) {
+	// n=5: a(4) + 2 = 5 + 2 = 7.
+	got, err := WorstCycleSum(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 7 {
+		t.Errorf("WorstCycleSum(5) = %d, want 7", got)
+	}
+	if _, err := WorstCycleSum(0); err == nil {
+		t.Error("n=0 accepted")
+	}
+}

@@ -1,0 +1,135 @@
+// Package core is the library's front door: the paper's average-complexity
+// measure as a first-class API. It evaluates a LOCAL algorithm on an
+// instance and reports BOTH running-time measures side by side —
+//
+//	classic:  max_G max_v r(v)
+//	average:  max_G (Σ_v r(v))/n        (this paper's contribution)
+//
+// — together with worst-case/expectation aggregation over identifier
+// permutations and multi-algorithm comparisons. The heavy lifting lives in
+// internal/local (engines), internal/algorithms (the paper's algorithms)
+// and internal/measure (statistics); core wires them into the workflows
+// the examples and experiments repeat.
+package core
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/graph"
+	"repro/internal/ids"
+	"repro/internal/local"
+	"repro/internal/measure"
+	"repro/internal/problems"
+)
+
+// Evaluation is the outcome of one run: both measures plus the underlying
+// radius statistics, with the outputs verified when a Problem is supplied.
+type Evaluation struct {
+	// Algorithm names the evaluated algorithm.
+	Algorithm string
+	// Classic is the paper's baseline measure max_v r(v).
+	Classic int
+	// Average is the paper's new measure (Σ_v r(v))/n.
+	Average float64
+	// Stats carries the full radius distribution summary.
+	Stats measure.Summary
+	// Result is the raw execution (outputs and radii).
+	Result *local.Result
+}
+
+// Evaluate runs alg on g under assignment a with the view engine and, when
+// problem is non-nil, verifies the outputs before reporting measures: a
+// measurement of an incorrect algorithm is rejected, not returned.
+func Evaluate(g graph.Graph, a ids.Assignment, alg local.ViewAlgorithm, problem problems.Problem) (*Evaluation, error) {
+	res, err := local.RunView(g, a, alg)
+	if err != nil {
+		return nil, err
+	}
+	if problem != nil {
+		if err := problem.Verify(g, a, res.Outputs); err != nil {
+			return nil, fmt.Errorf("core: %s output rejected: %w", alg.Name(), err)
+		}
+	}
+	return &Evaluation{
+		Algorithm: alg.Name(),
+		Classic:   res.MaxRadius(),
+		Average:   res.AvgRadius(),
+		Stats:     measure.Summarize(res.Radii),
+		Result:    res,
+	}, nil
+}
+
+// Separation quantifies how far the two measures diverge on an evaluation:
+// classic/average. The paper's "first type" problems have separation
+// growing with n; "second type" problems keep it Θ(1).
+func (e *Evaluation) Separation() float64 {
+	if e.Average == 0 {
+		if e.Classic == 0 {
+			return 1
+		}
+		return float64(e.Classic)
+	}
+	return float64(e.Classic) / e.Average
+}
+
+// SweepPoint aggregates one instance size over sampled permutations.
+type SweepPoint struct {
+	N int
+	measure.Aggregate
+}
+
+// Sweep evaluates alg on cycles of each size, sampling `trials` uniformly
+// random identifier permutations per size from rng, verifying every run
+// against problem (when non-nil). It is the common skeleton of the paper's
+// experiments: the WorstAvg column estimates the paper's measure, MeanAvg
+// its further-work expectation variant.
+func Sweep(sizes []int, trials int, alg local.ViewAlgorithm, problem problems.Problem, rng *rand.Rand) ([]SweepPoint, error) {
+	if trials < 1 {
+		return nil, fmt.Errorf("core: trials must be positive, got %d", trials)
+	}
+	out := make([]SweepPoint, 0, len(sizes))
+	for _, n := range sizes {
+		c, err := graph.NewCycle(n)
+		if err != nil {
+			return nil, err
+		}
+		summaries := make([]measure.Summary, 0, trials)
+		for t := 0; t < trials; t++ {
+			ev, err := Evaluate(c, ids.Random(n, rng), alg, problem)
+			if err != nil {
+				return nil, fmt.Errorf("core: sweep n=%d trial %d: %w", n, t, err)
+			}
+			summaries = append(summaries, ev.Stats)
+		}
+		out = append(out, SweepPoint{N: n, Aggregate: measure.NewAggregate(summaries)})
+	}
+	return out, nil
+}
+
+// Comparison pairs two algorithms' evaluations on the same instance.
+type Comparison struct {
+	A, B *Evaluation
+}
+
+// Compare evaluates two algorithms on one shared instance — e.g. the
+// pruning algorithm against the full-view baseline, or Cole-Vishkin
+// against the uniform variant.
+func Compare(g graph.Graph, a ids.Assignment, algA, algB local.ViewAlgorithm, problem problems.Problem) (*Comparison, error) {
+	evA, err := Evaluate(g, a, algA, problem)
+	if err != nil {
+		return nil, err
+	}
+	evB, err := Evaluate(g, a, algB, problem)
+	if err != nil {
+		return nil, err
+	}
+	return &Comparison{A: evA, B: evB}, nil
+}
+
+// String renders the comparison compactly.
+func (c *Comparison) String() string {
+	return fmt.Sprintf("%s: max=%d avg=%.3f | %s: max=%d avg=%.3f",
+		c.A.Algorithm, c.A.Classic, c.A.Average,
+		c.B.Algorithm, c.B.Classic, c.B.Average)
+}

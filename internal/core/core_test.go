@@ -1,0 +1,131 @@
+package core
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/algorithms/coloring"
+	"repro/internal/algorithms/largestid"
+	"repro/internal/graph"
+	"repro/internal/ids"
+	"repro/internal/local"
+	"repro/internal/problems"
+)
+
+func TestEvaluateReportsBothMeasures(t *testing.T) {
+	c := graph.MustCycle(64)
+	a := ids.Random(64, rand.New(rand.NewSource(1)))
+	ev, err := Evaluate(c, a, largestid.Pruning{}, problems.LargestID{})
+	if err != nil {
+		t.Fatalf("Evaluate: %v", err)
+	}
+	if ev.Classic != 32 {
+		t.Errorf("Classic = %d, want 32", ev.Classic)
+	}
+	if ev.Average <= 0 || ev.Average >= float64(ev.Classic) {
+		t.Errorf("Average = %v outside (0, classic)", ev.Average)
+	}
+	if ev.Stats.Max != ev.Classic {
+		t.Errorf("Stats.Max %d != Classic %d", ev.Stats.Max, ev.Classic)
+	}
+	if ev.Separation() <= 1 {
+		t.Errorf("Separation = %v, want > 1 for largest ID", ev.Separation())
+	}
+}
+
+func TestEvaluateRejectsWrongOutputs(t *testing.T) {
+	c := graph.MustCycle(8)
+	a := ids.Identity(8)
+	// A colouring algorithm verified against the wrong problem must fail.
+	if _, err := Evaluate(c, a, coloring.ForMaxID(7), problems.LargestID{}); err == nil {
+		t.Fatal("colouring passed largest-ID verification")
+	}
+}
+
+func TestEvaluateNilProblemSkipsVerification(t *testing.T) {
+	c := graph.MustCycle(8)
+	a := ids.Identity(8)
+	if _, err := Evaluate(c, a, coloring.ForMaxID(7), nil); err != nil {
+		t.Fatalf("Evaluate without problem: %v", err)
+	}
+}
+
+func TestSeparationEdgeCases(t *testing.T) {
+	zero := &Evaluation{Classic: 0, Average: 0}
+	if zero.Separation() != 1 {
+		t.Errorf("0/0 separation = %v, want 1", zero.Separation())
+	}
+	onlyMax := &Evaluation{Classic: 5, Average: 0}
+	if onlyMax.Separation() != 5 {
+		t.Errorf("5/0 separation = %v, want 5", onlyMax.Separation())
+	}
+}
+
+func TestSweepShapes(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	points, err := Sweep([]int{16, 64, 256}, 3, largestid.Pruning{}, problems.LargestID{}, rng)
+	if err != nil {
+		t.Fatalf("Sweep: %v", err)
+	}
+	if len(points) != 3 {
+		t.Fatalf("got %d points", len(points))
+	}
+	for i, p := range points {
+		if p.WorstMax != p.N/2 {
+			t.Errorf("n=%d: WorstMax = %d, want %d", p.N, p.WorstMax, p.N/2)
+		}
+		if i > 0 && p.MeanAvg <= points[i-1].MeanAvg {
+			t.Errorf("MeanAvg not increasing at n=%d", p.N)
+		}
+	}
+	// The separation must widen: classic grows linearly, average stays log.
+	first := float64(points[0].WorstMax) / points[0].WorstAvg
+	last := float64(points[2].WorstMax) / points[2].WorstAvg
+	if last <= first {
+		t.Errorf("separation did not widen: %v -> %v", first, last)
+	}
+}
+
+func TestSweepErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	if _, err := Sweep([]int{16}, 0, largestid.Pruning{}, nil, rng); err == nil {
+		t.Error("trials=0 accepted")
+	}
+	if _, err := Sweep([]int{2}, 1, largestid.Pruning{}, nil, rng); err == nil {
+		t.Error("n=2 accepted")
+	}
+}
+
+func TestCompare(t *testing.T) {
+	c := graph.MustCycle(32)
+	a := ids.Random(32, rand.New(rand.NewSource(4)))
+	cmp, err := Compare(c, a, largestid.Pruning{}, largestid.FullView{}, problems.LargestID{})
+	if err != nil {
+		t.Fatalf("Compare: %v", err)
+	}
+	if cmp.A.Average >= cmp.B.Average {
+		t.Errorf("pruning avg %v not below fullview avg %v", cmp.A.Average, cmp.B.Average)
+	}
+	if cmp.A.Classic != cmp.B.Classic {
+		t.Errorf("both should have classic n/2: %d vs %d", cmp.A.Classic, cmp.B.Classic)
+	}
+	s := cmp.String()
+	if !strings.Contains(s, "pruning") || !strings.Contains(s, "fullview") {
+		t.Errorf("String() = %q missing algorithm names", s)
+	}
+}
+
+func TestCompareSurfacesFailures(t *testing.T) {
+	c := graph.MustCycle(8)
+	a := ids.Identity(8)
+	if _, err := Compare(c, a, largestid.Pruning{}, badAlg{}, problems.LargestID{}); err == nil {
+		t.Error("broken second algorithm accepted")
+	}
+}
+
+// badAlg answers Yes everywhere — an invalid largest-ID solver.
+type badAlg struct{}
+
+func (badAlg) Name() string                  { return "bad" }
+func (badAlg) Decide(local.View) (int, bool) { return problems.Yes, true }

@@ -1,0 +1,65 @@
+package core_test
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"repro/internal/algorithms/largestid"
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/ids"
+	"repro/internal/problems"
+)
+
+// ExampleEvaluate measures the paper's two complexities of the pruning
+// algorithm on one instance.
+func ExampleEvaluate() {
+	ring := graph.MustCycle(16)
+	assignment, err := ids.MaxAt(16, 0) // maximum identifier at vertex 0
+	if err != nil {
+		log.Fatal(err)
+	}
+	ev, err := core.Evaluate(ring, assignment, largestid.Pruning{}, problems.LargestID{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("classic max_v r(v) = %d\n", ev.Classic)
+	fmt.Printf("average measure    = %.3f\n", ev.Average)
+	// Output:
+	// classic max_v r(v) = 8
+	// average measure    = 1.438
+}
+
+// ExampleCompare contrasts the pruning algorithm with the full-view
+// baseline on a shared instance.
+func ExampleCompare() {
+	ring := graph.MustCycle(12)
+	assignment := ids.Random(12, rand.New(rand.NewSource(5)))
+	cmp, err := core.Compare(ring, assignment,
+		largestid.Pruning{}, largestid.FullView{}, problems.LargestID{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("pruning decides faster on average: %v\n", cmp.A.Average < cmp.B.Average)
+	fmt.Printf("both pay the same worst case:      %v\n", cmp.A.Classic == cmp.B.Classic)
+	// Output:
+	// pruning decides faster on average: true
+	// both pay the same worst case:      true
+}
+
+// ExampleSweep aggregates both measures over random permutations across
+// sizes — the skeleton of the paper's experiments.
+func ExampleSweep() {
+	rng := rand.New(rand.NewSource(9))
+	points, err := core.Sweep([]int{8, 64}, 4, largestid.Pruning{}, problems.LargestID{}, rng)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, p := range points {
+		fmt.Printf("n=%-3d worst max=%d\n", p.N, p.WorstMax)
+	}
+	// Output:
+	// n=8   worst max=4
+	// n=64  worst max=32
+}

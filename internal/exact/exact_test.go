@@ -1,0 +1,129 @@
+package exact
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/algorithms/largestid"
+	"repro/internal/analytic"
+	"repro/internal/graph"
+	"repro/internal/ids"
+	"repro/internal/local"
+)
+
+// TestPruningRadiiMatchEngine pins the closed form to the simulator: both
+// must agree on every vertex of random instances.
+func TestPruningRadiiMatchEngine(t *testing.T) {
+	rng := rand.New(rand.NewSource(60))
+	for _, n := range []int{3, 4, 5, 9, 16, 33, 64} {
+		c := graph.MustCycle(n)
+		for trial := 0; trial < 4; trial++ {
+			a := ids.Random(n, rng)
+			res, err := local.RunView(c, a, largestid.Pruning{})
+			if err != nil {
+				t.Fatalf("RunView: %v", err)
+			}
+			closed := PruningRadii(a)
+			for v := 0; v < n; v++ {
+				if closed[v] != res.Radii[v] {
+					t.Fatalf("n=%d vertex %d: closed form %d, engine %d",
+						n, v, closed[v], res.Radii[v])
+				}
+			}
+		}
+	}
+}
+
+// TestCycleStatsWorstMatchesRecurrence is the flagship exact validation:
+// the enumerated maximum over ALL permutations equals the recurrence
+// prediction a(n-1) + floor(n/2) — no sampling, no reconstruction, the
+// whole space.
+func TestCycleStatsWorstMatchesRecurrence(t *testing.T) {
+	for n := 3; n <= 8; n++ {
+		st, err := CycleStats(n)
+		if err != nil {
+			t.Fatalf("CycleStats(%d): %v", n, err)
+		}
+		want, err := analytic.WorstCycleSum(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if int64(st.WorstSum) != want {
+			t.Errorf("n=%d: enumerated worst sum %d, recurrence %d", n, st.WorstSum, want)
+		}
+		wantPerms := int64(1)
+		for i := 2; i <= n; i++ {
+			wantPerms *= int64(i)
+		}
+		if st.Perms != wantPerms {
+			t.Errorf("n=%d: visited %d permutations, want %d", n, st.Perms, wantPerms)
+		}
+	}
+}
+
+// TestCycleStatsBestSum: the best case puts every non-maximum next to a
+// larger identifier: sum = (n-1) + floor(n/2).
+func TestCycleStatsBestSum(t *testing.T) {
+	for n := 3; n <= 8; n++ {
+		st, err := CycleStats(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := (n - 1) + n/2
+		if st.BestSum != want {
+			t.Errorf("n=%d: best sum %d, want %d", n, st.BestSum, want)
+		}
+	}
+}
+
+// TestCycleStatsMeanBounds: the exact expectation sits strictly between
+// the best and worst cases and the average orderings are consistent.
+func TestCycleStatsMeanBounds(t *testing.T) {
+	st, err := CycleStats(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.MeanSum <= float64(st.BestSum) || st.MeanSum >= float64(st.WorstSum) {
+		t.Errorf("mean %v outside (best %d, worst %d)", st.MeanSum, st.BestSum, st.WorstSum)
+	}
+	if st.MeanAvg() >= st.WorstAvg() {
+		t.Errorf("MeanAvg %v >= WorstAvg %v", st.MeanAvg(), st.WorstAvg())
+	}
+}
+
+// TestCycleStatsMatchesMonteCarlo cross-checks the exact expectation
+// against a direct sample mean.
+func TestCycleStatsMatchesMonteCarlo(t *testing.T) {
+	const n = 7
+	st, err := CycleStats(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(61))
+	const samples = 20000
+	total := 0
+	for i := 0; i < samples; i++ {
+		for _, r := range PruningRadii(ids.Random(n, rng)) {
+			total += r
+		}
+	}
+	mc := float64(total) / samples
+	if diff := mc - st.MeanSum; diff > 0.15 || diff < -0.15 {
+		t.Errorf("Monte Carlo mean %v far from exact %v", mc, st.MeanSum)
+	}
+}
+
+func TestCycleStatsErrors(t *testing.T) {
+	if _, err := CycleStats(2); err == nil {
+		t.Error("n=2 accepted")
+	}
+	if _, err := CycleStats(MaxEnumerationN + 1); err == nil {
+		t.Error("oversized n accepted")
+	}
+}
+
+func TestPruningRadiiEmpty(t *testing.T) {
+	if got := PruningRadii(nil); len(got) != 0 {
+		t.Errorf("empty assignment produced radii %v", got)
+	}
+}

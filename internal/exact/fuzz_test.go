@@ -1,0 +1,65 @@
+package exact
+
+import (
+	"testing"
+
+	"repro/internal/algorithms/largestid"
+	"repro/internal/graph"
+	"repro/internal/ids"
+	"repro/internal/local"
+)
+
+// FuzzPruningRadiiAgainstEngine differentially fuzzes the closed-form
+// radius computation against the full simulator: any byte string is turned
+// into a permutation, and the two implementations must agree vertex by
+// vertex. Run with `go test -fuzz=FuzzPruningRadii ./internal/exact/`;
+// under plain `go test` the seed corpus below runs as regression cases.
+func FuzzPruningRadiiAgainstEngine(f *testing.F) {
+	f.Add([]byte{0})
+	f.Add([]byte{1, 2, 3})
+	f.Add([]byte{9, 8, 7, 6, 5, 4, 3, 2, 1, 0})
+	f.Add([]byte{3, 141, 59, 26, 53, 58, 97, 9})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		n := len(data)
+		if n < 3 || n > 48 {
+			t.Skip()
+		}
+		a := permFromBytes(data)
+		closed := PruningRadii(a)
+
+		c, err := graph.NewCycle(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := local.RunView(c, a, largestid.Pruning{})
+		if err != nil {
+			t.Fatalf("engine: %v", err)
+		}
+		for v := 0; v < n; v++ {
+			if closed[v] != res.Radii[v] {
+				t.Fatalf("perm %v vertex %d: closed %d, engine %d", a, v, closed[v], res.Radii[v])
+			}
+		}
+	})
+}
+
+// permFromBytes deterministically turns arbitrary bytes into a permutation
+// of {0..n-1} via a byte-keyed Fisher-Yates shuffle.
+func permFromBytes(data []byte) ids.Assignment {
+	n := len(data)
+	a := make(ids.Assignment, n)
+	for i := range a {
+		a[i] = i
+	}
+	state := uint64(0)
+	for _, b := range data {
+		state = state*131 + uint64(b) + 17
+	}
+	for i := n - 1; i > 0; i-- {
+		state = state*2862933555777941757 + 3037000493
+		j := int(state % uint64(i+1))
+		a[i], a[j] = a[j], a[i]
+	}
+	return a
+}

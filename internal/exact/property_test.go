@@ -1,0 +1,64 @@
+package exact
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/analytic"
+	"repro/internal/ids"
+)
+
+// TestRecurrenceUpperBoundsEveryPermutation is the a(p) bound as a
+// property test: no permutation of any tested size may exceed the
+// recurrence prediction — beyond the exhaustive range of CycleStats.
+func TestRecurrenceUpperBoundsEveryPermutation(t *testing.T) {
+	bounds := map[int]int64{}
+	for _, n := range []int{8, 16, 32, 64, 128} {
+		w, err := analytic.WorstCycleSum(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bounds[n] = w
+	}
+	prop := func(seed int64, pick uint8) bool {
+		sizes := []int{8, 16, 32, 64, 128}
+		n := sizes[int(pick)%len(sizes)]
+		a := ids.Random(n, rand.New(rand.NewSource(seed)))
+		sum := 0
+		for _, r := range PruningRadii(a) {
+			sum += r
+		}
+		return int64(sum) <= bounds[n]
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Errorf("recurrence bound violated: %v", err)
+	}
+}
+
+// TestWorstCyclePermIsTight closes the loop: the reconstructed worst
+// permutation achieves the bound that the property test shows nothing
+// exceeds.
+func TestWorstCyclePermIsTight(t *testing.T) {
+	for _, n := range []int{8, 64, 256} {
+		perm, err := analytic.WorstCyclePerm(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a, err := ids.FromPerm(perm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum := 0
+		for _, r := range PruningRadii(a) {
+			sum += r
+		}
+		want, err := analytic.WorstCycleSum(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if int64(sum) != want {
+			t.Errorf("n=%d: reconstructed permutation achieves %d, bound is %d", n, sum, want)
+		}
+	}
+}

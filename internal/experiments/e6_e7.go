@@ -1,0 +1,135 @@
+package experiments
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/algorithms/coloring"
+	"repro/internal/algorithms/largestid"
+	"repro/internal/algorithms/mis"
+	"repro/internal/analytic"
+	"repro/internal/graph"
+	"repro/internal/ids"
+	"repro/internal/local"
+	"repro/internal/measure"
+)
+
+// e6 explores the further-work question of §4: the EXPECTED average radius
+// under uniformly random identifier permutations, compared with the
+// worst-case average of E2. Both are Θ(log n) for largest ID, with the
+// expectation tracking the harmonic number.
+func e6() Experiment {
+	return Experiment{
+		ID:    "E6",
+		Title: "Largest ID: expectation over random permutations vs worst case",
+		Claim: "§4 further work: \"study the expectancy of the running time ... identifiers taken uniformly at random\"",
+		Run: func(cfg Config) (*Table, error) {
+			sizes := sizesOrDefault(cfg, []int{16, 64, 256, 1024, 4096})
+			trials := trialsOrDefault(cfg, 20)
+			rng := rand.New(rand.NewSource(cfg.Seed))
+			t := &Table{
+				Title:   "E6: pruning algorithm, E[avg radius] vs worst-case avg",
+				Columns: []string{"n", "meanAvg", "H(n)", "worstAvg", "mean/worst", "meanMax", "n/2"},
+			}
+			var ns []int
+			var means []float64
+			for _, n := range sizes {
+				c, err := graph.NewCycle(n)
+				if err != nil {
+					return nil, err
+				}
+				summaries := make([]measure.Summary, 0, trials)
+				for trial := 0; trial < trials; trial++ {
+					res, err := local.RunView(c, ids.Random(n, rng), largestid.Pruning{})
+					if err != nil {
+						return nil, err
+					}
+					summaries = append(summaries, measure.Summarize(res.Radii))
+				}
+				agg := measure.NewAggregate(summaries)
+
+				worst, err := analytic.WorstCycleSum(n)
+				if err != nil {
+					return nil, err
+				}
+				worstAvg := float64(worst) / float64(n)
+				t.AddRow(n, agg.MeanAvg, analytic.Harmonic(n), worstAvg,
+					agg.MeanAvg/worstAvg, agg.MeanMax, n/2)
+				ns = append(ns, n)
+				means = append(means, agg.MeanAvg)
+			}
+			if fit, err := measure.FitAgainstLog(ns, means); err == nil {
+				t.AddNote("log fit of meanAvg vs ln n: slope=%.4f, R2=%.5f — expectation is Θ(log n) too", fit.Slope, fit.R2)
+			}
+			t.AddNote("meanMax ≈ n/2 always: the maximum vertex pays the linear price under every permutation")
+			return t, nil
+		},
+	}
+}
+
+// e7 addresses the characterisation question of §4: for which problems do
+// the two measures separate? Largest ID separates exponentially; colouring
+// and MIS do not separate at all.
+func e7() Experiment {
+	return Experiment{
+		ID:    "E7",
+		Title: "Problem characterisation: max/avg separation by problem",
+		Claim: "§4: \"It would be interesting to characterise the problems of the first and second types\"",
+		Run: func(cfg Config) (*Table, error) {
+			sizes := sizesOrDefault(cfg, []int{64, 256, 1024, 4096})
+			rng := rand.New(rand.NewSource(cfg.Seed))
+			t := &Table{
+				Title:   "E7: max vs avg radius per problem (random permutations)",
+				Columns: []string{"n", "problem", "algorithm", "max", "avg", "max/avg"},
+			}
+			type entry struct {
+				problem string
+				alg     func(a ids.Assignment) local.ViewAlgorithm
+			}
+			entries := []entry{
+				{"largestID", func(ids.Assignment) local.ViewAlgorithm { return largestid.Pruning{} }},
+				{"3-coloring", func(a ids.Assignment) local.ViewAlgorithm { return coloring.ForMaxID(a.MaxID()) }},
+				{"3-coloring", func(ids.Assignment) local.ViewAlgorithm { return coloring.Uniform{} }},
+				{"MIS", func(a ids.Assignment) local.ViewAlgorithm {
+					return mis.FromColoring{Base: coloring.ForMaxID(a.MaxID())}
+				}},
+			}
+			ratios := map[string][]float64{}
+			var ns []int
+			for _, n := range sizes {
+				c, err := graph.NewCycle(n)
+				if err != nil {
+					return nil, err
+				}
+				a := ids.Random(n, rng)
+				ns = append(ns, n)
+				for _, e := range entries {
+					alg := e.alg(a)
+					res, err := local.RunView(c, a, alg)
+					if err != nil {
+						return nil, err
+					}
+					ratio := math.Inf(1)
+					if res.AvgRadius() > 0 {
+						ratio = float64(res.MaxRadius()) / res.AvgRadius()
+					}
+					t.AddRow(n, e.problem, alg.Name(), res.MaxRadius(), res.AvgRadius(), ratio)
+					ratios[e.problem] = append(ratios[e.problem], ratio)
+				}
+			}
+			for _, problem := range []string{"largestID", "3-coloring", "MIS"} {
+				rs := ratios[problem]
+				if len(rs) < 2 {
+					continue
+				}
+				growth := rs[len(rs)-1] / rs[0]
+				kind := "second type (avg ~ max)"
+				if growth > 4 {
+					kind = "FIRST type (avg << max)"
+				}
+				t.AddNote("%s: max/avg ratio grew %.1fx across the sweep — %s", problem, growth, kind)
+			}
+			return t, nil
+		},
+	}
+}

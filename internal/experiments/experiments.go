@@ -1,0 +1,79 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Config tunes an experiment run. The zero value plus a seed gives the
+// defaults used in EXPERIMENTS.md; benchmarks use reduced sizes.
+type Config struct {
+	// Seed drives all randomness; equal seeds reproduce tables exactly.
+	Seed int64
+	// Sizes overrides the experiment's default n sweep when non-empty.
+	Sizes []int
+	// Trials is the number of sampled permutations per size (default
+	// experiment-specific).
+	Trials int
+}
+
+// Experiment is one reproducible claim of the paper.
+type Experiment struct {
+	// ID is the index key (e.g. "E2").
+	ID string
+	// Title summarises the claim under test.
+	Title string
+	// Claim cites the paper location the experiment reproduces.
+	Claim string
+	// Run executes the experiment and renders its table.
+	Run func(cfg Config) (*Table, error)
+}
+
+// registry holds all experiments keyed by ID.
+var registry = buildRegistry()
+
+func buildRegistry() map[string]Experiment {
+	all := []Experiment{
+		e1(), e2(), e3(), e4(), e5(), e6(), e7(), e8(), e9(),
+	}
+	m := make(map[string]Experiment, len(all))
+	for _, e := range all {
+		m[e.ID] = e
+	}
+	return m
+}
+
+// Get returns the experiment with the given ID.
+func Get(id string) (Experiment, error) {
+	e, ok := registry[id]
+	if !ok {
+		return Experiment{}, fmt.Errorf("experiments: unknown experiment %q", id)
+	}
+	return e, nil
+}
+
+// All returns every experiment sorted by ID.
+func All() []Experiment {
+	out := make([]Experiment, 0, len(registry))
+	for _, e := range registry {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// sizesOrDefault picks the configured sweep or the experiment default.
+func sizesOrDefault(cfg Config, def []int) []int {
+	if len(cfg.Sizes) > 0 {
+		return cfg.Sizes
+	}
+	return def
+}
+
+// trialsOrDefault picks the configured trial count or the default.
+func trialsOrDefault(cfg Config, def int) int {
+	if cfg.Trials > 0 {
+		return cfg.Trials
+	}
+	return def
+}

@@ -1,0 +1,130 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"strings"
+	"testing"
+)
+
+// smallCfg keeps experiment runs fast in unit tests; the full sweeps run in
+// the benchmark suite and cmd/avgbench.
+func smallCfg() Config {
+	return Config{Seed: 7, Sizes: []int{16, 32, 64}, Trials: 2}
+}
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9"}
+	all := All()
+	if len(all) != len(want) {
+		t.Fatalf("registry has %d experiments, want %d", len(all), len(want))
+	}
+	for i, id := range want {
+		if all[i].ID != id {
+			t.Errorf("All()[%d].ID = %s, want %s", i, all[i].ID, id)
+		}
+		e, err := Get(id)
+		if err != nil {
+			t.Errorf("Get(%s): %v", id, err)
+		}
+		if e.Title == "" || e.Claim == "" {
+			t.Errorf("%s missing title or claim", id)
+		}
+	}
+	if _, err := Get("E99"); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}
+
+func TestAllExperimentsRunSmall(t *testing.T) {
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			tab, err := e.Run(smallCfg())
+			if err != nil {
+				t.Fatalf("%s: %v", e.ID, err)
+			}
+			if len(tab.Rows) == 0 {
+				t.Fatalf("%s produced no rows", e.ID)
+			}
+			out := tab.Render()
+			if !strings.Contains(out, tab.Columns[0]) {
+				t.Errorf("%s render missing header", e.ID)
+			}
+		})
+	}
+}
+
+func TestExperimentsDeterministicPerSeed(t *testing.T) {
+	for _, id := range []string{"E1", "E2", "E6"} {
+		e, err := Get(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t1, err := e.Run(smallCfg())
+		if err != nil {
+			t.Fatalf("%s run 1: %v", id, err)
+		}
+		t2, err := e.Run(smallCfg())
+		if err != nil {
+			t.Fatalf("%s run 2: %v", id, err)
+		}
+		if t1.Render() != t2.Render() {
+			t.Errorf("%s not deterministic for a fixed seed", id)
+		}
+	}
+}
+
+func TestE2ExactIdentity(t *testing.T) {
+	// The flagship identity: the engine run on the reconstructed worst
+	// permutation must achieve a(n-1) + floor(n/2) exactly; E2 reports it
+	// in the "exact" column.
+	e, err := Get("E2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab, err := e.Run(Config{Seed: 1, Sizes: []int{16, 64, 256, 1024}, Trials: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	exactCol := -1
+	for i, c := range tab.Columns {
+		if c == "exact" {
+			exactCol = i
+		}
+	}
+	if exactCol < 0 {
+		t.Fatal("no exact column in E2")
+	}
+	for _, row := range tab.Rows {
+		if row[exactCol] != "true" {
+			t.Errorf("E2 row %v: engine/theory mismatch", row)
+		}
+	}
+}
+
+func TestTableRenderAndCSV(t *testing.T) {
+	tab := &Table{
+		Title:   "demo",
+		Columns: []string{"a", "bb"},
+	}
+	tab.AddRow(1, 2.5)
+	tab.AddRow("x", "y")
+	tab.AddNote("note %d", 7)
+	out := tab.Render()
+	for _, want := range []string{"demo", "a", "bb", "2.500", "note: note 7"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+	var sb strings.Builder
+	if err := tab.WriteCSV(csv.NewWriter(&sb)); err != nil {
+		t.Fatalf("WriteCSV: %v", err)
+	}
+	if !strings.Contains(sb.String(), "a,bb") {
+		t.Errorf("csv missing header: %q", sb.String())
+	}
+	lines := strings.Count(strings.TrimSpace(sb.String()), "\n") + 1
+	if lines != 3 {
+		t.Errorf("csv has %d lines, want 3", lines)
+	}
+}

@@ -1,0 +1,76 @@
+package experiments
+
+import (
+	"math"
+	"strconv"
+	"testing"
+)
+
+// TestSoakLargeSweeps runs the headline experiments at full paper scale.
+// Skipped under -short; the regular suite uses reduced sweeps.
+func TestSoakLargeSweeps(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test skipped in -short mode")
+	}
+	e2, err := Get("E2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab, err := e2.Run(Config{Seed: 3, Sizes: []int{1 << 12, 1 << 14, 1 << 16}, Trials: 2})
+	if err != nil {
+		t.Fatalf("E2 soak: %v", err)
+	}
+	// Every row must keep the exact identity and the Θ(log n) constant.
+	exactCol, avgCol, nCol := -1, -1, -1
+	for i, c := range tab.Columns {
+		switch c {
+		case "exact":
+			exactCol = i
+		case "worstAvg":
+			avgCol = i
+		case "n":
+			nCol = i
+		}
+	}
+	for _, row := range tab.Rows {
+		if row[exactCol] != "true" {
+			t.Errorf("exact identity broken at scale: %v", row)
+		}
+		n, err := strconv.Atoi(row[nCol])
+		if err != nil {
+			t.Fatal(err)
+		}
+		avg, err := strconv.ParseFloat(row[avgCol], 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// worstAvg ~ log2(n)/2 + O(1).
+		predicted := math.Log2(float64(n)) / 2
+		if math.Abs(avg-predicted) > 2 {
+			t.Errorf("n=%d: worstAvg %v far from log2(n)/2 = %v", n, avg, predicted)
+		}
+	}
+
+	e4, err := Get("E4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab4, err := e4.Run(Config{Seed: 3, Sizes: []int{1 << 17}})
+	if err != nil {
+		t.Fatalf("E4 soak: %v", err)
+	}
+	for i, c := range tab4.Columns {
+		if c != "cvMax" {
+			continue
+		}
+		for _, row := range tab4.Rows {
+			v, err := strconv.Atoi(row[i])
+			if err != nil {
+				t.Fatal(err)
+			}
+			if v > 8 {
+				t.Errorf("CV radius %d at n=131072; log* plateau broken", v)
+			}
+		}
+	}
+}

@@ -1,0 +1,77 @@
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Adj is a general graph backed by sorted adjacency lists. It is the target
+// representation for generated graphs (trees, grids, G(n,p)) and for graphs
+// read from edge lists. Adjacency lists are sorted by neighbour index, so
+// port numbering is deterministic.
+type Adj struct {
+	adj [][]int
+}
+
+var _ Graph = (*Adj)(nil)
+
+// NewAdj builds a graph on n vertices from an undirected edge list. Edges
+// may appear in either orientation but not twice; self-loops are rejected.
+func NewAdj(n int, edges [][2]int) (*Adj, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("graph: negative vertex count %d", n)
+	}
+	adj := make([][]int, n)
+	seen := make(map[[2]int]bool, len(edges))
+	for _, e := range edges {
+		u, v := e[0], e[1]
+		if u < 0 || u >= n || v < 0 || v >= n {
+			return nil, fmt.Errorf("graph: edge %v: %w", e, ErrVertexRange)
+		}
+		if u == v {
+			return nil, fmt.Errorf("graph: self-loop at vertex %d", u)
+		}
+		if u > v {
+			u, v = v, u
+		}
+		key := [2]int{u, v}
+		if seen[key] {
+			return nil, fmt.Errorf("graph: duplicate edge %d-%d", u, v)
+		}
+		seen[key] = true
+		adj[u] = append(adj[u], v)
+		adj[v] = append(adj[v], u)
+	}
+	for v := range adj {
+		sort.Ints(adj[v])
+	}
+	return &Adj{adj: adj}, nil
+}
+
+// MustAdj is NewAdj for inputs known to be valid; it panics on error and is
+// intended for tests and examples.
+func MustAdj(n int, edges [][2]int) *Adj {
+	g, err := NewAdj(n, edges)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// N reports the number of vertices.
+func (g *Adj) N() int { return len(g.adj) }
+
+// Degree reports the number of neighbours of v.
+func (g *Adj) Degree(v int) int { return len(g.adj[v]) }
+
+// Neighbor returns the p-th smallest neighbour of v.
+func (g *Adj) Neighbor(v, p int) int { return g.adj[v][p] }
+
+// Clone returns an independent deep copy, e.g. for mutation-based tests.
+func (g *Adj) Clone() *Adj {
+	adj := make([][]int, len(g.adj))
+	for v, row := range g.adj {
+		adj[v] = append([]int(nil), row...)
+	}
+	return &Adj{adj: adj}
+}

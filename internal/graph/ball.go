@@ -1,0 +1,118 @@
+package graph
+
+import (
+	"strconv"
+	"strings"
+)
+
+// Ball is the radius-r view of a vertex in the gather formulation of the
+// LOCAL model used by the paper ("every node gathers all the information in
+// a ball around itself"): the subgraph induced by the vertices at distance
+// at most r from the centre, together with the distance of each vertex from
+// the centre.
+//
+// Local vertex 0 is always the centre. Local vertices are numbered in BFS
+// discovery order, exploring ports in increasing order, so the numbering is
+// derivable from information a node legitimately has (port numbers), not
+// from global vertex names.
+//
+// Note on conventions: the induced-subgraph ball differs by at most one
+// round from the knowledge a node accumulates by synchronous flooding
+// (which learns edges only once an endpoint is interior). The paper's
+// statements are asymptotic and unaffected; the engine equivalence tests
+// account for the off-by-one.
+type Ball struct {
+	// Radius is the gathering radius the ball was built with.
+	Radius int
+	// Verts maps local index -> original vertex index. Verts[0] is the
+	// centre. Intended for engine bookkeeping; algorithms must rely only
+	// on structure and identifiers.
+	Verts []int
+	// Dist maps local index -> distance from the centre.
+	Dist []int
+	// Adj maps local index -> local indices of its neighbours inside the
+	// ball, in the vertex's own port order.
+	Adj [][]int
+}
+
+// NewBall gathers the radius-r ball around center in g.
+func NewBall(g Graph, center, r int) *Ball {
+	if r < 0 {
+		r = 0
+	}
+	local := map[int]int{center: 0}
+	b := &Ball{
+		Radius: r,
+		Verts:  []int{center},
+		Dist:   []int{0},
+	}
+	// BFS in port order to assign deterministic local indices.
+	for head := 0; head < len(b.Verts); head++ {
+		v := b.Verts[head]
+		if b.Dist[head] == r {
+			continue
+		}
+		for p := 0; p < g.Degree(v); p++ {
+			w := g.Neighbor(v, p)
+			if _, ok := local[w]; !ok {
+				local[w] = len(b.Verts)
+				b.Verts = append(b.Verts, w)
+				b.Dist = append(b.Dist, b.Dist[head]+1)
+			}
+		}
+	}
+	// Induced adjacency, in each vertex's own port order.
+	b.Adj = make([][]int, len(b.Verts))
+	for i, v := range b.Verts {
+		for p := 0; p < g.Degree(v); p++ {
+			if j, ok := local[g.Neighbor(v, p)]; ok {
+				b.Adj[i] = append(b.Adj[i], j)
+			}
+		}
+	}
+	return b
+}
+
+// Size reports the number of vertices in the ball.
+func (b *Ball) Size() int { return len(b.Verts) }
+
+// DegreeWithin reports the degree of local vertex i inside the ball.
+func (b *Ball) DegreeWithin(i int) int { return len(b.Adj[i]) }
+
+// AllDegreesWithin reports whether every ball vertex has the given degree
+// inside the ball. On a graph family of known uniform degree (cycles: 2)
+// this is exactly the test "the ball is the entire graph": a connected
+// k-regular induced subgraph of a connected k-regular graph is the whole
+// graph.
+func (b *Ball) AllDegreesWithin(k int) bool {
+	for i := range b.Adj {
+		if len(b.Adj[i]) != k {
+			return false
+		}
+	}
+	return true
+}
+
+// Canonical renders the ball plus an identifier labelling as a deterministic
+// string, suitable as a map key for memoisation or for comparing the views
+// of two vertices. ids maps an original vertex index to its identifier.
+func (b *Ball) Canonical(ids func(orig int) int) string {
+	var sb strings.Builder
+	sb.Grow(16 * len(b.Verts))
+	sb.WriteString("r")
+	sb.WriteString(strconv.Itoa(b.Radius))
+	for i := range b.Verts {
+		sb.WriteByte(';')
+		sb.WriteString(strconv.Itoa(b.Dist[i]))
+		sb.WriteByte(':')
+		sb.WriteString(strconv.Itoa(ids(b.Verts[i])))
+		sb.WriteByte(':')
+		for k, j := range b.Adj[i] {
+			if k > 0 {
+				sb.WriteByte(',')
+			}
+			sb.WriteString(strconv.Itoa(j))
+		}
+	}
+	return sb.String()
+}

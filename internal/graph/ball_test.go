@@ -1,0 +1,133 @@
+package graph
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestBallSizeOnCycle(t *testing.T) {
+	c := MustCycle(11)
+	for r := 0; r <= 8; r++ {
+		b := NewBall(c, 4, r)
+		want := 2*r + 1
+		if want > c.N() {
+			want = c.N()
+		}
+		if b.Size() != want {
+			t.Errorf("r=%d: ball size %d, want %d", r, b.Size(), want)
+		}
+	}
+}
+
+func TestBallCenterIsLocalZero(t *testing.T) {
+	c := MustCycle(7)
+	b := NewBall(c, 3, 2)
+	if b.Verts[0] != 3 || b.Dist[0] != 0 {
+		t.Errorf("centre = vertex %d at dist %d, want 3 at 0", b.Verts[0], b.Dist[0])
+	}
+}
+
+func TestBallDistancesMatchBFS(t *testing.T) {
+	g := MustAdj(8, [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 5}, {5, 6}, {6, 7}, {7, 0}, {1, 5}})
+	bfs := BFSDistances(g, 0)
+	b := NewBall(g, 0, 3)
+	for i, orig := range b.Verts {
+		if b.Dist[i] != bfs[orig] {
+			t.Errorf("ball dist of %d = %d, BFS = %d", orig, b.Dist[i], bfs[orig])
+		}
+		if b.Dist[i] > 3 {
+			t.Errorf("vertex %d at dist %d > radius", orig, b.Dist[i])
+		}
+	}
+}
+
+// TestBallClosureRadiusOnCycle pins down the radius at which a node can first
+// certify it has seen the whole cycle (all induced degrees equal 2). The
+// paper's n/2 worst case for the largest-ID vertex rests on this threshold:
+// closure happens exactly at r = ceil((n-1)/2).
+func TestBallClosureRadiusOnCycle(t *testing.T) {
+	for _, n := range []int{3, 4, 5, 6, 7, 10, 11, 31, 32} {
+		c := MustCycle(n)
+		closure := (n - 1 + 1) / 2 // ceil((n-1)/2)
+		for r := 0; r <= closure+1; r++ {
+			b := NewBall(c, 0, r)
+			closed := b.AllDegreesWithin(2)
+			if r < closure && closed {
+				t.Errorf("n=%d r=%d: ball closed too early", n, r)
+			}
+			if r >= closure && !closed {
+				t.Errorf("n=%d r=%d: ball not closed at/after closure radius %d", n, r, closure)
+			}
+		}
+	}
+}
+
+func TestBallAdjacencyIsInduced(t *testing.T) {
+	c := MustCycle(9)
+	b := NewBall(c, 2, 4) // covers the whole cycle
+	if b.Size() != 9 {
+		t.Fatalf("ball should cover C9, got %d vertices", b.Size())
+	}
+	for i := range b.Verts {
+		if len(b.Adj[i]) != 2 {
+			t.Errorf("local %d: induced degree %d, want 2", i, len(b.Adj[i]))
+		}
+		for _, j := range b.Adj[i] {
+			if !Adjacent(c, b.Verts[i], b.Verts[j]) {
+				t.Errorf("ball edge %d-%d not in graph", b.Verts[i], b.Verts[j])
+			}
+		}
+	}
+}
+
+func TestBallNegativeRadiusClamped(t *testing.T) {
+	b := NewBall(MustCycle(5), 0, -3)
+	if b.Size() != 1 || b.Radius != 0 {
+		t.Errorf("negative radius: size %d radius %d, want 1 and 0", b.Size(), b.Radius)
+	}
+}
+
+// TestBallCanonicalShiftInvariant verifies that transplanting the same ID
+// window to a different position of the cycle yields an identical canonical
+// encoding — the property the paper's slice argument relies on (a vertex
+// whose ball is moved wholesale into a new permutation keeps its radius).
+func TestBallCanonicalShiftInvariant(t *testing.T) {
+	c := MustCycle(12)
+	window := []int{9, 8, 1, 7, 6}
+	idsA := make([]int, 12)
+	idsB := make([]int, 12)
+	for i := range idsA {
+		idsA[i] = 100 + i
+		idsB[i] = 200 + i
+	}
+	copy(idsA[1:], window) // window centred at vertex 3 in assignment A
+	copy(idsB[5:], window) // window centred at vertex 7 in assignment B
+	b3 := NewBall(c, 3, 2).Canonical(func(v int) int { return idsA[v] })
+	b7 := NewBall(c, 7, 2).Canonical(func(v int) int { return idsB[v] })
+	if b3 != b7 {
+		t.Errorf("transplanted balls canonicalise differently:\n%s\n%s", b3, b7)
+	}
+}
+
+func TestBallCanonicalDistinguishesIDs(t *testing.T) {
+	c := MustCycle(8)
+	idsA := func(v int) int { return v }
+	idsB := func(v int) int { return v + 1 }
+	a := NewBall(c, 0, 2).Canonical(idsA)
+	b := NewBall(c, 0, 2).Canonical(idsB)
+	if a == b {
+		t.Error("different ID labellings canonicalise identically")
+	}
+}
+
+func TestBallSizeMonotonic(t *testing.T) {
+	g := MustAdj(10, [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 5}, {5, 6}, {6, 7}, {7, 8}, {8, 9}, {9, 0}, {0, 5}})
+	monotone := func(rRaw, vRaw uint8) bool {
+		r := int(rRaw) % 6
+		v := int(vRaw) % g.N()
+		return NewBall(g, v, r).Size() <= NewBall(g, v, r+1).Size()
+	}
+	if err := quick.Check(monotone, nil); err != nil {
+		t.Errorf("ball size not monotone in radius: %v", err)
+	}
+}

@@ -1,0 +1,75 @@
+package graph
+
+// BallBuilder grows a ball one radius step at a time, reusing state across
+// steps. It exists because the view engine repeatedly enlarges every node's
+// ball until the node decides; rebuilding each ball from scratch would make
+// a radius-r execution cost O(r^2) per node instead of O(ball size).
+//
+// The Ball exposed by the builder is updated in place by Grow; callers that
+// need a stable snapshot must copy it.
+type BallBuilder struct {
+	g        Graph
+	ball     *Ball
+	local    map[int]int
+	frontier []int // local indices at distance exactly ball.Radius
+}
+
+// NewBallBuilder starts a radius-0 ball around center.
+func NewBallBuilder(g Graph, center int) *BallBuilder {
+	bb := &BallBuilder{
+		g:     g,
+		local: map[int]int{center: 0},
+		ball: &Ball{
+			Radius: 0,
+			Verts:  []int{center},
+			Dist:   []int{0},
+			Adj:    [][]int{nil},
+		},
+		frontier: []int{0},
+	}
+	return bb
+}
+
+// Ball returns the current ball. It is mutated by subsequent Grow calls.
+func (bb *BallBuilder) Ball() *Ball { return bb.ball }
+
+// Grow extends the ball radius by one and returns the local index of the
+// first vertex discovered at the new radius (== previous ball size). When
+// the ball has stopped growing (it already covers the component), Grow still
+// increments Radius and returns the unchanged ball size.
+func (bb *BallBuilder) Grow() (frontierStart int) {
+	b := bb.ball
+	frontierStart = len(b.Verts)
+	newRadius := b.Radius + 1
+	var newFrontier []int
+	for _, i := range bb.frontier {
+		v := b.Verts[i]
+		for p := 0; p < bb.g.Degree(v); p++ {
+			w := bb.g.Neighbor(v, p)
+			if _, ok := bb.local[w]; !ok {
+				j := len(b.Verts)
+				bb.local[w] = j
+				b.Verts = append(b.Verts, w)
+				b.Dist = append(b.Dist, newRadius)
+				b.Adj = append(b.Adj, nil)
+				newFrontier = append(newFrontier, j)
+			}
+		}
+	}
+	// Rebuild adjacency rows whose membership can have changed: the old
+	// frontier (gains edges to the new layer and to peers at its own
+	// distance) and the new layer. Interior rows are already complete.
+	for _, i := range append(append([]int(nil), bb.frontier...), newFrontier...) {
+		v := b.Verts[i]
+		row := b.Adj[i][:0]
+		for p := 0; p < bb.g.Degree(v); p++ {
+			if j, ok := bb.local[bb.g.Neighbor(v, p)]; ok {
+				row = append(row, j)
+			}
+		}
+		b.Adj[i] = row
+	}
+	b.Radius = newRadius
+	bb.frontier = newFrontier
+	return frontierStart
+}

@@ -1,0 +1,104 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func ballsEqual(a, b *Ball) bool {
+	if a.Radius != b.Radius || len(a.Verts) != len(b.Verts) {
+		return false
+	}
+	for i := range a.Verts {
+		if a.Verts[i] != b.Verts[i] || a.Dist[i] != b.Dist[i] {
+			return false
+		}
+		if len(a.Adj[i]) != len(b.Adj[i]) {
+			return false
+		}
+		for k := range a.Adj[i] {
+			if a.Adj[i][k] != b.Adj[i][k] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// TestBallBuilderMatchesNewBall is the builder's contract: growing r times
+// produces exactly NewBall(g, v, r), on every graph family.
+func TestBallBuilderMatchesNewBall(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	gnp, err := NewGNP(25, 0.15, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree, err := NewRandomTree(25, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	grid, err := NewGrid(5, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	graphs := map[string]Graph{
+		"C12":  MustCycle(12),
+		"P9":   MustPath(9),
+		"gnp":  gnp,
+		"tree": tree,
+		"grid": grid,
+	}
+	for name, g := range graphs {
+		for v := 0; v < g.N(); v += 3 {
+			bb := NewBallBuilder(g, v)
+			for r := 0; r <= 8; r++ {
+				want := NewBall(g, v, r)
+				if !ballsEqual(bb.Ball(), want) {
+					t.Fatalf("%s: vertex %d radius %d: builder ball differs from NewBall", name, v, r)
+				}
+				bb.Grow()
+			}
+		}
+	}
+}
+
+func TestBallBuilderFrontierStart(t *testing.T) {
+	c := MustCycle(10)
+	bb := NewBallBuilder(c, 0)
+	if bb.Ball().Size() != 1 {
+		t.Fatalf("initial size %d", bb.Ball().Size())
+	}
+	start := bb.Grow()
+	if start != 1 {
+		t.Errorf("first Grow frontierStart = %d, want 1", start)
+	}
+	if bb.Ball().Size() != 3 {
+		t.Errorf("size after first Grow = %d, want 3", bb.Ball().Size())
+	}
+	start = bb.Grow()
+	if start != 3 {
+		t.Errorf("second Grow frontierStart = %d, want 3", start)
+	}
+}
+
+func TestBallBuilderSaturates(t *testing.T) {
+	c := MustCycle(7)
+	bb := NewBallBuilder(c, 2)
+	for i := 0; i < 10; i++ {
+		bb.Grow()
+	}
+	b := bb.Ball()
+	if b.Size() != 7 {
+		t.Errorf("saturated ball size = %d, want 7", b.Size())
+	}
+	if b.Radius != 10 {
+		t.Errorf("radius = %d, want 10", b.Radius)
+	}
+	if !b.AllDegreesWithin(2) {
+		t.Error("saturated cycle ball should be 2-regular")
+	}
+	start := bb.Grow()
+	if start != 7 {
+		t.Errorf("Grow on saturated ball returned %d, want 7", start)
+	}
+}

@@ -1,0 +1,80 @@
+package graph
+
+// Unreachable is the distance reported for vertices in a different connected
+// component.
+const Unreachable = -1
+
+// BFSDistances returns the vector of hop distances from src to every vertex,
+// with Unreachable for vertices in other components.
+func BFSDistances(g Graph, src int) []int {
+	n := g.N()
+	dist := make([]int, n)
+	for i := range dist {
+		dist[i] = Unreachable
+	}
+	dist[src] = 0
+	queue := make([]int, 0, n)
+	queue = append(queue, src)
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for p := 0; p < g.Degree(v); p++ {
+			w := g.Neighbor(v, p)
+			if dist[w] == Unreachable {
+				dist[w] = dist[v] + 1
+				queue = append(queue, w)
+			}
+		}
+	}
+	return dist
+}
+
+// Dist returns the hop distance between u and v, or Unreachable.
+func Dist(g Graph, u, v int) int {
+	return BFSDistances(g, u)[v]
+}
+
+// Eccentricity returns the maximum distance from v to any vertex, or
+// Unreachable if the graph is disconnected.
+func Eccentricity(g Graph, v int) int {
+	ecc := 0
+	for _, d := range BFSDistances(g, v) {
+		if d == Unreachable {
+			return Unreachable
+		}
+		if d > ecc {
+			ecc = d
+		}
+	}
+	return ecc
+}
+
+// Diameter returns the maximum eccentricity, or Unreachable if the graph is
+// disconnected. The empty graph has diameter 0.
+func Diameter(g Graph) int {
+	diam := 0
+	for v := 0; v < g.N(); v++ {
+		e := Eccentricity(g, v)
+		if e == Unreachable {
+			return Unreachable
+		}
+		if e > diam {
+			diam = e
+		}
+	}
+	return diam
+}
+
+// IsConnected reports whether every vertex is reachable from vertex 0.
+// The empty graph is considered connected.
+func IsConnected(g Graph) bool {
+	if g.N() == 0 {
+		return true
+	}
+	for _, d := range BFSDistances(g, 0) {
+		if d == Unreachable {
+			return false
+		}
+	}
+	return true
+}

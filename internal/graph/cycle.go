@@ -1,0 +1,78 @@
+package graph
+
+import "fmt"
+
+// Cycle is the n-vertex ring C_n, the topology every claim in the paper is
+// stated on. It is consistently oriented: port 0 at every vertex leads to the
+// clockwise successor (v+1 mod n) and port 1 to the predecessor, so Cycle
+// implements OrientedRing.
+type Cycle struct {
+	n int
+}
+
+var _ OrientedRing = Cycle{}
+
+// NewCycle constructs C_n. It returns an error for n < 3, since smaller
+// rings are not simple graphs.
+func NewCycle(n int) (Cycle, error) {
+	if n < 3 {
+		return Cycle{}, fmt.Errorf("graph: cycle needs n >= 3, got %d", n)
+	}
+	return Cycle{n: n}, nil
+}
+
+// MustCycle is NewCycle for static sizes known to be valid; it panics on
+// invalid n and is intended for tests and examples.
+func MustCycle(n int) Cycle {
+	c, err := NewCycle(n)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// N reports the number of vertices.
+func (c Cycle) N() int { return c.n }
+
+// Degree is 2 for every vertex of a cycle.
+func (c Cycle) Degree(int) int { return 2 }
+
+// Neighbor returns the successor for port 0 and the predecessor for port 1.
+func (c Cycle) Neighbor(v, p int) int {
+	switch p {
+	case 0:
+		return c.Successor(v)
+	case 1:
+		return c.Predecessor(v)
+	default:
+		panic(fmt.Sprintf("graph: cycle port %d out of range", p))
+	}
+}
+
+// Successor returns (v+1) mod n.
+func (c Cycle) Successor(v int) int {
+	if v == c.n-1 {
+		return 0
+	}
+	return v + 1
+}
+
+// Predecessor returns (v-1) mod n.
+func (c Cycle) Predecessor(v int) int {
+	if v == 0 {
+		return c.n - 1
+	}
+	return v - 1
+}
+
+// Dist returns the ring distance between a and b: min(|a-b|, n-|a-b|).
+func (c Cycle) Dist(a, b int) int {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	if other := c.n - d; other < d {
+		return other
+	}
+	return d
+}

@@ -1,0 +1,115 @@
+package graph
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestNewCycleRejectsSmall(t *testing.T) {
+	for _, n := range []int{-1, 0, 1, 2} {
+		if _, err := NewCycle(n); err == nil {
+			t.Errorf("NewCycle(%d) succeeded, want error", n)
+		}
+	}
+}
+
+func TestCycleSuccessorPredecessorInverse(t *testing.T) {
+	c := MustCycle(17)
+	for v := 0; v < c.N(); v++ {
+		if got := c.Predecessor(c.Successor(v)); got != v {
+			t.Errorf("Pred(Succ(%d)) = %d", v, got)
+		}
+		if got := c.Successor(c.Predecessor(v)); got != v {
+			t.Errorf("Succ(Pred(%d)) = %d", v, got)
+		}
+	}
+}
+
+func TestCyclePortsMatchOrientation(t *testing.T) {
+	c := MustCycle(9)
+	for v := 0; v < c.N(); v++ {
+		if c.Neighbor(v, 0) != c.Successor(v) {
+			t.Errorf("port 0 of %d is not the successor", v)
+		}
+		if c.Neighbor(v, 1) != c.Predecessor(v) {
+			t.Errorf("port 1 of %d is not the predecessor", v)
+		}
+	}
+}
+
+func TestCycleSuccessorCoversAll(t *testing.T) {
+	c := MustCycle(12)
+	seen := make(map[int]bool)
+	v := 0
+	for i := 0; i < c.N(); i++ {
+		if seen[v] {
+			t.Fatalf("successor walk revisited %d after %d steps", v, i)
+		}
+		seen[v] = true
+		v = c.Successor(v)
+	}
+	if v != 0 {
+		t.Errorf("successor walk of length n ended at %d, want 0", v)
+	}
+}
+
+func TestCycleDistKnownValues(t *testing.T) {
+	tests := []struct {
+		n, a, b, want int
+	}{
+		{5, 0, 0, 0},
+		{5, 0, 1, 1},
+		{5, 0, 2, 2},
+		{5, 0, 3, 2},
+		{5, 0, 4, 1},
+		{6, 0, 3, 3},
+		{6, 1, 4, 3},
+		{6, 5, 0, 1},
+		{100, 10, 90, 20},
+	}
+	for _, tt := range tests {
+		c := MustCycle(tt.n)
+		if got := c.Dist(tt.a, tt.b); got != tt.want {
+			t.Errorf("C%d.Dist(%d,%d) = %d, want %d", tt.n, tt.a, tt.b, got, tt.want)
+		}
+	}
+}
+
+func TestCycleDistMatchesBFS(t *testing.T) {
+	for _, n := range []int{3, 4, 5, 8, 13} {
+		c := MustCycle(n)
+		for v := 0; v < n; v++ {
+			bfs := BFSDistances(c, v)
+			for w := 0; w < n; w++ {
+				if c.Dist(v, w) != bfs[w] {
+					t.Errorf("C%d: Dist(%d,%d)=%d, BFS=%d", n, v, w, c.Dist(v, w), bfs[w])
+				}
+			}
+		}
+	}
+}
+
+func TestCycleDistProperties(t *testing.T) {
+	c := MustCycle(37)
+	symmetric := func(a, b uint8) bool {
+		x, y := int(a)%c.N(), int(b)%c.N()
+		return c.Dist(x, y) == c.Dist(y, x)
+	}
+	if err := quick.Check(symmetric, nil); err != nil {
+		t.Errorf("Dist not symmetric: %v", err)
+	}
+	triangle := func(a, b, d uint8) bool {
+		x, y, z := int(a)%c.N(), int(b)%c.N(), int(d)%c.N()
+		return c.Dist(x, z) <= c.Dist(x, y)+c.Dist(y, z)
+	}
+	if err := quick.Check(triangle, nil); err != nil {
+		t.Errorf("Dist violates triangle inequality: %v", err)
+	}
+	bounded := func(a, b uint8) bool {
+		x, y := int(a)%c.N(), int(b)%c.N()
+		return c.Dist(x, y) <= c.N()/2
+	}
+	if err := quick.Check(bounded, nil); err != nil {
+		t.Errorf("Dist exceeds n/2: %v", err)
+	}
+}

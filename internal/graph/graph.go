@@ -1,0 +1,132 @@
+// Package graph provides the network substrate for the LOCAL-model
+// simulator: finite, simple, undirected, port-numbered graphs, together
+// with the metric utilities (BFS, distances, balls) that the ball-view
+// formulation of the LOCAL model is built on.
+//
+// Port numbering follows the standard LOCAL-model convention: each vertex v
+// numbers its incident edges 0..Degree(v)-1, and Neighbor(v, p) is the
+// vertex at the other end of port p. Port numbers are local — the two
+// endpoints of an edge generally assign it different numbers.
+package graph
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Graph is a finite, simple, undirected, port-numbered graph. Vertices are
+// 0..N()-1. Implementations must be immutable after construction so that a
+// Graph can be shared by concurrent simulator nodes without locking.
+type Graph interface {
+	// N reports the number of vertices.
+	N() int
+	// Degree reports the number of edges incident to v.
+	Degree(v int) int
+	// Neighbor returns the vertex reached from v through local port p,
+	// with 0 <= p < Degree(v).
+	Neighbor(v, p int) int
+}
+
+// OrientedRing is implemented by graphs whose vertices lie on a single,
+// consistently oriented cycle. Successor follows the orientation ("clockwise")
+// and Predecessor reverses it. Cole–Vishkin-style algorithms rely on this
+// shared orientation; symmetric algorithms such as largest-ID pruning do not.
+type OrientedRing interface {
+	Graph
+	// Successor returns the clockwise neighbour of v.
+	Successor(v int) int
+	// Predecessor returns the counter-clockwise neighbour of v.
+	Predecessor(v int) int
+}
+
+// ErrVertexRange indicates a vertex index outside 0..N()-1.
+var ErrVertexRange = errors.New("vertex index out of range")
+
+// Neighbors collects the neighbours of v in port order.
+func Neighbors(g Graph, v int) []int {
+	d := g.Degree(v)
+	out := make([]int, d)
+	for p := 0; p < d; p++ {
+		out[p] = g.Neighbor(v, p)
+	}
+	return out
+}
+
+// Edges enumerates every undirected edge {u, v} with u < v exactly once,
+// in deterministic order.
+func Edges(g Graph) [][2]int {
+	var out [][2]int
+	for v := 0; v < g.N(); v++ {
+		for p := 0; p < g.Degree(v); p++ {
+			w := g.Neighbor(v, p)
+			if v < w {
+				out = append(out, [2]int{v, w})
+			}
+		}
+	}
+	return out
+}
+
+// NumEdges reports the number of undirected edges.
+func NumEdges(g Graph) int {
+	sum := 0
+	for v := 0; v < g.N(); v++ {
+		sum += g.Degree(v)
+	}
+	return sum / 2
+}
+
+// MaxDegree reports the maximum vertex degree, 0 for the empty graph.
+func MaxDegree(g Graph) int {
+	max := 0
+	for v := 0; v < g.N(); v++ {
+		if d := g.Degree(v); d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// Validate checks the structural invariants every Graph implementation must
+// satisfy: neighbour indices in range, no self-loops, no parallel edges, and
+// symmetry (u adjacent to v implies v adjacent to u).
+func Validate(g Graph) error {
+	n := g.N()
+	if n < 0 {
+		return fmt.Errorf("graph: negative vertex count %d", n)
+	}
+	for v := 0; v < n; v++ {
+		seen := make(map[int]bool, g.Degree(v))
+		for p := 0; p < g.Degree(v); p++ {
+			w := g.Neighbor(v, p)
+			if w < 0 || w >= n {
+				return fmt.Errorf("graph: vertex %d port %d: %w (%d)", v, p, ErrVertexRange, w)
+			}
+			if w == v {
+				return fmt.Errorf("graph: self-loop at vertex %d", v)
+			}
+			if seen[w] {
+				return fmt.Errorf("graph: parallel edge %d-%d", v, w)
+			}
+			seen[w] = true
+			if !adjacent(g, w, v) {
+				return fmt.Errorf("graph: asymmetric edge %d->%d", v, w)
+			}
+		}
+	}
+	return nil
+}
+
+func adjacent(g Graph, u, v int) bool {
+	for p := 0; p < g.Degree(u); p++ {
+		if g.Neighbor(u, p) == v {
+			return true
+		}
+	}
+	return false
+}
+
+// Adjacent reports whether u and v share an edge.
+func Adjacent(g Graph, u, v int) bool {
+	return adjacent(g, u, v)
+}

@@ -1,0 +1,63 @@
+package graph
+
+import "fmt"
+
+// Path is the n-vertex path P_n with vertices 0..n-1 in line order. The
+// recurrence a(p) in §2 of the paper is stated on path segments: a vertex of
+// the cycle that is not the global maximum behaves exactly like a vertex of a
+// path whose endpoints terminate its search.
+//
+// Ports: interior vertices use port 0 for v+1 and port 1 for v-1; vertex 0
+// has only port 0 (to 1) and vertex n-1 only port 0 (to n-2).
+type Path struct {
+	n int
+}
+
+var _ Graph = Path{}
+
+// NewPath constructs P_n for n >= 1.
+func NewPath(n int) (Path, error) {
+	if n < 1 {
+		return Path{}, fmt.Errorf("graph: path needs n >= 1, got %d", n)
+	}
+	return Path{n: n}, nil
+}
+
+// MustPath is NewPath for sizes known to be valid; it panics on invalid n.
+func MustPath(n int) Path {
+	p, err := NewPath(n)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// N reports the number of vertices.
+func (p Path) N() int { return p.n }
+
+// Degree is 1 at the endpoints and 2 in the interior (0 when n == 1).
+func (p Path) Degree(v int) int {
+	if p.n == 1 {
+		return 0
+	}
+	if v == 0 || v == p.n-1 {
+		return 1
+	}
+	return 2
+}
+
+// Neighbor follows the port convention documented on Path.
+func (p Path) Neighbor(v, port int) int {
+	switch {
+	case v == 0 && port == 0:
+		return 1
+	case v == p.n-1 && port == 0:
+		return p.n - 2
+	case v > 0 && v < p.n-1 && port == 0:
+		return v + 1
+	case v > 0 && v < p.n-1 && port == 1:
+		return v - 1
+	default:
+		panic(fmt.Sprintf("graph: path vertex %d port %d out of range", v, port))
+	}
+}

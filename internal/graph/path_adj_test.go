@@ -1,0 +1,100 @@
+package graph
+
+import "testing"
+
+func TestNewPathRejectsNonPositive(t *testing.T) {
+	for _, n := range []int{-3, 0} {
+		if _, err := NewPath(n); err == nil {
+			t.Errorf("NewPath(%d) succeeded, want error", n)
+		}
+	}
+}
+
+func TestPathStructure(t *testing.T) {
+	p := MustPath(6)
+	if got := p.Degree(0); got != 1 {
+		t.Errorf("Degree(0) = %d, want 1", got)
+	}
+	if got := p.Degree(5); got != 1 {
+		t.Errorf("Degree(5) = %d, want 1", got)
+	}
+	for v := 1; v <= 4; v++ {
+		if got := p.Degree(v); got != 2 {
+			t.Errorf("Degree(%d) = %d, want 2", v, got)
+		}
+	}
+	if got := p.Neighbor(0, 0); got != 1 {
+		t.Errorf("Neighbor(0,0) = %d, want 1", got)
+	}
+	if got := p.Neighbor(5, 0); got != 4 {
+		t.Errorf("Neighbor(5,0) = %d, want 4", got)
+	}
+	if got := p.Neighbor(3, 0); got != 4 {
+		t.Errorf("Neighbor(3,0) = %d, want 4", got)
+	}
+	if got := p.Neighbor(3, 1); got != 2 {
+		t.Errorf("Neighbor(3,1) = %d, want 2", got)
+	}
+}
+
+func TestPathSingleton(t *testing.T) {
+	p := MustPath(1)
+	if p.N() != 1 {
+		t.Fatalf("N = %d", p.N())
+	}
+	if p.Degree(0) != 0 {
+		t.Errorf("Degree(0) = %d, want 0", p.Degree(0))
+	}
+}
+
+func TestNewAdjErrors(t *testing.T) {
+	tests := []struct {
+		name  string
+		n     int
+		edges [][2]int
+	}{
+		{"negativeN", -1, nil},
+		{"outOfRange", 3, [][2]int{{0, 3}}},
+		{"negativeVertex", 3, [][2]int{{-1, 0}}},
+		{"selfLoop", 3, [][2]int{{1, 1}}},
+		{"duplicate", 3, [][2]int{{0, 1}, {1, 0}}},
+	}
+	for _, tt := range tests {
+		if _, err := NewAdj(tt.n, tt.edges); err == nil {
+			t.Errorf("%s: NewAdj succeeded, want error", tt.name)
+		}
+	}
+}
+
+func TestAdjPortsSorted(t *testing.T) {
+	g := MustAdj(5, [][2]int{{4, 0}, {2, 0}, {0, 1}, {3, 0}})
+	want := []int{1, 2, 3, 4}
+	got := Neighbors(g, 0)
+	if len(got) != len(want) {
+		t.Fatalf("Neighbors(0) = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Neighbors(0) = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestAdjCloneIndependent(t *testing.T) {
+	g := MustAdj(3, [][2]int{{0, 1}, {1, 2}})
+	c := g.Clone()
+	g.adj[0][0] = 2 // corrupt the original
+	if c.Neighbor(0, 0) != 1 {
+		t.Error("Clone shares adjacency storage with the original")
+	}
+}
+
+func TestAdjEmptyGraph(t *testing.T) {
+	g := MustAdj(0, nil)
+	if g.N() != 0 {
+		t.Errorf("N = %d, want 0", g.N())
+	}
+	if err := Validate(g); err != nil {
+		t.Errorf("Validate(empty) = %v", err)
+	}
+}

@@ -1,0 +1,197 @@
+// Package ids provides identifier assignments for LOCAL-model executions.
+//
+// In the paper's setting the adversary controls the assignment of distinct
+// identifiers to vertices; every complexity statement is a worst case (or,
+// in the further-work section, an expectation) over these assignments. An
+// Assignment maps vertex index -> identifier; all constructors produce
+// permutations of {0..n-1} (possibly affinely rescaled), which is fully
+// general for comparison-based algorithms and keeps Cole–Vishkin's bit
+// widths honest (IDs fit in ceil(log2 n) bits).
+package ids
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+)
+
+// Assignment maps each vertex index to its identifier. Identifiers must be
+// pairwise distinct and non-negative.
+type Assignment []int
+
+// Errors returned by Validate.
+var (
+	ErrDuplicateID = errors.New("duplicate identifier")
+	ErrNegativeID  = errors.New("negative identifier")
+)
+
+// Identity assigns vertex v the identifier v.
+func Identity(n int) Assignment {
+	a := make(Assignment, n)
+	for v := range a {
+		a[v] = v
+	}
+	return a
+}
+
+// Reversed assigns vertex v the identifier n-1-v, so vertex 0 carries the
+// maximum.
+func Reversed(n int) Assignment {
+	a := make(Assignment, n)
+	for v := range a {
+		a[v] = n - 1 - v
+	}
+	return a
+}
+
+// Random draws a uniformly random permutation of {0..n-1} from rng.
+func Random(n int, rng *rand.Rand) Assignment {
+	return Assignment(rng.Perm(n))
+}
+
+// RandomSparse draws n distinct identifiers uniformly from {0..space-1}.
+// It models the standard LOCAL assumption that identifiers come from a
+// space polynomially (or more) larger than n — the regime in which
+// Cole-Vishkin's bit budget genuinely matters.
+func RandomSparse(n int, space int, rng *rand.Rand) (Assignment, error) {
+	if space < n {
+		return nil, fmt.Errorf("ids: space %d smaller than n=%d", space, n)
+	}
+	a := make(Assignment, 0, n)
+	seen := make(map[int]bool, n)
+	for len(a) < n {
+		id := rng.Intn(space)
+		if seen[id] {
+			continue
+		}
+		seen[id] = true
+		a = append(a, id)
+	}
+	return a, nil
+}
+
+// FromPerm copies perm into an Assignment after validating it.
+func FromPerm(perm []int) (Assignment, error) {
+	a := make(Assignment, len(perm))
+	copy(a, perm)
+	if err := a.Validate(); err != nil {
+		return nil, err
+	}
+	return a, nil
+}
+
+// MaxAt places the maximum identifier n-1 at vertex pos and fills the
+// remaining vertices with 0..n-2 in index order. It is the canonical
+// worst-case instance for the largest-ID problem's maximum vertex.
+func MaxAt(n, pos int) (Assignment, error) {
+	if pos < 0 || pos >= n {
+		return nil, fmt.Errorf("ids: position %d out of range [0,%d)", pos, n)
+	}
+	a := make(Assignment, n)
+	next := 0
+	for v := range a {
+		if v == pos {
+			a[v] = n - 1
+			continue
+		}
+		a[v] = next
+		next++
+	}
+	return a, nil
+}
+
+// BitReversal assigns vertex v the bit-reversal of v within ceil(log2 n)
+// bits, rank-compressed back to a permutation of {0..n-1}. Bit-reversal
+// orders are classic worst cases for divide-and-conquer-style locality and
+// give a deterministic "scrambled" assignment without randomness.
+func BitReversal(n int) Assignment {
+	bits := 0
+	for 1<<bits < n {
+		bits++
+	}
+	type pair struct{ key, v int }
+	pairs := make([]pair, n)
+	for v := 0; v < n; v++ {
+		r := 0
+		for b := 0; b < bits; b++ {
+			if v&(1<<b) != 0 {
+				r |= 1 << (bits - 1 - b)
+			}
+		}
+		pairs[v] = pair{key: r, v: v}
+	}
+	// Rank-compress keys (stable by vertex index) into 0..n-1.
+	a := make(Assignment, n)
+	rank := 0
+	for key := 0; rank < n; key++ {
+		for _, p := range pairs {
+			if p.key == key {
+				a[p.v] = rank
+				rank++
+			}
+		}
+	}
+	return a
+}
+
+// Validate checks distinctness and non-negativity.
+func (a Assignment) Validate() error {
+	seen := make(map[int]int, len(a))
+	for v, id := range a {
+		if id < 0 {
+			return fmt.Errorf("ids: vertex %d: %w (%d)", v, ErrNegativeID, id)
+		}
+		if prev, ok := seen[id]; ok {
+			return fmt.Errorf("ids: vertices %d and %d: %w (%d)", prev, v, ErrDuplicateID, id)
+		}
+		seen[id] = v
+	}
+	return nil
+}
+
+// Clone returns an independent copy.
+func (a Assignment) Clone() Assignment {
+	return append(Assignment(nil), a...)
+}
+
+// MaxID returns the largest identifier, or -1 for an empty assignment.
+func (a Assignment) MaxID() int {
+	max := -1
+	for _, id := range a {
+		if id > max {
+			max = id
+		}
+	}
+	return max
+}
+
+// ArgMax returns the vertex carrying the largest identifier, or -1 for an
+// empty assignment.
+func (a Assignment) ArgMax() int {
+	arg, max := -1, -1
+	for v, id := range a {
+		if id > max {
+			arg, max = v, id
+		}
+	}
+	return arg
+}
+
+// Inverse returns the permutation sending each identifier to its vertex.
+// It must only be called on assignments that are permutations of {0..n-1}.
+func (a Assignment) Inverse() (Assignment, error) {
+	inv := make(Assignment, len(a))
+	for i := range inv {
+		inv[i] = -1
+	}
+	for v, id := range a {
+		if id < 0 || id >= len(a) {
+			return nil, fmt.Errorf("ids: identifier %d outside permutation range [0,%d)", id, len(a))
+		}
+		if inv[id] != -1 {
+			return nil, fmt.Errorf("ids: vertices %d and %d: %w (%d)", inv[id], v, ErrDuplicateID, id)
+		}
+		inv[id] = v
+	}
+	return inv, nil
+}

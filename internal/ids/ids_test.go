@@ -1,0 +1,223 @@
+package ids
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestIdentityAndReversed(t *testing.T) {
+	id := Identity(5)
+	rev := Reversed(5)
+	for v := 0; v < 5; v++ {
+		if id[v] != v {
+			t.Errorf("Identity[%d] = %d", v, id[v])
+		}
+		if rev[v] != 4-v {
+			t.Errorf("Reversed[%d] = %d, want %d", v, rev[v], 4-v)
+		}
+	}
+	if err := id.Validate(); err != nil {
+		t.Errorf("Identity invalid: %v", err)
+	}
+	if err := rev.Validate(); err != nil {
+		t.Errorf("Reversed invalid: %v", err)
+	}
+}
+
+func TestRandomIsPermutation(t *testing.T) {
+	prop := func(seed int64, nRaw uint8) bool {
+		n := int(nRaw) % 100
+		a := Random(n, rand.New(rand.NewSource(seed)))
+		if len(a) != n {
+			return false
+		}
+		return a.Validate() == nil && (n == 0 || a.MaxID() == n-1)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Errorf("Random not a permutation: %v", err)
+	}
+}
+
+func TestRandomDeterministicPerSeed(t *testing.T) {
+	a := Random(50, rand.New(rand.NewSource(42)))
+	b := Random(50, rand.New(rand.NewSource(42)))
+	for v := range a {
+		if a[v] != b[v] {
+			t.Fatalf("same seed produced different permutations at %d", v)
+		}
+	}
+}
+
+func TestRandomSparse(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	a, err := RandomSparse(40, 1<<20, rng)
+	if err != nil {
+		t.Fatalf("RandomSparse: %v", err)
+	}
+	if len(a) != 40 {
+		t.Fatalf("length %d", len(a))
+	}
+	if err := a.Validate(); err != nil {
+		t.Errorf("sparse assignment invalid: %v", err)
+	}
+	for _, id := range a {
+		if id < 0 || id >= 1<<20 {
+			t.Errorf("identifier %d outside space", id)
+		}
+	}
+	if _, err := RandomSparse(10, 5, rng); err == nil {
+		t.Error("space < n accepted")
+	}
+	// space == n degenerates to a permutation.
+	b, err := RandomSparse(12, 12, rng)
+	if err != nil {
+		t.Fatalf("RandomSparse tight: %v", err)
+	}
+	if b.MaxID() != 11 {
+		t.Errorf("tight space MaxID = %d, want 11", b.MaxID())
+	}
+}
+
+func TestFromPerm(t *testing.T) {
+	a, err := FromPerm([]int{2, 0, 1})
+	if err != nil {
+		t.Fatalf("FromPerm valid: %v", err)
+	}
+	if a[0] != 2 {
+		t.Errorf("a[0] = %d", a[0])
+	}
+	if _, err := FromPerm([]int{0, 0, 1}); err == nil {
+		t.Error("FromPerm accepted duplicates")
+	}
+	if _, err := FromPerm([]int{-1, 0}); err == nil {
+		t.Error("FromPerm accepted a negative identifier")
+	}
+}
+
+func TestFromPermCopies(t *testing.T) {
+	src := []int{1, 0, 2}
+	a, err := FromPerm(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src[0] = 99
+	if a[0] != 1 {
+		t.Error("FromPerm did not copy its input")
+	}
+}
+
+func TestMaxAt(t *testing.T) {
+	for _, pos := range []int{0, 3, 6} {
+		a, err := MaxAt(7, pos)
+		if err != nil {
+			t.Fatalf("MaxAt(7,%d): %v", pos, err)
+		}
+		if err := a.Validate(); err != nil {
+			t.Fatalf("MaxAt(7,%d) invalid: %v", pos, err)
+		}
+		if a.ArgMax() != pos {
+			t.Errorf("MaxAt(7,%d).ArgMax = %d", pos, a.ArgMax())
+		}
+		if a.MaxID() != 6 {
+			t.Errorf("MaxAt(7,%d).MaxID = %d", pos, a.MaxID())
+		}
+	}
+	if _, err := MaxAt(5, 5); err == nil {
+		t.Error("MaxAt out-of-range position accepted")
+	}
+	if _, err := MaxAt(5, -1); err == nil {
+		t.Error("MaxAt negative position accepted")
+	}
+}
+
+func TestBitReversalIsPermutation(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 8, 15, 16, 17, 100} {
+		a := BitReversal(n)
+		if len(a) != n {
+			t.Fatalf("BitReversal(%d) has length %d", n, len(a))
+		}
+		if err := a.Validate(); err != nil {
+			t.Errorf("BitReversal(%d) invalid: %v", n, err)
+		}
+		if n > 0 && a.MaxID() != n-1 {
+			t.Errorf("BitReversal(%d).MaxID = %d", n, a.MaxID())
+		}
+	}
+}
+
+func TestBitReversalScrambles(t *testing.T) {
+	a := BitReversal(16)
+	// Vertex 1 (binary 0001) reverses to 1000 = 8.
+	if a[1] != 8 {
+		t.Errorf("BitReversal(16)[1] = %d, want 8", a[1])
+	}
+	if a[0] != 0 {
+		t.Errorf("BitReversal(16)[0] = %d, want 0", a[0])
+	}
+}
+
+func TestValidateCatchesDuplicates(t *testing.T) {
+	bad := Assignment{3, 1, 3}
+	if err := bad.Validate(); err == nil {
+		t.Error("Validate accepted duplicate IDs")
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	a := Identity(4)
+	c := a.Clone()
+	a[0] = 99
+	if c[0] != 0 {
+		t.Error("Clone shares storage")
+	}
+}
+
+func TestArgMaxAndMaxIDEmpty(t *testing.T) {
+	var a Assignment
+	if a.MaxID() != -1 || a.ArgMax() != -1 {
+		t.Errorf("empty assignment: MaxID=%d ArgMax=%d, want -1,-1", a.MaxID(), a.ArgMax())
+	}
+}
+
+func TestInverse(t *testing.T) {
+	a := Assignment{2, 0, 1}
+	inv, err := a.Inverse()
+	if err != nil {
+		t.Fatalf("Inverse: %v", err)
+	}
+	for v, id := range a {
+		if inv[id] != v {
+			t.Errorf("Inverse[%d] = %d, want %d", id, inv[id], v)
+		}
+	}
+	if _, err := (Assignment{0, 5}).Inverse(); err == nil {
+		t.Error("Inverse accepted an out-of-range identifier")
+	}
+	if _, err := (Assignment{0, 0}).Inverse(); err == nil {
+		t.Error("Inverse accepted duplicates")
+	}
+}
+
+func TestInverseRoundTrip(t *testing.T) {
+	prop := func(seed int64) bool {
+		a := Random(40, rand.New(rand.NewSource(seed)))
+		inv, err := a.Inverse()
+		if err != nil {
+			return false
+		}
+		back, err := inv.Inverse()
+		if err != nil {
+			return false
+		}
+		for v := range a {
+			if back[v] != a[v] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 30}); err != nil {
+		t.Errorf("Inverse not an involution: %v", err)
+	}
+}

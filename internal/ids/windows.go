@@ -1,0 +1,62 @@
+package ids
+
+import "fmt"
+
+// Rotate returns the assignment shifted so that vertex v gets the identifier
+// previously held by vertex (v+k) mod n. Rotating an assignment of a cycle
+// by k moves every ID window k positions counter-clockwise, preserving all
+// radius-r views up to position.
+func (a Assignment) Rotate(k int) Assignment {
+	n := len(a)
+	if n == 0 {
+		return Assignment{}
+	}
+	k = ((k % n) + n) % n
+	out := make(Assignment, n)
+	for v := range out {
+		out[v] = a[(v+k)%n]
+	}
+	return out
+}
+
+// Window extracts the identifiers of the 2r+1 consecutive cycle positions
+// centred at vertex v: positions v-r .. v+r (mod n), in clockwise order.
+// It is the "slice of identifiers" operation from the proof of Theorem 1.
+func (a Assignment) Window(v, r int) ([]int, error) {
+	n := len(a)
+	if n == 0 {
+		return nil, fmt.Errorf("ids: window of empty assignment")
+	}
+	if r < 0 {
+		return nil, fmt.Errorf("ids: negative window radius %d", r)
+	}
+	if 2*r+1 > n {
+		return nil, fmt.Errorf("ids: window 2*%d+1 exceeds n=%d", r, n)
+	}
+	out := make([]int, 0, 2*r+1)
+	for d := -r; d <= r; d++ {
+		out = append(out, a[((v+d)%n+n)%n])
+	}
+	return out, nil
+}
+
+// FromWindows builds an assignment of length n by laying out the given
+// identifier windows one after another starting at vertex 0, and then the
+// rest slice for the remaining positions. It returns an error if the total
+// length differs from n or the result is not a valid assignment. This is the
+// concatenation step of the permutation pi constructed in the proof of
+// Theorem 1.
+func FromWindows(n int, windows [][]int, rest []int) (Assignment, error) {
+	a := make(Assignment, 0, n)
+	for _, w := range windows {
+		a = append(a, w...)
+	}
+	a = append(a, rest...)
+	if len(a) != n {
+		return nil, fmt.Errorf("ids: windows+rest cover %d positions, want %d", len(a), n)
+	}
+	if err := a.Validate(); err != nil {
+		return nil, err
+	}
+	return a, nil
+}

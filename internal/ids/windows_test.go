@@ -1,0 +1,151 @@
+package ids
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestRotate(t *testing.T) {
+	a := Assignment{10, 11, 12, 13, 14}
+	r := a.Rotate(2)
+	want := Assignment{12, 13, 14, 10, 11}
+	for v := range want {
+		if r[v] != want[v] {
+			t.Fatalf("Rotate(2) = %v, want %v", r, want)
+		}
+	}
+}
+
+func TestRotateNegativeAndWraparound(t *testing.T) {
+	a := Assignment{0, 1, 2, 3}
+	cases := []struct{ k, at, want int }{
+		{-1, 0, 3},
+		{4, 1, 1},
+		{5, 0, 1},
+		{-4, 2, 2},
+	}
+	for _, c := range cases {
+		if got := a.Rotate(c.k)[c.at]; got != c.want {
+			t.Errorf("Rotate(%d)[%d] = %d, want %d", c.k, c.at, got, c.want)
+		}
+	}
+}
+
+func TestRotateEmpty(t *testing.T) {
+	var a Assignment
+	if got := a.Rotate(3); len(got) != 0 {
+		t.Errorf("Rotate of empty = %v", got)
+	}
+}
+
+func TestRotatePreservesValidity(t *testing.T) {
+	prop := func(seed int64, kRaw uint8) bool {
+		a := Random(30, rand.New(rand.NewSource(seed)))
+		return a.Rotate(int(kRaw)).Validate() == nil
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 30}); err != nil {
+		t.Errorf("Rotate broke validity: %v", err)
+	}
+}
+
+func TestWindow(t *testing.T) {
+	a := Assignment{0, 1, 2, 3, 4, 5, 6}
+	w, err := a.Window(3, 2)
+	if err != nil {
+		t.Fatalf("Window: %v", err)
+	}
+	want := []int{1, 2, 3, 4, 5}
+	for i := range want {
+		if w[i] != want[i] {
+			t.Fatalf("Window = %v, want %v", w, want)
+		}
+	}
+}
+
+func TestWindowWrapsAround(t *testing.T) {
+	a := Assignment{0, 1, 2, 3, 4}
+	w, err := a.Window(0, 1)
+	if err != nil {
+		t.Fatalf("Window: %v", err)
+	}
+	want := []int{4, 0, 1}
+	for i := range want {
+		if w[i] != want[i] {
+			t.Fatalf("Window wrap = %v, want %v", w, want)
+		}
+	}
+}
+
+func TestWindowErrors(t *testing.T) {
+	a := Assignment{0, 1, 2}
+	if _, err := a.Window(0, -1); err == nil {
+		t.Error("negative radius accepted")
+	}
+	if _, err := a.Window(0, 2); err == nil {
+		t.Error("oversized window accepted")
+	}
+	var empty Assignment
+	if _, err := empty.Window(0, 0); err == nil {
+		t.Error("window of empty assignment accepted")
+	}
+}
+
+func TestFromWindows(t *testing.T) {
+	a, err := FromWindows(6, [][]int{{3, 4}, {0, 5}}, []int{1, 2})
+	if err != nil {
+		t.Fatalf("FromWindows: %v", err)
+	}
+	want := Assignment{3, 4, 0, 5, 1, 2}
+	for v := range want {
+		if a[v] != want[v] {
+			t.Fatalf("FromWindows = %v, want %v", a, want)
+		}
+	}
+}
+
+func TestFromWindowsErrors(t *testing.T) {
+	if _, err := FromWindows(4, [][]int{{0, 1}}, []int{2}); err == nil {
+		t.Error("short cover accepted")
+	}
+	if _, err := FromWindows(3, [][]int{{0, 1}}, []int{1}); err == nil {
+		t.Error("duplicate IDs across windows accepted")
+	}
+}
+
+// TestWindowTransplantPreservesWindow checks the slice-transplant identity
+// the Theorem 1 construction relies on: extracting a window and re-laying it
+// at the start of a fresh permutation places the same identifiers around the
+// new centre.
+func TestWindowTransplantPreservesWindow(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	a := Random(21, rng)
+	const r = 3
+	w, err := a.Window(10, r)
+	if err != nil {
+		t.Fatalf("Window: %v", err)
+	}
+	used := make(map[int]bool, len(w))
+	for _, id := range w {
+		used[id] = true
+	}
+	var rest []int
+	for _, id := range a {
+		if !used[id] {
+			rest = append(rest, id)
+		}
+	}
+	pi, err := FromWindows(len(a), [][]int{w}, rest)
+	if err != nil {
+		t.Fatalf("FromWindows: %v", err)
+	}
+	got, err := pi.Window(r, r) // centre of the transplanted window
+	if err != nil {
+		t.Fatalf("Window on pi: %v", err)
+	}
+	for i := range w {
+		if got[i] != w[i] {
+			t.Fatalf("transplanted window = %v, want %v", got, w)
+		}
+	}
+}

@@ -1,0 +1,299 @@
+// Package linial implements the combinatorial core of Linial's lower bound
+// [Linial 1992], which Theorem 1 of the paper uses as a black box: the
+// NEIGHBOURHOOD GRAPH N_r(s) of the oriented ring. Its vertices are the
+// possible radius-r views (ordered (2r+1)-tuples of distinct identifiers
+// from {0..s-1}); two views are adjacent when they can occur at adjacent
+// ring vertices (they overlap in 2r identifiers). A radius-r algorithm
+// that k-colours every ring with identifiers from [s] IS a proper
+// k-colouring of N_r(s) — so deciding the chromatic number of N_r(s)
+// decides exactly how much radius a k-colouring needs.
+//
+// The package builds N_r(s) explicitly and decides k-colourability by
+// exact backtracking, yielding machine-checked impossibility certificates:
+// "no radius-r 3-colouring algorithm exists for identifier space s".
+package linial
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/graph"
+)
+
+// MaxViews caps the neighbourhood-graph size (number of views) to keep the
+// construction and the exact search tractable.
+const MaxViews = 200000
+
+// NeighborhoodGraph builds N_r(s) together with the view tuple of each
+// vertex. Views are ordered tuples (x_-r, ..., x_0, ..., x_r) of distinct
+// identifiers read clockwise; vertex i of the result corresponds to
+// views[i].
+//
+// The adjacency models rings of length at least 2r+2 (so that 2r+2
+// consecutive ring vertices carry distinct identifiers) — the standard
+// Linial object. Rings of length exactly 2r+1 are NOT encoded: a radius-r
+// view there is closed (the node sees the whole ring) and is therefore
+// distinguishable from every open window; TableAlgorithm handles that case
+// by a canonical full-view rule instead of the lookup table.
+func NeighborhoodGraph(s, r int) (*graph.Adj, [][]int, error) {
+	if r < 0 {
+		return nil, nil, fmt.Errorf("linial: negative radius %d", r)
+	}
+	w := 2*r + 1
+	if s < w+1 {
+		// A ring long enough to make all views realisable needs at least
+		// w+1 distinct identifiers; below that N_r(s) is degenerate.
+		return nil, nil, fmt.Errorf("linial: identifier space %d too small for window %d", s, w)
+	}
+	count := 1
+	for i := 0; i < w; i++ {
+		count *= s - i
+		if count > MaxViews {
+			return nil, nil, fmt.Errorf("linial: N_%d(%d) exceeds the %d-view cap", r, s, MaxViews)
+		}
+	}
+	views := enumerateTuples(s, w)
+	index := make(map[string]int, len(views))
+	for i, v := range views {
+		index[tupleKey(v)] = i
+	}
+	seen := make(map[[2]int]bool)
+	addEdge := func(i, j int) {
+		if i == j {
+			return
+		}
+		if i > j {
+			i, j = j, i
+		}
+		seen[[2]int{i, j}] = true
+	}
+	suffix := make([]int, w)
+	for i, v := range views {
+		// Rings longer than the window: successor views share the last 2r
+		// identifiers of v as their first 2r; the appended identifier is
+		// fresh within the (2r+2)-window (2r+2 consecutive ring vertices
+		// are distinct on such rings).
+		copy(suffix, v[1:])
+		for d := 0; d < s; d++ {
+			if contains(v, d) {
+				continue
+			}
+			suffix[w-1] = d
+			if j, ok := index[tupleKey(suffix)]; ok {
+				addEdge(i, j)
+			}
+		}
+	}
+	edges := make([][2]int, 0, len(seen))
+	for e := range seen {
+		edges = append(edges, e)
+	}
+	sortEdges(edges)
+	g, err := graph.NewAdj(len(views), edges)
+	if err != nil {
+		return nil, nil, err
+	}
+	return g, views, nil
+}
+
+// enumerateTuples lists all ordered w-tuples of distinct values below s in
+// lexicographic order.
+func enumerateTuples(s, w int) [][]int {
+	var out [][]int
+	tuple := make([]int, 0, w)
+	used := make([]bool, s)
+	var rec func()
+	rec = func() {
+		if len(tuple) == w {
+			out = append(out, append([]int(nil), tuple...))
+			return
+		}
+		for v := 0; v < s; v++ {
+			if used[v] {
+				continue
+			}
+			used[v] = true
+			tuple = append(tuple, v)
+			rec()
+			tuple = tuple[:len(tuple)-1]
+			used[v] = false
+		}
+	}
+	rec()
+	return out
+}
+
+func tupleKey(t []int) string {
+	key := make([]byte, 0, 2*len(t))
+	for _, v := range t {
+		key = append(key, byte(v), ':')
+	}
+	return string(key)
+}
+
+func contains(t []int, v int) bool {
+	for _, x := range t {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+// sortEdges orders the deduplicated edge set deterministically.
+func sortEdges(edges [][2]int) {
+	sort.Slice(edges, func(a, b int) bool {
+		if edges[a][0] != edges[b][0] {
+			return edges[a][0] < edges[b][0]
+		}
+		return edges[a][1] < edges[b][1]
+	})
+}
+
+// SearchBudget caps the number of backtracking steps in IsKColorable.
+const SearchBudget = 50_000_000
+
+// ErrBudget indicates the exact search exceeded its step budget without a
+// verdict.
+var ErrBudget = fmt.Errorf("linial: colourability search budget exhausted")
+
+// IsKColorable decides by exact DSATUR-style backtracking whether g admits
+// a proper k-colouring, returning the colouring when one exists. At every
+// step the most colour-constrained uncoloured vertex is branched on
+// (saturated vertices force or fail immediately), and colour symmetry is
+// broken by never introducing colour c before colours 0..c-1 have been
+// used.
+func IsKColorable(g *graph.Adj, k int) (bool, []int, error) {
+	n := g.N()
+	if k >= 31 {
+		return false, nil, fmt.Errorf("linial: k=%d too large for the bitmask solver", k)
+	}
+	colours := make([]int, n)
+	forbidden := make([]uint32, n) // bitmask of neighbour colours
+	for i := range colours {
+		colours[i] = -1
+	}
+	full := uint32(1)<<uint(k) - 1
+	steps := 0
+
+	var rec func(coloured, maxUsed int) (bool, error)
+	rec = func(coloured, maxUsed int) (bool, error) {
+		if coloured == n {
+			return true, nil
+		}
+		steps++
+		if steps > SearchBudget {
+			return false, ErrBudget
+		}
+		// Most-saturated uncoloured vertex; ties by degree.
+		best, bestSat := -1, -1
+		for v := 0; v < n; v++ {
+			if colours[v] >= 0 {
+				continue
+			}
+			sat := popcount(forbidden[v] & full)
+			if sat > bestSat || (sat == bestSat && best >= 0 && g.Degree(v) > g.Degree(best)) {
+				best, bestSat = v, sat
+			}
+		}
+		v := best
+		// Symmetry breaking: allow at most one brand-new colour.
+		limit := maxUsed + 1
+		if limit >= k {
+			limit = k - 1
+		}
+		for c := 0; c <= limit; c++ {
+			if forbidden[v]&(1<<uint(c)) != 0 {
+				continue
+			}
+			colours[v] = c
+			var bumped []int
+			for p := 0; p < g.Degree(v); p++ {
+				w := g.Neighbor(v, p)
+				if forbidden[w]&(1<<uint(c)) == 0 {
+					forbidden[w] |= 1 << uint(c)
+					bumped = append(bumped, w)
+				}
+			}
+			nextMax := maxUsed
+			if c > maxUsed {
+				nextMax = c
+			}
+			done, err := rec(coloured+1, nextMax)
+			if err != nil {
+				return false, err
+			}
+			if done {
+				return true, nil
+			}
+			colours[v] = -1
+			for _, w := range bumped {
+				forbidden[w] &^= 1 << uint(c)
+			}
+		}
+		return false, nil
+	}
+	ok, err := rec(0, -1)
+	if err != nil {
+		return false, nil, err
+	}
+	if !ok {
+		return false, nil, nil
+	}
+	return true, colours, nil
+}
+
+func popcount(x uint32) int {
+	count := 0
+	for x != 0 {
+		x &= x - 1
+		count++
+	}
+	return count
+}
+
+// Verdict is the outcome of a radius-r / ID-space-s feasibility question.
+type Verdict struct {
+	S, R   int
+	Views  int
+	Edges  int
+	Usable bool // a radius-r 3-colouring algorithm exists for ID space s
+}
+
+// ThreeColorable reports whether a radius-r 3-colouring algorithm exists
+// for identifier space s, by deciding the 3-colourability of N_r(s).
+func ThreeColorable(s, r int) (Verdict, error) {
+	g, views, err := NeighborhoodGraph(s, r)
+	if err != nil {
+		return Verdict{}, err
+	}
+	ok, colouring, err := IsKColorable(g, 3)
+	if err != nil {
+		return Verdict{}, err
+	}
+	if ok {
+		// Double-check the witness before reporting feasibility.
+		for _, e := range graph.Edges(g) {
+			if colouring[e[0]] == colouring[e[1]] {
+				return Verdict{}, fmt.Errorf("linial: invalid colouring witness")
+			}
+		}
+	}
+	return Verdict{S: s, R: r, Views: len(views), Edges: graph.NumEdges(g), Usable: ok}, nil
+}
+
+// SmallestHardSpace returns the smallest identifier space s in
+// [minS, maxS] for which NO radius-r 3-colouring algorithm exists, or
+// ok=false if every s in range is still colourable.
+func SmallestHardSpace(r, minS, maxS int) (int, bool, error) {
+	for s := minS; s <= maxS; s++ {
+		v, err := ThreeColorable(s, r)
+		if err != nil {
+			return 0, false, err
+		}
+		if !v.Usable {
+			return s, true, nil
+		}
+	}
+	return 0, false, nil
+}

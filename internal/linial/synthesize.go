@@ -1,0 +1,111 @@
+package linial
+
+import (
+	"fmt"
+
+	"repro/internal/algorithms/coloring"
+	"repro/internal/local"
+)
+
+// TableAlgorithm is a 3-colouring algorithm SYNTHESIZED from a proper
+// colouring of the neighbourhood graph: every radius-r window of distinct
+// identifiers below S is mapped to its colour by table lookup. By
+// construction it is correct on every ring of length >= 2r+1 whose
+// identifiers are below S, and it decides at radius exactly r at every
+// vertex — the minimum any algorithm can achieve for that identifier
+// space. This is the paper's "minimal algorithm" notion made concrete:
+// Theorem 1's proof quantifies over algorithms none of which can beat
+// these tables on average.
+type TableAlgorithm struct {
+	s, r  int
+	table map[string]int
+}
+
+var _ local.ViewAlgorithm = (*TableAlgorithm)(nil)
+
+// Synthesize builds a radius-r 3-colouring table for identifier space s by
+// 3-colouring N_r(s) exactly. It fails if no such algorithm exists (the
+// neighbourhood graph is not 3-colourable) or the exact search exceeds its
+// budget.
+func Synthesize(s, r int) (*TableAlgorithm, error) {
+	g, views, err := NeighborhoodGraph(s, r)
+	if err != nil {
+		return nil, err
+	}
+	ok, colours, err := IsKColorable(g, 3)
+	if err != nil {
+		return nil, err
+	}
+	if !ok {
+		return nil, fmt.Errorf("linial: no radius-%d 3-colouring algorithm exists for identifier space %d", r, s)
+	}
+	table := make(map[string]int, len(views))
+	for i, view := range views {
+		table[tupleKey(view)] = colours[i]
+	}
+	return &TableAlgorithm{s: s, r: r, table: table}, nil
+}
+
+// Radius reports the fixed decision radius of the table.
+func (ta *TableAlgorithm) Radius() int { return ta.r }
+
+// Name implements local.ViewAlgorithm.
+func (ta *TableAlgorithm) Name() string {
+	return fmt.Sprintf("linial/table(s=%d,r=%d)", ta.s, ta.r)
+}
+
+// Decide looks the centre's radius-r identifier window up in the table.
+// On rings so short that the view closes within radius r (length <=
+// 2r+1), every vertex switches to the canonical full-view greedy rule —
+// consistently, since closure happens at the same radius ring-wide.
+// Identifiers outside the synthesis space make the node undecidable (the
+// engine's radius cap will report it) — the table's contract is rings with
+// identifiers below S.
+func (ta *TableAlgorithm) Decide(v local.View) (int, bool) {
+	if v.Closed(2) && v.Radius() <= ta.r {
+		// Ring of length <= 2r+2 that closed within the table radius:
+		// every vertex reaches this branch at the same radius, so the
+		// canonical full-view rule is applied consistently ring-wide.
+		return coloring.FullViewGreedy{}.Decide(v)
+	}
+	if v.Radius() < ta.r {
+		return 0, false
+	}
+	window, ok := ringWindow(v, ta.r)
+	if !ok {
+		return 0, false
+	}
+	colour, found := ta.table[tupleKey(window)]
+	if !found {
+		return 0, false
+	}
+	return colour, true
+}
+
+// ringWindow reads the identifiers at ring offsets -r..r around the viewing
+// vertex, in clockwise order, using the oriented-ring port convention. Only
+// interior rows of the view are followed, which a radius >= r view of a
+// ring always provides.
+func ringWindow(v local.View, r int) ([]int, bool) {
+	window := make([]int, 2*r+1)
+	window[r] = v.CenterID()
+	cur := 0
+	for i := 1; i <= r; i++ {
+		row := v.Neighbors(cur)
+		if len(row) < 2 {
+			return nil, false
+		}
+		cur = row[0] // successor
+		window[r+i] = v.ID(cur)
+	}
+	cur = 0
+	for i := 1; i <= r; i++ {
+		row := v.Neighbors(cur)
+		if len(row) < 2 {
+			return nil, false
+		}
+		cur = row[1] // predecessor
+		window[r-i] = v.ID(cur)
+	}
+	return window, true
+}

@@ -1,0 +1,127 @@
+package linial
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/ids"
+	"repro/internal/local"
+	"repro/internal/problems"
+)
+
+func TestSynthesizeRadiusOne(t *testing.T) {
+	// s=6 is the LARGEST identifier space admitting a radius-1 3-colouring
+	// (see TestRadiusOneThreshold). The synthesized table must colour
+	// every ring of length 3..6 with identifiers below 6, at radius
+	// exactly 1 on every open-window ring.
+	ta, err := Synthesize(6, 1)
+	if err != nil {
+		t.Fatalf("Synthesize: %v", err)
+	}
+	if ta.Radius() != 1 {
+		t.Fatalf("Radius = %d", ta.Radius())
+	}
+	for n := 3; n <= 6; n++ {
+		c := graph.MustCycle(n)
+		perm := make([]int, n)
+		for i := range perm {
+			perm[i] = i
+		}
+		var rec func(k int)
+		rec = func(k int) {
+			if k == n {
+				a, err := ids.FromPerm(perm)
+				if err != nil {
+					t.Fatal(err)
+				}
+				res, err := local.RunView(c, a, ta)
+				if err != nil {
+					t.Fatalf("n=%d perm %v: %v", n, perm, err)
+				}
+				if err := (problems.Coloring{K: 3}).Verify(c, a, res.Outputs); err != nil {
+					t.Fatalf("n=%d perm %v: %v", n, perm, err)
+				}
+				if res.MaxRadius() > 1 {
+					t.Fatalf("n=%d perm %v: max radius %d, want <= 1", n, perm, res.MaxRadius())
+				}
+				return
+			}
+			for i := k; i < n; i++ {
+				perm[k], perm[i] = perm[i], perm[k]
+				rec(k + 1)
+				perm[k], perm[i] = perm[i], perm[k]
+			}
+		}
+		rec(0)
+	}
+}
+
+func TestSynthesizeRejectsInfeasible(t *testing.T) {
+	// Radius 0 with 4 identifiers is provably impossible (N_0(4) = K_4),
+	// and radius 1 with 7 identifiers is the exact radius-1 threshold.
+	if _, err := Synthesize(4, 0); err == nil {
+		t.Fatal("impossible radius-0 synthesis succeeded")
+	}
+	if _, err := Synthesize(7, 1); err == nil {
+		t.Fatal("impossible radius-1 synthesis succeeded for s=7")
+	}
+}
+
+func TestSynthesizeRadiusZeroTinySpace(t *testing.T) {
+	// With only 3 identifiers the only rings are C_3 relabelings and a
+	// radius-0 table works.
+	ta, err := Synthesize(3, 0)
+	if err != nil {
+		t.Fatalf("Synthesize(3,0): %v", err)
+	}
+	c := graph.MustCycle(3)
+	a := ids.Identity(3)
+	res, err := local.RunView(c, a, ta)
+	if err != nil {
+		t.Fatalf("RunView: %v", err)
+	}
+	if err := (problems.Coloring{K: 3}).Verify(c, a, res.Outputs); err != nil {
+		t.Errorf("radius-0 table colouring invalid: %v", err)
+	}
+}
+
+func TestTableAlgorithmOutOfSpaceUndecidable(t *testing.T) {
+	ta, err := Synthesize(5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// n=6 brings identifier 5 into play, outside the synthesis space, on a
+	// ring too long for the closed-view fallback: the engine must report
+	// the violation instead of mis-colouring.
+	c := graph.MustCycle(6)
+	if _, err := local.RunView(c, ids.Identity(6), ta); err == nil {
+		t.Error("out-of-space identifiers silently accepted")
+	}
+}
+
+// TestSynthesizedBeatsColeVishkin pins the radius comparison: the table
+// decides at radius 1 where Cole-Vishkin needs its full k+3 schedule — the
+// synthesized table is a MINIMAL algorithm in the paper's sense for its
+// identifier space.
+func TestSynthesizedBeatsColeVishkin(t *testing.T) {
+	ta, err := Synthesize(6, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// n=6 has closure radius 3 > 1: pure window lookups everywhere.
+	c := graph.MustCycle(6)
+	a, err := ids.FromPerm([]int{3, 0, 4, 1, 5, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := local.RunView(c, a, ta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := (problems.Coloring{K: 3}).Verify(c, a, res.Outputs); err != nil {
+		t.Fatalf("colouring invalid: %v", err)
+	}
+	if res.MaxRadius() != 1 || res.AvgRadius() != 1 {
+		t.Errorf("table: max=%d avg=%v, want 1/1", res.MaxRadius(), res.AvgRadius())
+	}
+}

@@ -1,0 +1,207 @@
+package local
+
+import (
+	"repro/internal/graph"
+)
+
+// Gather adapts a ViewAlgorithm to the message engine by full-information
+// flooding: every node broadcasts everything it knows each round and
+// reconstructs its induced ball from the accumulated knowledge. This is the
+// textbook equivalence between the two formulations of the LOCAL model.
+//
+// Round accounting: after t rounds of flooding a node knows the identifier
+// and degree of every vertex at distance <= t and the adjacency of every
+// vertex at distance <= t-1, which is exactly what is needed to reconstruct
+// the induced, degree-annotated ball of radius t-1. A view decision at
+// radius r >= 1 therefore lands at round r+1, and a radius-0 decision at
+// round 0; the cross-engine tests pin this offset down. The +1 is a
+// convention cost (a frontier vertex's own adjacency travels one extra hop)
+// with no effect on any asymptotic statement.
+type Gather struct {
+	alg ViewAlgorithm
+}
+
+var _ MessageAlgorithm = (*Gather)(nil)
+
+// NewGather wraps a view algorithm for execution on the message engine.
+func NewGather(alg ViewAlgorithm) *Gather {
+	return &Gather{alg: alg}
+}
+
+// Name reports the wrapped algorithm's name with a gather() prefix.
+func (g *Gather) Name() string { return "gather(" + g.alg.Name() + ")" }
+
+// NewNode creates the flooding state machine for one vertex.
+func (g *Gather) NewNode(id, degree int) MessageNode {
+	n := &gatherNode{
+		alg:    g.alg,
+		ownID:  id,
+		degree: degree,
+		know:   make(map[int]record),
+	}
+	n.know[id] = record{Deg: degree}
+	return n
+}
+
+// record is one vertex's flooded state: its degree (known as soon as the
+// vertex is) and its adjacency list in port order (known one round later;
+// nil until then). Adjacency slices are write-once and shared freely.
+type record struct {
+	Deg int
+	Adj []int
+}
+
+// announce is the round-1 message: a vertex's identifier and degree.
+type announce struct {
+	ID  int
+	Deg int
+}
+
+type gatherNode struct {
+	alg    ViewAlgorithm
+	ownID  int
+	degree int
+	round  int
+	know   map[int]record
+
+	out     int
+	decided bool
+}
+
+var _ MessageNode = (*gatherNode)(nil)
+
+// Init tries the radius-0 view and announces the node's identifier and
+// degree to all neighbours.
+func (n *gatherNode) Init() []any {
+	n.tryDecide(0)
+	msgs := make([]any, n.degree)
+	for p := range msgs {
+		msgs[p] = announce{ID: n.ownID, Deg: n.degree}
+	}
+	return msgs
+}
+
+// Round merges received knowledge, attempts a decision on the now-complete
+// induced ball of radius round-1, and rebroadcasts a frozen snapshot.
+func (n *gatherNode) Round(recv []any) []any {
+	n.round++
+	if n.round == 1 {
+		// First exchange: neighbours' announcements, in port order. This
+		// completes the node's own adjacency list.
+		own := make([]int, n.degree)
+		for p, m := range recv {
+			ann, ok := m.(announce)
+			if !ok {
+				panic("local: gather round-1 message is not an announcement")
+			}
+			own[p] = ann.ID
+			if _, known := n.know[ann.ID]; !known {
+				n.know[ann.ID] = record{Deg: ann.Deg}
+			}
+		}
+		rec := n.know[n.ownID]
+		rec.Adj = own
+		n.know[n.ownID] = rec
+	} else {
+		for _, m := range recv {
+			snapshot, ok := m.(map[int]record)
+			if !ok {
+				panic("local: gather message is not a knowledge snapshot")
+			}
+			for id, rec := range snapshot {
+				prev, known := n.know[id]
+				if !known || (prev.Adj == nil && rec.Adj != nil) {
+					n.know[id] = rec
+				}
+			}
+		}
+	}
+	if !n.decided {
+		n.tryDecide(n.round - 1)
+	}
+	// Freeze a snapshot: copy the map, share the write-once rows.
+	snapshot := make(map[int]record, len(n.know))
+	for id, rec := range n.know {
+		snapshot[id] = rec
+	}
+	msgs := make([]any, n.degree)
+	for p := range msgs {
+		msgs[p] = snapshot
+	}
+	return msgs
+}
+
+// Output reports the wrapped algorithm's decision.
+func (n *gatherNode) Output() (int, bool) { return n.out, n.decided }
+
+// tryDecide reconstructs the induced ball of radius r from the knowledge
+// map and runs the wrapped view algorithm on it.
+func (n *gatherNode) tryDecide(r int) {
+	view, ok := n.reconstruct(r)
+	if !ok {
+		return
+	}
+	if out, done := n.alg.Decide(view); done {
+		n.out = out
+		n.decided = true
+	}
+}
+
+// reconstruct builds the induced, degree-annotated ball of radius r (in the
+// same BFS/port discovery order as the view engine) purely from
+// identifiers. It reports false if some required knowledge is still missing.
+func (n *gatherNode) reconstruct(r int) (View, bool) {
+	idsInOrder := []int{n.ownID}
+	dist := []int{0}
+	localOf := map[int]int{n.ownID: 0}
+	for head := 0; head < len(idsInOrder); head++ {
+		if dist[head] == r {
+			continue
+		}
+		rec, ok := n.know[idsInOrder[head]]
+		if !ok || rec.Adj == nil {
+			return View{}, false
+		}
+		for _, w := range rec.Adj {
+			if _, seen := localOf[w]; !seen {
+				localOf[w] = len(idsInOrder)
+				idsInOrder = append(idsInOrder, w)
+				dist = append(dist, dist[head]+1)
+			}
+		}
+	}
+	adj := make([][]int, len(idsInOrder))
+	degrees := make([]int, len(idsInOrder))
+	for i, id := range idsInOrder {
+		rec, ok := n.know[id]
+		if !ok {
+			return View{}, false
+		}
+		degrees[i] = rec.Deg
+		if rec.Adj == nil {
+			if r == 0 {
+				// The radius-0 view has no edges.
+				continue
+			}
+			return View{}, false
+		}
+		for _, w := range rec.Adj {
+			if j, seen := localOf[w]; seen {
+				adj[i] = append(adj[i], j)
+			}
+		}
+	}
+	frontier := len(idsInOrder)
+	for i, d := range dist {
+		if d == r {
+			frontier = i
+			break
+		}
+	}
+	verts := make([]int, len(idsInOrder))
+	for i := range verts {
+		verts[i] = i // synthetic names; algorithms must not use them
+	}
+	ball := &graph.Ball{Radius: r, Verts: verts, Dist: dist, Adj: adj}
+	return View{ball: ball, ids: idsInOrder, degrees: degrees, frontierStart: frontier}, true
+}

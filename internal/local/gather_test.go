@@ -1,0 +1,103 @@
+package local
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/ids"
+)
+
+// TestGatherEquivalence is the engine-equivalence theorem in executable
+// form: for any view algorithm, the message engine running the gather
+// adapter produces identical outputs, and decision rounds equal decision
+// radii shifted by the documented +1 convention offset (radius 0 stays 0).
+func TestGatherEquivalence(t *testing.T) {
+	algs := []ViewAlgorithm{
+		echoAlg{},
+		waitAlg{k: 2},
+		maxInCycleAlg{},
+	}
+	gs := map[string]graph.Graph{
+		"C7":  graph.MustCycle(7),
+		"C12": graph.MustCycle(12),
+	}
+	for gname, g := range gs {
+		a := ids.Random(g.N(), rand.New(rand.NewSource(17)))
+		for _, alg := range algs {
+			view, err := RunView(g, a, alg)
+			if err != nil {
+				t.Fatalf("%s/%s: RunView: %v", gname, alg.Name(), err)
+			}
+			msg, err := RunMessage(g, a, NewGather(alg))
+			if err != nil {
+				t.Fatalf("%s/%s: RunMessage: %v", gname, alg.Name(), err)
+			}
+			for v := 0; v < g.N(); v++ {
+				if view.Outputs[v] != msg.Outputs[v] {
+					t.Errorf("%s/%s: vertex %d outputs differ: view %d, msg %d",
+						gname, alg.Name(), v, view.Outputs[v], msg.Outputs[v])
+				}
+				want := view.Radii[v]
+				if want > 0 {
+					want++
+				}
+				if msg.Radii[v] != want {
+					t.Errorf("%s/%s: vertex %d rounds = %d, want %d (radius %d)",
+						gname, alg.Name(), v, msg.Radii[v], want, view.Radii[v])
+				}
+			}
+		}
+	}
+}
+
+// TestGatherOnNonRegular runs the adapter on a path, where degrees differ
+// and the reconstruction must respect per-vertex port counts.
+func TestGatherOnNonRegular(t *testing.T) {
+	p := graph.MustPath(6)
+	a := ids.Reversed(6)
+	// seesEndpoint decides once its view contains a degree-1 vertex or is
+	// closed; on a path every vertex decides at its distance to the nearer
+	// endpoint.
+	alg := seesEndpointAlg{}
+	view, err := RunView(p, a, alg)
+	if err != nil {
+		t.Fatalf("RunView: %v", err)
+	}
+	msg, err := RunMessage(p, a, NewGather(alg))
+	if err != nil {
+		t.Fatalf("RunMessage: %v", err)
+	}
+	for v := 0; v < 6; v++ {
+		near := v
+		if 5-v < near {
+			near = 5 - v
+		}
+		if view.Radii[v] != near {
+			t.Errorf("view radius[%d] = %d, want %d", v, view.Radii[v], near)
+		}
+		want := view.Radii[v]
+		if want > 0 {
+			want++
+		}
+		if msg.Radii[v] != want {
+			t.Errorf("msg round[%d] = %d, want %d", v, msg.Radii[v], want)
+		}
+	}
+}
+
+// seesEndpointAlg outputs 1 once its view contains a vertex of true degree
+// < 2 — on a path, a vertex decides exactly at its distance to the nearer
+// endpoint (degrees travel with identifiers, so endpoints are recognisable
+// the moment they become visible).
+type seesEndpointAlg struct{}
+
+func (seesEndpointAlg) Name() string { return "seesEndpoint" }
+func (seesEndpointAlg) Decide(v View) (int, bool) {
+	for i := 0; i < v.Size(); i++ {
+		if v.TrueDegree(i) < 2 {
+			return 1, true
+		}
+	}
+	return 0, false
+}

@@ -1,0 +1,232 @@
+package local
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/graph"
+	"repro/internal/ids"
+)
+
+// MessageAlgorithm is a deterministic LOCAL algorithm in the round-based
+// formulation: per-node state machines exchanging (unbounded) messages with
+// their neighbours in synchronous rounds.
+type MessageAlgorithm interface {
+	// Name identifies the algorithm in results and experiment tables.
+	Name() string
+	// NewNode creates the state machine for a vertex with the given
+	// identifier and degree. Nodes know nothing else at start — in
+	// particular they do not know n.
+	NewNode(id, degree int) MessageNode
+}
+
+// MessageNode is one vertex's state machine. The engine drives it as:
+//
+//	msgs := node.Init()            // round-0 knowledge, messages for round 1
+//	check node.Output()            // a decision here is recorded as round 0
+//	for t := 1, 2, ...:
+//	    deliver msgs, collect recv // synchronous exchange
+//	    msgs = node.Round(recv)
+//	    check node.Output()        // a decision here is recorded as round t
+//
+// Once decided a node keeps being driven (it must keep relaying messages, as
+// in the unknown-n variant of the model); only its first decision is
+// recorded.
+type MessageNode interface {
+	// Init returns the messages to send in round 1, one per port. A nil
+	// slice or nil entries mean "send nothing" on those ports.
+	Init() []any
+	// Round consumes the messages received in the current round (recv[p]
+	// arrived through port p; nil if the neighbour sent nothing) and
+	// returns the messages for the next round.
+	Round(recv []any) []any
+	// Output reports the node's decision, if it has made one.
+	Output() (val int, decided bool)
+}
+
+// RunMessage executes alg on g under assignment a with one goroutine per
+// node, synchronised round by round, until every node has decided or the
+// round cap (default n, see WithMaxRadius) is exceeded. Result.Radii holds
+// the round at which each node first decided.
+func RunMessage(g graph.Graph, a ids.Assignment, alg MessageAlgorithm, opts ...Option) (*Result, error) {
+	n := g.N()
+	if len(a) != n {
+		return nil, fmt.Errorf("local: assignment covers %d vertices, graph has %d", len(a), n)
+	}
+	if err := a.Validate(); err != nil {
+		return nil, err
+	}
+	cfg := newConfig(n, opts)
+	if n == 0 {
+		return &Result{Algorithm: alg.Name()}, nil
+	}
+
+	eng := newMessageEngine(g, a, alg, cfg.maxRadius)
+	return eng.run()
+}
+
+// messageEngine owns the channels and goroutines of one execution.
+type messageEngine struct {
+	g         graph.Graph
+	a         ids.Assignment
+	alg       MessageAlgorithm
+	maxRounds int
+
+	// edge channels: ch[v][p] carries messages sent BY v THROUGH its port p;
+	// the receiver is the neighbour w, which finds it via its own reverse
+	// port map. Buffer 1: each directed edge carries exactly one message per
+	// round and rounds are separated by the coordinator barrier.
+	ch [][]chan any
+	// revPort[v][p] is the port at which neighbour g.Neighbor(v,p) sees v.
+	revPort [][]int
+
+	status chan nodeStatus // node -> coordinator, one per node per round
+	cont   []chan bool     // coordinator -> node, per node
+
+	decidedRound []int
+	output       []int
+}
+
+type nodeStatus struct {
+	vertex  int
+	decided bool
+}
+
+func newMessageEngine(g graph.Graph, a ids.Assignment, alg MessageAlgorithm, maxRounds int) *messageEngine {
+	n := g.N()
+	eng := &messageEngine{
+		g:            g,
+		a:            a,
+		alg:          alg,
+		maxRounds:    maxRounds,
+		ch:           make([][]chan any, n),
+		revPort:      make([][]int, n),
+		status:       make(chan nodeStatus, 1),
+		cont:         make([]chan bool, n),
+		decidedRound: make([]int, n),
+		output:       make([]int, n),
+	}
+	for v := 0; v < n; v++ {
+		d := g.Degree(v)
+		eng.ch[v] = make([]chan any, d)
+		eng.revPort[v] = make([]int, d)
+		eng.cont[v] = make(chan bool, 1)
+		eng.decidedRound[v] = -1
+		for p := 0; p < d; p++ {
+			eng.ch[v][p] = make(chan any, 1)
+			eng.revPort[v][p] = portOf(g, g.Neighbor(v, p), v)
+		}
+	}
+	return eng
+}
+
+// portOf finds the port through which u sees v.
+func portOf(g graph.Graph, u, v int) int {
+	for p := 0; p < g.Degree(u); p++ {
+		if g.Neighbor(u, p) == v {
+			return p
+		}
+	}
+	panic(fmt.Sprintf("local: no port from %d to %d", u, v))
+}
+
+func (eng *messageEngine) run() (*Result, error) {
+	n := eng.g.N()
+	var wg sync.WaitGroup
+	for v := 0; v < n; v++ {
+		wg.Add(1)
+		go func(v int) {
+			defer wg.Done()
+			eng.nodeLoop(v)
+		}(v)
+	}
+
+	undecidedErr := eng.coordinate()
+	wg.Wait()
+
+	if undecidedErr != nil {
+		return nil, undecidedErr
+	}
+	res := &Result{
+		Algorithm: eng.alg.Name(),
+		Outputs:   eng.output,
+		Radii:     eng.decidedRound,
+	}
+	return res, nil
+}
+
+// coordinate collects per-round statuses and tells the nodes whether to run
+// another round. It returns an error if the round cap is hit first.
+func (eng *messageEngine) coordinate() error {
+	n := eng.g.N()
+	for round := 0; ; round++ {
+		allDecided := true
+		for i := 0; i < n; i++ {
+			st := <-eng.status
+			if !st.decided {
+				allDecided = false
+			}
+		}
+		if allDecided {
+			eng.broadcast(false)
+			return nil
+		}
+		if round >= eng.maxRounds {
+			eng.broadcast(false)
+			return fmt.Errorf("local: %s has undecided nodes after %d rounds", eng.alg.Name(), eng.maxRounds)
+		}
+		eng.broadcast(true)
+	}
+}
+
+func (eng *messageEngine) broadcast(cont bool) {
+	for _, c := range eng.cont {
+		c <- cont
+	}
+}
+
+// nodeLoop drives one vertex: send, receive, compute, report, barrier.
+func (eng *messageEngine) nodeLoop(v int) {
+	d := eng.g.Degree(v)
+	node := eng.alg.NewNode(eng.a[v], d)
+
+	record := func(round int) bool {
+		if eng.decidedRound[v] >= 0 {
+			return true
+		}
+		if out, ok := node.Output(); ok {
+			eng.output[v] = out
+			eng.decidedRound[v] = round
+			return true
+		}
+		return false
+	}
+
+	msgs := node.Init()
+	decided := record(0)
+	eng.status <- nodeStatus{vertex: v, decided: decided}
+	if !<-eng.cont[v] {
+		return
+	}
+
+	recv := make([]any, d)
+	for round := 1; ; round++ {
+		for p := 0; p < d; p++ {
+			var m any
+			if msgs != nil && p < len(msgs) {
+				m = msgs[p]
+			}
+			eng.ch[v][p] <- m
+		}
+		for p := 0; p < d; p++ {
+			w := eng.g.Neighbor(v, p)
+			recv[p] = <-eng.ch[w][eng.revPort[v][p]]
+		}
+		msgs = node.Round(recv)
+		decided = record(round)
+		eng.status <- nodeStatus{vertex: v, decided: decided}
+		if !<-eng.cont[v] {
+			return
+		}
+	}
+}

@@ -1,0 +1,96 @@
+package local
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/ids"
+)
+
+// RunMessageSeq executes a MessageAlgorithm with a single-threaded,
+// deterministic round loop: the same semantics as RunMessage (synchronous
+// rounds, decided nodes keep relaying, identical Result), without
+// goroutines. It exists for two reasons:
+//
+//   - as an executable specification the concurrent engine is tested
+//     against (any divergence is an engine bug, since the model is
+//     deterministic); and
+//   - for benchmarks and tight loops where per-node goroutines would
+//     dominate the measurement.
+func RunMessageSeq(g graph.Graph, a ids.Assignment, alg MessageAlgorithm, opts ...Option) (*Result, error) {
+	n := g.N()
+	if len(a) != n {
+		return nil, fmt.Errorf("local: assignment covers %d vertices, graph has %d", len(a), n)
+	}
+	if err := a.Validate(); err != nil {
+		return nil, err
+	}
+	cfg := newConfig(n, opts)
+	res := &Result{
+		Algorithm: alg.Name(),
+		Outputs:   make([]int, n),
+		Radii:     make([]int, n),
+	}
+	if n == 0 {
+		return res, nil
+	}
+
+	nodes := make([]MessageNode, n)
+	outbox := make([][]any, n)
+	decided := make([]bool, n)
+	allDecided := true
+	for v := 0; v < n; v++ {
+		nodes[v] = alg.NewNode(a[v], g.Degree(v))
+		outbox[v] = nodes[v].Init()
+		res.Radii[v] = -1
+		if out, ok := nodes[v].Output(); ok {
+			res.Outputs[v] = out
+			res.Radii[v] = 0
+			decided[v] = true
+		} else {
+			allDecided = false
+		}
+	}
+	revPorts := make([][]int, n)
+	for v := 0; v < n; v++ {
+		revPorts[v] = make([]int, g.Degree(v))
+		for p := 0; p < g.Degree(v); p++ {
+			revPorts[v][p] = portOf(g, g.Neighbor(v, p), v)
+		}
+	}
+
+	for round := 1; !allDecided; round++ {
+		if round > cfg.maxRadius {
+			return nil, fmt.Errorf("local: %s has undecided nodes after %d rounds", alg.Name(), cfg.maxRadius)
+		}
+		// Deliver: recv[v][p] is what v's port-p neighbour sent through its
+		// own port towards v in this round.
+		inbox := make([][]any, n)
+		for v := 0; v < n; v++ {
+			d := g.Degree(v)
+			inbox[v] = make([]any, d)
+			for p := 0; p < d; p++ {
+				w := g.Neighbor(v, p)
+				wp := revPorts[v][p]
+				if msgs := outbox[w]; msgs != nil && wp < len(msgs) {
+					inbox[v][p] = msgs[wp]
+				}
+			}
+		}
+		allDecided = true
+		for v := 0; v < n; v++ {
+			outbox[v] = nodes[v].Round(inbox[v])
+			if decided[v] {
+				continue
+			}
+			if out, ok := nodes[v].Output(); ok {
+				res.Outputs[v] = out
+				res.Radii[v] = round
+				decided[v] = true
+			} else {
+				allDecided = false
+			}
+		}
+	}
+	return res, nil
+}

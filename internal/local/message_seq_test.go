@@ -1,0 +1,96 @@
+package local
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/ids"
+)
+
+// TestSeqMatchesConcurrentEngine is the executable-specification check:
+// the goroutine engine and the sequential engine must produce identical
+// results for every algorithm and instance.
+func TestSeqMatchesConcurrentEngine(t *testing.T) {
+	rng := rand.New(rand.NewSource(70))
+	generic := []MessageAlgorithm{
+		immediateMsg{},
+		fixedRoundsMsg{k: 3},
+		minFloodMsg{},
+		NewGather(waitAlg{k: 2}),
+	}
+	cases := []struct {
+		g    graph.Graph
+		algs []MessageAlgorithm
+	}{
+		{graph.MustCycle(9), append([]MessageAlgorithm{NewGather(maxInCycleAlg{})}, generic...)},
+		{graph.MustCycle(12), append([]MessageAlgorithm{NewGather(maxInCycleAlg{})}, generic...)},
+		{graph.MustPath(7), generic},
+	}
+	for _, tc := range cases {
+		g := tc.g
+		a := ids.Random(g.N(), rng)
+		for _, alg := range tc.algs {
+			conc, err := RunMessage(g, a, alg)
+			if err != nil {
+				t.Fatalf("%s concurrent: %v", alg.Name(), err)
+			}
+			seq, err := RunMessageSeq(g, a, alg)
+			if err != nil {
+				t.Fatalf("%s sequential: %v", alg.Name(), err)
+			}
+			for v := 0; v < g.N(); v++ {
+				if conc.Outputs[v] != seq.Outputs[v] {
+					t.Errorf("%s vertex %d: outputs differ (conc %d, seq %d)",
+						alg.Name(), v, conc.Outputs[v], seq.Outputs[v])
+				}
+				if conc.Radii[v] != seq.Radii[v] {
+					t.Errorf("%s vertex %d: rounds differ (conc %d, seq %d)",
+						alg.Name(), v, conc.Radii[v], seq.Radii[v])
+				}
+			}
+		}
+	}
+}
+
+func TestSeqEngineBasics(t *testing.T) {
+	c := graph.MustCycle(8)
+	a := ids.Reversed(8)
+	res, err := RunMessageSeq(c, a, immediateMsg{})
+	if err != nil {
+		t.Fatalf("RunMessageSeq: %v", err)
+	}
+	for v := 0; v < 8; v++ {
+		if res.Outputs[v] != a[v] || res.Radii[v] != 0 {
+			t.Errorf("vertex %d: out=%d round=%d", v, res.Outputs[v], res.Radii[v])
+		}
+	}
+}
+
+func TestSeqEngineRoundCap(t *testing.T) {
+	c := graph.MustCycle(6)
+	if _, err := RunMessageSeq(c, ids.Identity(6), fixedRoundsMsg{k: 10}, WithMaxRadius(3)); err == nil {
+		t.Fatal("round cap did not trigger")
+	}
+}
+
+func TestSeqEngineRejectsBadInput(t *testing.T) {
+	c := graph.MustCycle(5)
+	if _, err := RunMessageSeq(c, ids.Identity(3), immediateMsg{}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	bad := ids.Assignment{0, 1, 1, 2, 3}
+	if _, err := RunMessageSeq(c, bad, immediateMsg{}); err == nil {
+		t.Error("duplicate identifiers accepted")
+	}
+}
+
+func TestSeqEngineEmptyGraph(t *testing.T) {
+	res, err := RunMessageSeq(graph.MustAdj(0, nil), ids.Identity(0), immediateMsg{})
+	if err != nil {
+		t.Fatalf("empty graph: %v", err)
+	}
+	if res.N() != 0 {
+		t.Errorf("N = %d", res.N())
+	}
+}

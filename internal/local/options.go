@@ -1,0 +1,58 @@
+package local
+
+// Option configures an engine run.
+type Option func(*config)
+
+// Progress describes one decision attempt of the view engine, delivered to
+// a WithProgress observer.
+type Progress struct {
+	// Vertex is the deciding vertex.
+	Vertex int
+	// Radius is the view radius of the attempt.
+	Radius int
+	// Decided reports whether the vertex committed at this radius.
+	Decided bool
+}
+
+type config struct {
+	maxRadius int
+	observer  func(Progress)
+}
+
+func newConfig(n int, opts []Option) config {
+	cfg := config{maxRadius: defaultMaxRadius(n)}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	return cfg
+}
+
+// defaultMaxRadius is the engine safety cap: any correct unknown-n
+// algorithm on a connected n-vertex graph decides by the time its ball
+// covers the graph, i.e. by radius n.
+func defaultMaxRadius(n int) int {
+	if n < 1 {
+		return 1
+	}
+	return n
+}
+
+// WithMaxRadius overrides the safety cap on radii (view engine) or rounds
+// (message engine). Executions exceeding the cap fail with an error.
+func WithMaxRadius(r int) Option {
+	return func(c *config) {
+		if r > 0 {
+			c.maxRadius = r
+		}
+	}
+}
+
+// WithProgress registers an observer invoked by the view engine after
+// every decision attempt — the tracing hook for debugging algorithms and
+// for radius-profile instrumentation. The callback runs synchronously on
+// the engine's goroutine; keep it cheap.
+func WithProgress(fn func(Progress)) Option {
+	return func(c *config) {
+		c.observer = fn
+	}
+}

@@ -1,0 +1,64 @@
+package local
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/ids"
+)
+
+func TestWithProgressObservesEveryAttempt(t *testing.T) {
+	c := graph.MustCycle(6)
+	var events []Progress
+	res, err := RunView(c, ids.Identity(6), waitAlg{k: 2},
+		WithProgress(func(p Progress) { events = append(events, p) }))
+	if err != nil {
+		t.Fatalf("RunView: %v", err)
+	}
+	// Every vertex attempts radii 0, 1, 2 — three events each.
+	if len(events) != 18 {
+		t.Fatalf("observed %d events, want 18", len(events))
+	}
+	perVertex := map[int][]Progress{}
+	for _, e := range events {
+		perVertex[e.Vertex] = append(perVertex[e.Vertex], e)
+	}
+	for v := 0; v < 6; v++ {
+		seq := perVertex[v]
+		if len(seq) != 3 {
+			t.Fatalf("vertex %d: %d events", v, len(seq))
+		}
+		for i, e := range seq {
+			if e.Radius != i {
+				t.Errorf("vertex %d event %d: radius %d", v, i, e.Radius)
+			}
+			wantDecided := i == 2
+			if e.Decided != wantDecided {
+				t.Errorf("vertex %d event %d: decided=%v", v, i, e.Decided)
+			}
+		}
+		if seq[2].Radius != res.Radii[v] {
+			t.Errorf("vertex %d: last observed radius %d != recorded %d",
+				v, seq[2].Radius, res.Radii[v])
+		}
+	}
+}
+
+func TestWithProgressNilSafe(t *testing.T) {
+	c := graph.MustCycle(4)
+	if _, err := RunView(c, ids.Identity(4), echoAlg{}, WithProgress(nil)); err != nil {
+		t.Fatalf("nil observer: %v", err)
+	}
+}
+
+func TestWithMaxRadiusIgnoresNonPositive(t *testing.T) {
+	c := graph.MustCycle(8)
+	// Zero and negative caps fall back to the default (n), so a radius-3
+	// algorithm still completes.
+	if _, err := RunView(c, ids.Identity(8), waitAlg{k: 3}, WithMaxRadius(0)); err != nil {
+		t.Errorf("cap 0: %v", err)
+	}
+	if _, err := RunView(c, ids.Identity(8), waitAlg{k: 3}, WithMaxRadius(-5)); err != nil {
+		t.Errorf("cap -5: %v", err)
+	}
+}

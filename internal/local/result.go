@@ -1,0 +1,46 @@
+package local
+
+// Result captures one execution of an algorithm on one graph with one
+// identifier assignment: the per-vertex outputs and the per-vertex radii
+// (view engine) or decision rounds (message engine).
+type Result struct {
+	// Algorithm is the Name() of the executed algorithm.
+	Algorithm string
+	// Outputs[v] is vertex v's committed output.
+	Outputs []int
+	// Radii[v] is the radius (or round) at which vertex v decided. This is
+	// the r(v) of the paper; MaxRadius and AvgRadius are the two measures
+	// under comparison.
+	Radii []int
+}
+
+// N reports the number of vertices in the execution.
+func (r *Result) N() int { return len(r.Radii) }
+
+// MaxRadius is the classic running-time measure: max_v r(v).
+func (r *Result) MaxRadius() int {
+	max := 0
+	for _, x := range r.Radii {
+		if x > max {
+			max = x
+		}
+	}
+	return max
+}
+
+// SumRadii is Σ_v r(v), the quantity bounded by the paper's recurrence a(p).
+func (r *Result) SumRadii() int {
+	sum := 0
+	for _, x := range r.Radii {
+		sum += x
+	}
+	return sum
+}
+
+// AvgRadius is the paper's measure: (Σ_v r(v)) / n.
+func (r *Result) AvgRadius() float64 {
+	if len(r.Radii) == 0 {
+		return 0
+	}
+	return float64(r.SumRadii()) / float64(len(r.Radii))
+}

@@ -1,0 +1,30 @@
+package local
+
+import "testing"
+
+func TestResultMeasures(t *testing.T) {
+	r := &Result{
+		Algorithm: "x",
+		Outputs:   []int{1, 0, 0, 1},
+		Radii:     []int{0, 3, 1, 4},
+	}
+	if r.N() != 4 {
+		t.Errorf("N = %d", r.N())
+	}
+	if r.MaxRadius() != 4 {
+		t.Errorf("MaxRadius = %d", r.MaxRadius())
+	}
+	if r.SumRadii() != 8 {
+		t.Errorf("SumRadii = %d", r.SumRadii())
+	}
+	if r.AvgRadius() != 2 {
+		t.Errorf("AvgRadius = %v", r.AvgRadius())
+	}
+}
+
+func TestResultEmpty(t *testing.T) {
+	r := &Result{}
+	if r.N() != 0 || r.MaxRadius() != 0 || r.SumRadii() != 0 || r.AvgRadius() != 0 {
+		t.Errorf("empty result not zero: %+v", r)
+	}
+}

@@ -1,0 +1,65 @@
+package local
+
+import "repro/internal/graph"
+
+// Subview reconstructs the radius-q view of another vertex visible in v.
+// It returns ok=false when v does not contain enough information: the ball
+// of radius q around the other vertex must provably lie inside v, which
+// holds when Dist(at) + q <= Radius() — or unconditionally when v is
+// complete (it then contains the entire connected component).
+//
+// Subview is what lets one node simulate the decisions of nearby nodes — the
+// ingredient behind composed algorithms (MIS from colouring), the uniform
+// colouring's neighbour-commitment checks, and the minimality audits of the
+// lower-bound machinery.
+func Subview(v View, at, q int) (View, bool) {
+	if at < 0 || at >= v.Size() || q < 0 {
+		return View{}, false
+	}
+	if v.Dist(at)+q > v.Radius() && !v.Complete() {
+		return View{}, false
+	}
+	// BFS inside the view from `at`, cut at distance q, following each
+	// vertex's port order — the same discovery order the engines use.
+	order := []int{at} // local indices of v
+	dist := []int{0}
+	localOf := map[int]int{at: 0}
+	for head := 0; head < len(order); head++ {
+		if dist[head] == q {
+			continue
+		}
+		for _, w := range v.Neighbors(order[head]) {
+			if _, seen := localOf[w]; !seen {
+				localOf[w] = len(order)
+				order = append(order, w)
+				dist = append(dist, dist[head]+1)
+			}
+		}
+	}
+	adj := make([][]int, len(order))
+	idsOut := make([]int, len(order))
+	degOut := make([]int, len(order))
+	for i, oldIdx := range order {
+		idsOut[i] = v.ID(oldIdx)
+		degOut[i] = v.TrueDegree(oldIdx)
+		for _, w := range v.Neighbors(oldIdx) {
+			if j, seen := localOf[w]; seen {
+				// Induced edge: both endpoints within distance q of `at`.
+				adj[i] = append(adj[i], j)
+			}
+		}
+	}
+	frontier := len(order)
+	for i, d := range dist {
+		if d == q {
+			frontier = i
+			break
+		}
+	}
+	verts := make([]int, len(order))
+	for i := range verts {
+		verts[i] = i // synthetic names, as in the gather reconstruction
+	}
+	ball := &graph.Ball{Radius: q, Verts: verts, Dist: dist, Adj: adj}
+	return View{ball: ball, ids: idsOut, degrees: degOut, frontierStart: frontier}, true
+}

@@ -1,0 +1,122 @@
+package local
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/ids"
+)
+
+// subviewProbe captures views at a fixed radius for later inspection.
+type subviewProbe struct {
+	radius int
+	views  *[]View
+}
+
+func (subviewProbe) Name() string { return "subviewProbe" }
+func (p subviewProbe) Decide(v View) (int, bool) {
+	if v.Radius() < p.radius {
+		return 0, false
+	}
+	*p.views = append(*p.views, v)
+	return 0, true
+}
+
+// TestSubviewMatchesDirectView checks that the subview of a neighbour u
+// extracted from v's large view canonicalises identically to u's own view
+// gathered directly by the engine.
+func TestSubviewMatchesDirectView(t *testing.T) {
+	for _, g := range []graph.Graph{graph.MustCycle(13), graph.MustPath(11)} {
+		n := g.N()
+		a := ids.Random(n, rand.New(rand.NewSource(23)))
+
+		var big, small []View
+		if _, err := RunView(g, a, subviewProbe{radius: 4, views: &big}); err != nil {
+			t.Fatalf("RunView big: %v", err)
+		}
+		if _, err := RunView(g, a, subviewProbe{radius: 2, views: &small}); err != nil {
+			t.Fatalf("RunView small: %v", err)
+		}
+		// RunView visits vertices 0..n-1 in order, so big[v] is v's view.
+		byCenter := make(map[int]View, n)
+		for _, w := range small {
+			byCenter[w.CenterID()] = w
+		}
+		for v := 0; v < n; v++ {
+			for _, u := range big[v].Neighbors(0) {
+				sub, ok := Subview(big[v], u, 2)
+				if !ok {
+					t.Fatalf("vertex %d: subview of neighbour not extractable", v)
+				}
+				direct, found := byCenter[sub.CenterID()]
+				if !found {
+					t.Fatalf("vertex %d: no direct view for centre ID %d", v, sub.CenterID())
+				}
+				if sub.Canonical() != direct.Canonical() {
+					t.Errorf("vertex %d neighbour: subview differs from direct view\nsub:    %s\ndirect: %s",
+						v, sub.Canonical(), direct.Canonical())
+				}
+			}
+		}
+	}
+}
+
+func TestSubviewGuards(t *testing.T) {
+	c := graph.MustCycle(9)
+	var views []View
+	if _, err := RunView(c, ids.Identity(9), subviewProbe{radius: 3, views: &views}); err != nil {
+		t.Fatalf("RunView: %v", err)
+	}
+	v := views[0]
+	if _, ok := Subview(v, 0, 4); ok {
+		t.Error("subview deeper than radius allowed")
+	}
+	// A frontier vertex (distance 3) admits only q=0.
+	frontier := -1
+	for i := 0; i < v.Size(); i++ {
+		if v.Dist(i) == 3 {
+			frontier = i
+			break
+		}
+	}
+	if frontier == -1 {
+		t.Fatal("no frontier vertex found")
+	}
+	if _, ok := Subview(v, frontier, 1); ok {
+		t.Error("frontier subview of radius 1 allowed")
+	}
+	if sub, ok := Subview(v, frontier, 0); !ok || sub.Size() != 1 {
+		t.Error("frontier subview of radius 0 should be a single vertex")
+	}
+	if _, ok := Subview(v, -1, 0); ok {
+		t.Error("negative index allowed")
+	}
+	if _, ok := Subview(v, v.Size(), 0); ok {
+		t.Error("out-of-range index allowed")
+	}
+	if _, ok := Subview(v, 0, -1); ok {
+		t.Error("negative radius allowed")
+	}
+}
+
+func TestSubviewOfSelfIsIdentity(t *testing.T) {
+	c := graph.MustCycle(11)
+	var views []View
+	if _, err := RunView(c, ids.Reversed(11), subviewProbe{radius: 3, views: &views}); err != nil {
+		t.Fatalf("RunView: %v", err)
+	}
+	var smaller []View
+	if _, err := RunView(c, ids.Reversed(11), subviewProbe{radius: 2, views: &smaller}); err != nil {
+		t.Fatalf("RunView: %v", err)
+	}
+	for v := range views {
+		sub, ok := Subview(views[v], 0, 2)
+		if !ok {
+			t.Fatalf("self-subview failed at %d", v)
+		}
+		if sub.Canonical() != smaller[v].Canonical() {
+			t.Errorf("vertex %d: self-subview at q=2 differs from direct radius-2 view", v)
+		}
+	}
+}

@@ -1,0 +1,74 @@
+package local
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/ids"
+)
+
+// TestRunViewParallelMatchesSequential demands bit-identical results from
+// the parallel and sequential view engines.
+func TestRunViewParallelMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(95))
+	algs := []ViewAlgorithm{echoAlg{}, waitAlg{k: 2}, maxInCycleAlg{}}
+	for _, n := range []int{3, 16, 97} {
+		c := graph.MustCycle(n)
+		a := ids.Random(n, rng)
+		for _, alg := range algs {
+			seq, err := RunView(c, a, alg)
+			if err != nil {
+				t.Fatalf("n=%d %s seq: %v", n, alg.Name(), err)
+			}
+			par, err := RunViewParallel(c, a, alg)
+			if err != nil {
+				t.Fatalf("n=%d %s par: %v", n, alg.Name(), err)
+			}
+			for v := 0; v < n; v++ {
+				if seq.Outputs[v] != par.Outputs[v] || seq.Radii[v] != par.Radii[v] {
+					t.Fatalf("n=%d %s vertex %d: engines diverge", n, alg.Name(), v)
+				}
+			}
+		}
+	}
+}
+
+func TestRunViewParallelPropagatesErrors(t *testing.T) {
+	c := graph.MustCycle(8)
+	if _, err := RunViewParallel(c, ids.Identity(8), neverAlg{}); err == nil {
+		t.Fatal("undecided algorithm did not error")
+	}
+	if _, err := RunViewParallel(c, ids.Identity(5), echoAlg{}); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+}
+
+func TestRunViewParallelEmptyGraph(t *testing.T) {
+	res, err := RunViewParallel(graph.MustAdj(0, nil), ids.Identity(0), echoAlg{})
+	if err != nil {
+		t.Fatalf("empty graph: %v", err)
+	}
+	if res.N() != 0 {
+		t.Errorf("N = %d", res.N())
+	}
+}
+
+func TestRunViewParallelObserver(t *testing.T) {
+	c := graph.MustCycle(10)
+	var mu sync.Mutex
+	count := 0
+	_, err := RunViewParallel(c, ids.Identity(10), waitAlg{k: 1},
+		WithProgress(func(Progress) {
+			mu.Lock()
+			count++
+			mu.Unlock()
+		}))
+	if err != nil {
+		t.Fatalf("RunViewParallel: %v", err)
+	}
+	if count != 20 { // radii 0 and 1 for each of 10 vertices
+		t.Errorf("observed %d events, want 20", count)
+	}
+}

@@ -1,0 +1,105 @@
+package measure
+
+import (
+	"errors"
+	"math"
+)
+
+// Fit is a least-squares fit y ≈ Slope*x + Intercept with its coefficient
+// of determination. The experiments use it to check growth rates: fitting
+// the measured average radius against ln n should give a stable positive
+// slope and R² near 1 if the quantity is Θ(log n), and a slope tending to
+// zero if it is o(log n).
+type Fit struct {
+	Slope     float64
+	Intercept float64
+	R2        float64
+}
+
+// ErrFitUnderdetermined indicates fewer than two distinct x values.
+var ErrFitUnderdetermined = errors.New("measure: fit needs at least two distinct x values")
+
+// LinearFit computes the ordinary least-squares line through (x[i], y[i]).
+func LinearFit(x, y []float64) (Fit, error) {
+	if len(x) != len(y) {
+		return Fit{}, errors.New("measure: fit inputs have different lengths")
+	}
+	n := float64(len(x))
+	if len(x) < 2 {
+		return Fit{}, ErrFitUnderdetermined
+	}
+	var sx, sy, sxx, sxy, syy float64
+	for i := range x {
+		sx += x[i]
+		sy += y[i]
+		sxx += x[i] * x[i]
+		sxy += x[i] * y[i]
+		syy += y[i] * y[i]
+	}
+	den := n*sxx - sx*sx
+	if den == 0 {
+		return Fit{}, ErrFitUnderdetermined
+	}
+	f := Fit{}
+	f.Slope = (n*sxy - sx*sy) / den
+	f.Intercept = (sy - f.Slope*sx) / n
+	ssTot := syy - sy*sy/n
+	if ssTot == 0 {
+		// All y equal: the horizontal line fits exactly.
+		f.R2 = 1
+		return f, nil
+	}
+	var ssRes float64
+	for i := range x {
+		d := y[i] - (f.Slope*x[i] + f.Intercept)
+		ssRes += d * d
+	}
+	f.R2 = 1 - ssRes/ssTot
+	return f, nil
+}
+
+// FitAgainstLog fits y against ln(n): the Θ(log n) growth check.
+func FitAgainstLog(ns []int, y []float64) (Fit, error) {
+	x := make([]float64, len(ns))
+	for i, n := range ns {
+		x[i] = math.Log(float64(n))
+	}
+	return LinearFit(x, y)
+}
+
+// FitAgainstLinear fits y against n: the Θ(n) growth check.
+func FitAgainstLinear(ns []int, y []float64) (Fit, error) {
+	x := make([]float64, len(ns))
+	for i, n := range ns {
+		x[i] = float64(n)
+	}
+	return LinearFit(x, y)
+}
+
+// FitAgainstNLogN fits y against n·ln(n): the Θ(n ln n) growth check for
+// the recurrence a(n).
+func FitAgainstNLogN(ns []int, y []float64) (Fit, error) {
+	x := make([]float64, len(ns))
+	for i, n := range ns {
+		x[i] = float64(n) * math.Log(float64(n))
+	}
+	return LinearFit(x, y)
+}
+
+// GrowthRatios returns y[i+1]/y[i] for consecutive sweep points; a sequence
+// tending to 1 indicates sub-polynomial growth (log-like), a sequence
+// tending to the n-ratio indicates linear growth.
+func GrowthRatios(y []float64) []float64 {
+	if len(y) < 2 {
+		return nil
+	}
+	out := make([]float64, 0, len(y)-1)
+	for i := 1; i < len(y); i++ {
+		if y[i-1] == 0 {
+			out = append(out, math.Inf(1))
+			continue
+		}
+		out = append(out, y[i]/y[i-1])
+	}
+	return out
+}

@@ -1,0 +1,130 @@
+package measure
+
+import (
+	"math"
+	"testing"
+)
+
+func TestLinearFitExactLine(t *testing.T) {
+	x := []float64{1, 2, 3, 4}
+	y := []float64{3, 5, 7, 9} // y = 2x + 1
+	f, err := LinearFit(x, y)
+	if err != nil {
+		t.Fatalf("LinearFit: %v", err)
+	}
+	if math.Abs(f.Slope-2) > 1e-12 || math.Abs(f.Intercept-1) > 1e-12 {
+		t.Errorf("fit = %+v, want slope 2 intercept 1", f)
+	}
+	if math.Abs(f.R2-1) > 1e-12 {
+		t.Errorf("R2 = %v, want 1", f.R2)
+	}
+}
+
+func TestLinearFitConstant(t *testing.T) {
+	f, err := LinearFit([]float64{1, 2, 3}, []float64{4, 4, 4})
+	if err != nil {
+		t.Fatalf("LinearFit: %v", err)
+	}
+	if math.Abs(f.Slope) > 1e-12 {
+		t.Errorf("slope = %v, want 0", f.Slope)
+	}
+	if f.R2 != 1 {
+		t.Errorf("R2 = %v, want 1 for exact horizontal fit", f.R2)
+	}
+}
+
+func TestLinearFitErrors(t *testing.T) {
+	if _, err := LinearFit([]float64{1}, []float64{2}); err == nil {
+		t.Error("single point accepted")
+	}
+	if _, err := LinearFit([]float64{2, 2}, []float64{1, 5}); err == nil {
+		t.Error("degenerate x accepted")
+	}
+	if _, err := LinearFit([]float64{1, 2}, []float64{1}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+}
+
+func TestFitAgainstLogDetectsLogGrowth(t *testing.T) {
+	// y = 3 ln n exactly.
+	ns := []int{16, 64, 256, 1024, 4096}
+	y := make([]float64, len(ns))
+	for i, n := range ns {
+		y[i] = 3 * math.Log(float64(n))
+	}
+	f, err := FitAgainstLog(ns, y)
+	if err != nil {
+		t.Fatalf("FitAgainstLog: %v", err)
+	}
+	if math.Abs(f.Slope-3) > 1e-9 || f.R2 < 0.999 {
+		t.Errorf("fit = %+v, want slope 3 R2~1", f)
+	}
+}
+
+func TestFitAgainstLinearDetectsLinearGrowth(t *testing.T) {
+	ns := []int{10, 20, 40, 80}
+	y := []float64{5, 10, 20, 40} // y = n/2
+	f, err := FitAgainstLinear(ns, y)
+	if err != nil {
+		t.Fatalf("FitAgainstLinear: %v", err)
+	}
+	if math.Abs(f.Slope-0.5) > 1e-12 || f.R2 < 0.999 {
+		t.Errorf("fit = %+v, want slope 0.5", f)
+	}
+}
+
+func TestFitAgainstNLogN(t *testing.T) {
+	ns := []int{8, 32, 128, 512}
+	y := make([]float64, len(ns))
+	for i, n := range ns {
+		y[i] = 1.5*float64(n)*math.Log(float64(n)) + 2
+	}
+	f, err := FitAgainstNLogN(ns, y)
+	if err != nil {
+		t.Fatalf("FitAgainstNLogN: %v", err)
+	}
+	if math.Abs(f.Slope-1.5) > 1e-9 || f.R2 < 0.999 {
+		t.Errorf("fit = %+v, want slope 1.5", f)
+	}
+}
+
+func TestGrowthRatios(t *testing.T) {
+	got := GrowthRatios([]float64{2, 4, 8})
+	if len(got) != 2 || got[0] != 2 || got[1] != 2 {
+		t.Errorf("GrowthRatios = %v, want [2 2]", got)
+	}
+	if GrowthRatios([]float64{1}) != nil {
+		t.Error("single point should yield nil")
+	}
+	inf := GrowthRatios([]float64{0, 5})
+	if len(inf) != 1 || !math.IsInf(inf[0], 1) {
+		t.Errorf("zero predecessor should yield +Inf, got %v", inf)
+	}
+}
+
+// TestLogVsLinearDiscrimination drives the discrimination logic the
+// experiments rely on: logarithmic data must fit ln n far better than a
+// line through the origin region fits it, and vice versa.
+func TestLogVsLinearDiscrimination(t *testing.T) {
+	ns := []int{16, 64, 256, 1024, 4096, 16384}
+	logData := make([]float64, len(ns))
+	linData := make([]float64, len(ns))
+	for i, n := range ns {
+		logData[i] = 2 * math.Log(float64(n))
+		linData[i] = float64(n) / 4
+	}
+	logFitOfLinear, err := FitAgainstLog(ns, linData)
+	if err != nil {
+		t.Fatal(err)
+	}
+	logFitOfLog, err := FitAgainstLog(ns, logData)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if logFitOfLog.R2 < 0.999 {
+		t.Errorf("log data badly fit by log curve: R2=%v", logFitOfLog.R2)
+	}
+	if logFitOfLinear.R2 > 0.9 {
+		t.Errorf("linear data suspiciously well fit by log curve: R2=%v", logFitOfLinear.R2)
+	}
+}
