@@ -1,6 +1,7 @@
 // Package repro's root benchmark suite regenerates every experiment of the
-// paper (E1..E7, one benchmark per claim — the paper's "tables and
-// figures") and benchmarks the simulator's hot paths. Run:
+// paper (E1..E9, one benchmark per claim — the paper's "tables and
+// figures"), benchmarks the simulator's hot paths, and pits the sharded
+// sweep engine against a single worker on a full-size experiment. Run:
 //
 //	go test -bench=. -benchmem
 //
@@ -9,6 +10,7 @@
 package repro
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -22,6 +24,7 @@ import (
 	"repro/internal/ids"
 	"repro/internal/linial"
 	"repro/internal/local"
+	"repro/internal/sweep"
 )
 
 // benchExperiment runs one registered experiment with a bench-sized sweep.
@@ -33,7 +36,7 @@ func benchExperiment(b *testing.B, id string, cfg experiments.Config) {
 	}
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		tab, err := e.Run(cfg)
+		tab, err := e.Run(context.Background(), cfg)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -106,6 +109,68 @@ func BenchmarkE8LinialThreshold(b *testing.B) {
 func BenchmarkE9GeneralGraphs(b *testing.B) {
 	benchExperiment(b, "E9", experiments.Config{Seed: 1, Sizes: []int{256, 1024}, Trials: 2})
 }
+
+// --- sharded sweep engine vs a single worker ---
+
+// benchSweepWorkers regenerates E6 at its full default scale (sizes up to
+// n=4096, 20 random permutations each) with a fixed worker-pool size. The
+// Sequential/Sharded pair is the engine's headline: identical tables,
+// wall-clock divided by the core count.
+func benchSweepWorkers(b *testing.B, workers int) {
+	b.Helper()
+	e, err := experiments.Get("E6")
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := experiments.Config{Seed: 1, Workers: workers}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tab, err := e.Run(context.Background(), cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(tab.Rows) == 0 {
+			b.Fatal("empty table")
+		}
+	}
+}
+
+// BenchmarkSweepE6Sequential is the full-size E6 sweep on one worker — the
+// old hand-rolled loop's execution model.
+func BenchmarkSweepE6Sequential(b *testing.B) { benchSweepWorkers(b, 1) }
+
+// BenchmarkSweepE6Sharded is the same sweep sharded across all cores; same
+// seed, byte-identical table, and the wall-clock win the sweep engine
+// exists for.
+func BenchmarkSweepE6Sharded(b *testing.B) { benchSweepWorkers(b, 0) }
+
+// BenchmarkSweepRawSequential and BenchmarkSweepRawSharded measure the
+// sweep engine directly (no table rendering): the pruning algorithm over
+// random permutations of a 4096-cycle, 32 trials.
+func benchSweepRaw(b *testing.B, workers int) {
+	b.Helper()
+	spec := sweep.Spec{
+		Seed:    9,
+		Sizes:   []int{4096},
+		Trials:  32,
+		Workers: workers,
+		Graph:   func(n int, _ *rand.Rand) (graph.Graph, error) { return graph.NewCycle(n) },
+		Alg:     func(int, ids.Assignment) local.ViewAlgorithm { return largestid.Pruning{} },
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res, err := sweep.Run(context.Background(), spec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Sizes[0].Trials != 32 {
+			b.Fatal("incomplete sweep")
+		}
+	}
+}
+
+func BenchmarkSweepRawSequential(b *testing.B) { benchSweepRaw(b, 1) }
+func BenchmarkSweepRawSharded(b *testing.B)    { benchSweepRaw(b, 0) }
 
 // --- simulator hot paths ---
 

@@ -1,16 +1,23 @@
-// Command avgbench regenerates the paper's experiment tables (E1..E7, see
-// DESIGN.md for the index).
+// Command avgbench regenerates the paper's experiment tables (E1..E9, see
+// EXPERIMENTS.md for the index). Every experiment runs on the sharded sweep
+// engine (internal/sweep), so full-size tables use all cores; equal seeds
+// emit identical tables at any worker count.
 //
 // Usage:
 //
-//	avgbench -e E2              # one experiment, default sweep
-//	avgbench -e all -seed 7     # everything, reproducibly
+//	avgbench -e E2                  # one experiment, default sweep
+//	avgbench -e all -seed 7         # everything, reproducibly
 //	avgbench -e E4 -sizes 64,1024,65536 -trials 3
-//	avgbench -e E3 -csv         # machine-readable output
+//	avgbench -e E6 -workers 4       # bound the worker pool
+//	avgbench -e all -timeout 30s    # give up (with an error) after 30s
+//	avgbench -e E3 -csv             # machine-readable output
+//	avgbench -e all -json          	# machine-readable output, with metadata
 package main
 
 import (
+	"context"
 	"encoding/csv"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -33,7 +40,10 @@ func run(args []string) error {
 	seed := fs.Int64("seed", 1, "random seed (equal seeds reproduce tables)")
 	sizesFlag := fs.String("sizes", "", "comma-separated n sweep override")
 	trials := fs.Int("trials", 0, "permutations sampled per size (0 = default)")
+	workers := fs.Int("workers", 0, "sweep worker pool size (0 = all cores)")
+	timeout := fs.Duration("timeout", 0, "abort after this long (0 = no limit)")
 	asCSV := fs.Bool("csv", false, "emit CSV instead of aligned text")
+	asJSON := fs.Bool("json", false, "emit JSON (tables plus metadata)")
 	list := fs.Bool("list", false, "list experiments and exit")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -44,8 +54,11 @@ func run(args []string) error {
 		}
 		return nil
 	}
+	if *asCSV && *asJSON {
+		return fmt.Errorf("-csv and -json are mutually exclusive")
+	}
 
-	cfg := experiments.Config{Seed: *seed, Trials: *trials}
+	cfg := experiments.Config{Seed: *seed, Trials: *trials, Workers: *workers}
 	if *sizesFlag != "" {
 		for _, part := range strings.Split(*sizesFlag, ",") {
 			n, err := strconv.Atoi(strings.TrimSpace(part))
@@ -67,19 +80,46 @@ func run(args []string) error {
 		selected = []experiments.Experiment{e}
 	}
 
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
+	// jsonTable pairs an experiment's metadata with its rendered table for
+	// the machine-readable output mode.
+	type jsonTable struct {
+		ID    string             `json:"id"`
+		Title string             `json:"title"`
+		Claim string             `json:"claim"`
+		Table *experiments.Table `json:"table"`
+	}
+	var jsonOut []jsonTable
+
 	for _, e := range selected {
-		fmt.Printf("== %s: %s\n   claim: %s\n", e.ID, e.Title, e.Claim)
-		tab, err := e.Run(cfg)
+		if !*asJSON {
+			fmt.Printf("== %s: %s\n   claim: %s\n", e.ID, e.Title, e.Claim)
+		}
+		tab, err := e.Run(ctx, cfg)
 		if err != nil {
 			return fmt.Errorf("%s: %w", e.ID, err)
 		}
-		if *asCSV {
+		switch {
+		case *asJSON:
+			jsonOut = append(jsonOut, jsonTable{ID: e.ID, Title: e.Title, Claim: e.Claim, Table: tab})
+		case *asCSV:
 			if err := tab.WriteCSV(csv.NewWriter(os.Stdout)); err != nil {
 				return err
 			}
-		} else {
+		default:
 			fmt.Println(tab.Render())
 		}
+	}
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(jsonOut)
 	}
 	return nil
 }

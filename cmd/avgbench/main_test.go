@@ -36,4 +36,26 @@ func TestRunErrors(t *testing.T) {
 	if err := run([]string{"-nope"}); err == nil {
 		t.Error("bad flag accepted")
 	}
+	if err := run([]string{"-csv", "-json"}); err == nil {
+		t.Error("-csv together with -json accepted")
+	}
+}
+
+func TestRunJSON(t *testing.T) {
+	if err := run([]string{"-e", "E1", "-sizes", "16", "-trials", "1", "-json"}); err != nil {
+		t.Errorf("json: %v", err)
+	}
+}
+
+func TestRunWorkers(t *testing.T) {
+	if err := run([]string{"-e", "E6", "-sizes", "16,32", "-trials", "4", "-workers", "3"}); err != nil {
+		t.Errorf("workers: %v", err)
+	}
+}
+
+func TestRunTimeoutExpired(t *testing.T) {
+	// A 1ns budget must abort the run with an error instead of hanging.
+	if err := run([]string{"-e", "E2", "-sizes", "1024,2048", "-timeout", "1ns"}); err == nil {
+		t.Error("expired timeout produced no error")
+	}
 }

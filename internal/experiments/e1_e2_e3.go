@@ -1,9 +1,9 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
-	"math/rand"
 
 	"repro/internal/algorithms/largestid"
 	"repro/internal/analytic"
@@ -12,7 +12,13 @@ import (
 	"repro/internal/local"
 	"repro/internal/measure"
 	"repro/internal/problems"
+	"repro/internal/sweep"
 )
+
+// verifyLargestID adapts the largest-ID checker to the sweep hook.
+func verifyLargestID(g graph.Graph, a ids.Assignment, res *local.Result) error {
+	return problems.LargestID{}.Verify(g, a, res.Outputs)
+}
 
 // e1 reproduces the worst-case claim of §2: the largest-ID problem has
 // linear classic complexity — the maximum-ID vertex must see the whole
@@ -22,41 +28,29 @@ func e1() Experiment {
 		ID:    "E1",
 		Title: "Largest ID: worst-case radius is linear (floor(n/2))",
 		Claim: "§2: \"the vertex with the maximum ID needs n/2 rounds\"",
-		Run: func(cfg Config) (*Table, error) {
-			sizes := sizesOrDefault(cfg, []int{16, 32, 64, 128, 256, 512, 1024, 2048, 4096})
-			trials := trialsOrDefault(cfg, 5)
-			rng := rand.New(rand.NewSource(cfg.Seed))
+		Run: func(ctx context.Context, cfg Config) (*Table, error) {
+			spec := cycleSpec(cfg, []int{16, 32, 64, 128, 256, 512, 1024, 2048, 4096}, 5)
+			spec.Alg = func(int, ids.Assignment) local.ViewAlgorithm { return largestid.Pruning{} }
+			spec.Verify = verifyLargestID
+			res, err := sweep.Run(ctx, spec)
+			if err != nil {
+				return nil, err
+			}
 			t := &Table{
 				Title:   "E1: pruning algorithm, classic measure max_v r(v)",
 				Columns: []string{"n", "maxRadius", "n/2", "avg/max", "verified"},
 			}
 			var ns []int
 			var maxima []float64
-			for _, n := range sizes {
-				c, err := graph.NewCycle(n)
-				if err != nil {
-					return nil, err
+			for _, s := range res.Sizes {
+				worst := s.WorstMax
+				ratio := 0.0
+				if worst.Max > 0 {
+					ratio = worst.Avg / float64(worst.Max)
 				}
-				worstMax := 0
-				var ratio float64
-				verified := true
-				for trial := 0; trial < trials; trial++ {
-					a := ids.Random(n, rng)
-					res, err := local.RunView(c, a, largestid.Pruning{})
-					if err != nil {
-						return nil, err
-					}
-					if err := (problems.LargestID{}).Verify(c, a, res.Outputs); err != nil {
-						verified = false
-					}
-					if res.MaxRadius() > worstMax {
-						worstMax = res.MaxRadius()
-						ratio = res.AvgRadius() / float64(res.MaxRadius())
-					}
-				}
-				t.AddRow(n, worstMax, n/2, ratio, verified)
-				ns = append(ns, n)
-				maxima = append(maxima, float64(worstMax))
+				t.AddRow(s.N, worst.Max, s.N/2, ratio, s.Verified())
+				ns = append(ns, s.N)
+				maxima = append(maxima, float64(worst.Max))
 			}
 			if fit, err := measure.FitAgainstLinear(ns, maxima); err == nil {
 				t.AddNote("linear fit of maxRadius vs n: slope=%.4f (paper: 1/2), R2=%.5f", fit.Slope, fit.R2)
@@ -75,56 +69,55 @@ func e2() Experiment {
 		ID:    "E2",
 		Title: "Largest ID: worst-case average radius is Θ(log n)",
 		Claim: "§2: \"the average radius is logarithmic in n, exponentially smaller than the worst case\"",
-		Run: func(cfg Config) (*Table, error) {
-			sizes := sizesOrDefault(cfg, []int{16, 32, 64, 128, 256, 512, 1024, 2048, 4096, 8192, 16384})
-			trials := trialsOrDefault(cfg, 5)
-			rng := rand.New(rand.NewSource(cfg.Seed))
+		Run: func(ctx context.Context, cfg Config) (*Table, error) {
+			defSizes := []int{16, 32, 64, 128, 256, 512, 1024, 2048, 4096, 8192, 16384}
+
+			// Sweep 1: the reconstructed worst permutation, one exact trial
+			// per size.
+			exactSpec := cycleSpec(cfg, defSizes, 1)
+			exactSpec.Trials = 1
+			exactSpec.Alg = func(int, ids.Assignment) local.ViewAlgorithm { return largestid.Pruning{} }
+			exactSpec.Assign = assignFixed(func(n int) (ids.Assignment, error) {
+				perm, err := analytic.WorstCyclePerm(n)
+				if err != nil {
+					return nil, err
+				}
+				return ids.FromPerm(perm)
+			})
+			exactRes, err := sweep.Run(ctx, exactSpec)
+			if err != nil {
+				return nil, err
+			}
+
+			// Sweep 2: sampled random permutations for comparison.
+			rndSpec := cycleSpec(cfg, defSizes, 5)
+			rndSpec.Alg = func(int, ids.Assignment) local.ViewAlgorithm { return largestid.Pruning{} }
+			rndRes, err := sweep.Run(ctx, rndSpec)
+			if err != nil {
+				return nil, err
+			}
+
 			t := &Table{
 				Title:   "E2: pruning algorithm, average measure (worst permutation, built exactly)",
 				Columns: []string{"n", "sumRadii", "a(n-1)+n/2", "exact", "worstAvg", "ln n", "median", "p90", "sampledAvg", "max/avg"},
 			}
 			var ns []int
 			var avgs []float64
-			for _, n := range sizes {
-				c, err := graph.NewCycle(n)
-				if err != nil {
-					return nil, err
-				}
-				perm, err := analytic.WorstCyclePerm(n)
-				if err != nil {
-					return nil, err
-				}
-				a, err := ids.FromPerm(perm)
-				if err != nil {
-					return nil, err
-				}
-				res, err := local.RunView(c, a, largestid.Pruning{})
-				if err != nil {
-					return nil, err
-				}
+			for i, s := range exactRes.Sizes {
+				n := s.N
 				theory, err := analytic.WorstCycleSum(n)
 				if err != nil {
 					return nil, err
 				}
+				worst := s.WorstAvg
 				// NB: the engine's segment radii match the paper's model
 				// exactly; any mismatch here falsifies the reproduction.
-				exact := int64(res.SumRadii()) == theory
-				worstAvg := res.AvgRadius()
-				dist := measure.Summarize(res.Radii)
-
-				sampled := 0.0
-				for trial := 0; trial < trials; trial++ {
-					r2, err := local.RunView(c, ids.Random(n, rng), largestid.Pruning{})
-					if err != nil {
-						return nil, err
-					}
-					if r2.AvgRadius() > sampled {
-						sampled = r2.AvgRadius()
-					}
-				}
-				t.AddRow(n, res.SumRadii(), theory, exact, worstAvg,
-					math.Log(float64(n)), dist.Median, dist.P90, sampled,
-					float64(res.MaxRadius())/worstAvg)
+				exact := s.TotalSum == theory
+				worstAvg := worst.Avg
+				sampled := rndRes.Sizes[i].WorstAvg.Avg
+				t.AddRow(n, worst.Sum, theory, exact, worstAvg,
+					math.Log(float64(n)), worst.Median, worst.P90, sampled,
+					float64(worst.Max)/worstAvg)
 				ns = append(ns, n)
 				avgs = append(avgs, worstAvg)
 			}
@@ -139,17 +132,36 @@ func e2() Experiment {
 }
 
 // e3 reproduces the recurrence analysis of §2: a(p) computed by the
-// recurrence equals OEIS A000788 term-by-term and grows as Θ(n ln n).
+// recurrence equals OEIS A000788 term-by-term and grows as Θ(n ln n). The
+// closed-form evaluation over the whole range is sharded with sweep.Map.
 func e3() Experiment {
 	return Experiment{
 		ID:    "E3",
 		Title: "Recurrence a(p) = A000788(p) = Θ(n ln n)",
 		Claim: "§2: \"this sequence ... is known to be in θ(n ln n) (see A000788)\"",
-		Run: func(cfg Config) (*Table, error) {
+		Run: func(ctx context.Context, cfg Config) (*Table, error) {
 			sizes := sizesOrDefault(cfg, []int{4, 16, 64, 256, 1024, 4096, 16384, 65536})
-			maxP := sizes[len(sizes)-1]
+			maxP := 0
+			for _, p := range sizes {
+				if p > maxP {
+					maxP = p
+				}
+			}
 			a, err := analytic.Recurrence(maxP)
 			if err != nil {
+				return nil, err
+			}
+			// Term-by-term closed forms over the whole range, not just the
+			// rows, computed across the worker pool.
+			closed := make([]int64, maxP+1)
+			if err := sweep.Map(ctx, cfg.Workers, maxP+1, func(p int) error {
+				c, err := analytic.A000788(int64(p))
+				if err != nil {
+					return err
+				}
+				closed[p] = c
+				return nil
+			}); err != nil {
 				return nil, err
 			}
 			t := &Table{
@@ -158,24 +170,15 @@ func e3() Experiment {
 			}
 			allEqual := true
 			for _, p := range sizes {
-				closed, err := analytic.A000788(int64(p))
-				if err != nil {
-					return nil, err
-				}
-				eq := a[p] == closed
+				eq := a[p] == closed[p]
 				allEqual = allEqual && eq
 				ratio := float64(a[p]) / analytic.NLogN(p)
-				t.AddRow(p, a[p], closed, eq, ratio)
+				t.AddRow(p, a[p], closed[p], eq, ratio)
 			}
-			// Term-by-term check over the whole range, not just the rows.
 			for p := 0; p <= maxP; p++ {
-				closed, err := analytic.A000788(int64(p))
-				if err != nil {
-					return nil, err
-				}
-				if a[p] != closed {
+				if a[p] != closed[p] {
 					allEqual = false
-					t.AddNote("MISMATCH at p=%d: a=%d closed=%d", p, a[p], closed)
+					t.AddNote("MISMATCH at p=%d: a=%d closed=%d", p, a[p], closed[p])
 					break
 				}
 			}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"math/rand"
 
 	"repro/internal/adversary"
@@ -10,7 +11,13 @@ import (
 	"repro/internal/ids"
 	"repro/internal/local"
 	"repro/internal/problems"
+	"repro/internal/sweep"
 )
+
+// verifyColoring adapts the 3-colouring checker to the sweep hook.
+func verifyColoring(g graph.Graph, a ids.Assignment, res *local.Result) error {
+	return problems.Coloring{K: 3}.Verify(g, a, res.Outputs)
+}
 
 // e4 reproduces the upper-bound side of §3: Cole-Vishkin 3-colours the ring
 // in O(log* n) for every vertex — with or without knowledge of the
@@ -21,44 +28,40 @@ func e4() Experiment {
 		ID:    "E4",
 		Title: "3-colouring upper bound: Cole-Vishkin radius is O(log* n), avg ≈ max",
 		Claim: "§3: \"it is possible to 3-colour the n-node ring in O(log* n) rounds even without the knowledge of n\"",
-		Run: func(cfg Config) (*Table, error) {
-			sizes := sizesOrDefault(cfg, []int{16, 64, 256, 1024, 4096, 16384, 65536})
-			rng := rand.New(rand.NewSource(cfg.Seed))
+		Run: func(ctx context.Context, cfg Config) (*Table, error) {
+			defSizes := []int{16, 64, 256, 1024, 4096, 16384, 65536}
+
+			cvSpec := cycleSpec(cfg, defSizes, 1)
+			cvSpec.Alg = func(_ int, a ids.Assignment) local.ViewAlgorithm { return coloring.ForMaxID(a.MaxID()) }
+			cvSpec.Verify = verifyColoring
+			cvRes, err := sweep.Run(ctx, cvSpec)
+			if err != nil {
+				return nil, err
+			}
+
+			uniSpec := cycleSpec(cfg, defSizes, 1)
+			uniSpec.Alg = func(int, ids.Assignment) local.ViewAlgorithm { return coloring.Uniform{} }
+			uniSpec.Verify = verifyColoring
+			uniRes, err := sweep.Run(ctx, uniSpec)
+			if err != nil {
+				return nil, err
+			}
+
 			t := &Table{
 				Title:   "E4: Cole-Vishkin (known ID bits) and uniform variant (no knowledge)",
 				Columns: []string{"n", "log*(n)", "cvMax", "cvAvg", "uniMax", "uniAvg", "verified"},
 			}
 			worstCV, worstUni := 0, 0
-			for _, n := range sizes {
-				c, err := graph.NewCycle(n)
-				if err != nil {
-					return nil, err
+			for i, cv := range cvRes.Sizes {
+				uni := uniRes.Sizes[i]
+				if cv.WorstMax.Max > worstCV {
+					worstCV = cv.WorstMax.Max
 				}
-				a := ids.Random(n, rng)
-				verified := true
-
-				cv, err := local.RunView(c, a, coloring.ForMaxID(a.MaxID()))
-				if err != nil {
-					return nil, err
+				if uni.WorstMax.Max > worstUni {
+					worstUni = uni.WorstMax.Max
 				}
-				if err := (problems.Coloring{K: 3}).Verify(c, a, cv.Outputs); err != nil {
-					verified = false
-				}
-				uni, err := local.RunView(c, a, coloring.Uniform{})
-				if err != nil {
-					return nil, err
-				}
-				if err := (problems.Coloring{K: 3}).Verify(c, a, uni.Outputs); err != nil {
-					verified = false
-				}
-				if cv.MaxRadius() > worstCV {
-					worstCV = cv.MaxRadius()
-				}
-				if uni.MaxRadius() > worstUni {
-					worstUni = uni.MaxRadius()
-				}
-				t.AddRow(n, analytic.LogStar(float64(n)), cv.MaxRadius(), cv.AvgRadius(),
-					uni.MaxRadius(), uni.AvgRadius(), verified)
+				t.AddRow(cv.N, analytic.LogStar(float64(cv.N)), cv.WorstMax.Max, cv.WorstAvg.Avg,
+					uni.WorstMax.Max, uni.WorstAvg.Avg, cv.Verified() && uni.Verified())
 			}
 			t.AddNote("radii stay <= %d (CV) and <= %d (uniform) across 4 decades of n: the log* plateau", worstCV, worstUni)
 			t.AddNote("avg/max ratio stays Θ(1): colouring does not average down (matches Theorem 1)")
@@ -70,55 +73,78 @@ func e4() Experiment {
 // e5 reproduces Theorem 1's construction: the adversarial permutation pi
 // keeps the average radius of a 3-colouring algorithm at its Ω(log* n)
 // floor; even the most favourable identifier arrangement cannot beat it.
+// The three permutation regimes (favourable, random, adversarial) are three
+// sweeps sharing the seed; the adversarial builders run concurrently across
+// sizes, which is where E5's wall-clock goes.
 func e5() Experiment {
 	return Experiment{
 		ID:    "E5",
 		Title: "3-colouring lower bound: adversarial pi keeps the average at Ω(log* n)",
 		Claim: "Theorem 1 and its slice construction (§3)",
-		Run: func(cfg Config) (*Table, error) {
-			sizes := sizesOrDefault(cfg, []int{64, 128, 256, 512})
-			rng := rand.New(rand.NewSource(cfg.Seed))
-			t := &Table{
-				Title:   "E5: uniform 3-colouring under favourable / random / adversarial permutations",
-				Columns: []string{"n", "favAvg", "rndAvg", "advAvg", "slices", "sliceR", "lemma3min", "verified"},
-			}
-			for _, n := range sizes {
-				c, err := graph.NewCycle(n)
-				if err != nil {
-					return nil, err
-				}
-				alg := coloring.Uniform{}
+		Run: func(ctx context.Context, cfg Config) (*Table, error) {
+			defSizes := []int{64, 128, 256, 512}
+			alg := func(int, ids.Assignment) local.ViewAlgorithm { return coloring.Uniform{} }
 
-				// Favourable arrangement: sorted magnitudes cluster small
-				// identifiers, maximising early phase-0 commitments.
-				fav := ids.Identity(n)
-				favRes, err := local.RunView(c, fav, alg)
-				if err != nil {
-					return nil, err
-				}
-				rndRes, err := local.RunView(c, ids.Random(n, rng), alg)
-				if err != nil {
-					return nil, err
-				}
-				builder := adversary.Builder{Alg: alg}
+			// Favourable arrangement: sorted magnitudes cluster small
+			// identifiers, maximising early phase-0 commitments.
+			favSpec := cycleSpec(cfg, defSizes, 1)
+			// One deterministic assignment per size: extra trials would be
+			// byte-identical reruns.
+			favSpec.Trials = 1
+			favSpec.Alg = alg
+			favSpec.Assign = assignFixed(func(n int) (ids.Assignment, error) { return ids.Identity(n), nil })
+			favRes, err := sweep.Run(ctx, favSpec)
+			if err != nil {
+				return nil, err
+			}
+
+			rndSpec := cycleSpec(cfg, defSizes, 1)
+			rndSpec.Trials = 1
+			rndSpec.Alg = alg
+			rndRes, err := sweep.Run(ctx, rndSpec)
+			if err != nil {
+				return nil, err
+			}
+
+			advSpec := cycleSpec(cfg, defSizes, 1)
+			// Exactly one adversarial build per size: the reports and lemma3
+			// slots below are per-size, so multiple trials would race on
+			// them (and burn a builder run each).
+			advSpec.Trials = 1
+			sizes := advSpec.Sizes
+			reports := make([]*adversary.Report, len(sizes))
+			lemma3s := make([]float64, len(sizes))
+			advSpec.Alg = alg
+			advSpec.Assign = func(sizeIdx, n, _ int, rng *rand.Rand) (ids.Assignment, error) {
+				builder := adversary.Builder{Alg: coloring.Uniform{}}
 				pi, report, err := builder.Build(n, rng)
 				if err != nil {
 					return nil, err
 				}
-				advRes, err := local.RunView(c, pi, alg)
-				if err != nil {
-					return nil, err
+				reports[sizeIdx] = report
+				return pi, nil
+			}
+			advSpec.Verify = verifyColoring
+			advSpec.Observe = func(sizeIdx, _ int, g graph.Graph, _ ids.Assignment, res *local.Result) {
+				if c, ok := g.(graph.Cycle); ok {
+					if r, ok := adversary.Lemma3Ratio(c, res.Radii); ok {
+						lemma3s[sizeIdx] = r
+					}
 				}
-				verified := true
-				if err := (problems.Coloring{K: 3}).Verify(c, pi, advRes.Outputs); err != nil {
-					verified = false
-				}
-				lemma3 := 0.0
-				if r, ok := adversary.Lemma3Ratio(c, advRes.Radii); ok {
-					lemma3 = r
-				}
-				t.AddRow(n, favRes.AvgRadius(), rndRes.AvgRadius(), advRes.AvgRadius(),
-					report.Slices, report.TargetRadius, lemma3, verified)
+			}
+			advRes, err := sweep.Run(ctx, advSpec)
+			if err != nil {
+				return nil, err
+			}
+
+			t := &Table{
+				Title:   "E5: uniform 3-colouring under favourable / random / adversarial permutations",
+				Columns: []string{"n", "favAvg", "rndAvg", "advAvg", "slices", "sliceR", "lemma3min", "verified"},
+			}
+			for i, adv := range advRes.Sizes {
+				report := reports[i]
+				t.AddRow(adv.N, favRes.Sizes[i].WorstAvg.Avg, rndRes.Sizes[i].WorstAvg.Avg,
+					adv.WorstAvg.Avg, report.Slices, report.TargetRadius, lemma3s[i], adv.Verified())
 			}
 			t.AddNote("no arrangement pushes the average below the Ω(log* n) floor; the adversarial pi pins slice centres to radius >= R")
 			t.AddNote("lemma3min is the empirical constant of Lemma 3 (avg radius near a radius-r vertex / r)")

@@ -1,8 +1,8 @@
 package experiments
 
 import (
+	"context"
 	"math"
-	"math/rand"
 
 	"repro/internal/algorithms/coloring"
 	"repro/internal/algorithms/largestid"
@@ -12,51 +12,43 @@ import (
 	"repro/internal/ids"
 	"repro/internal/local"
 	"repro/internal/measure"
+	"repro/internal/sweep"
 )
 
 // e6 explores the further-work question of §4: the EXPECTED average radius
 // under uniformly random identifier permutations, compared with the
 // worst-case average of E2. Both are Θ(log n) for largest ID, with the
-// expectation tracking the harmonic number.
+// expectation tracking the harmonic number. The expectation is exactly the
+// sweep's streaming mean — no per-trial storage.
 func e6() Experiment {
 	return Experiment{
 		ID:    "E6",
 		Title: "Largest ID: expectation over random permutations vs worst case",
 		Claim: "§4 further work: \"study the expectancy of the running time ... identifiers taken uniformly at random\"",
-		Run: func(cfg Config) (*Table, error) {
-			sizes := sizesOrDefault(cfg, []int{16, 64, 256, 1024, 4096})
-			trials := trialsOrDefault(cfg, 20)
-			rng := rand.New(rand.NewSource(cfg.Seed))
+		Run: func(ctx context.Context, cfg Config) (*Table, error) {
+			spec := cycleSpec(cfg, []int{16, 64, 256, 1024, 4096}, 20)
+			spec.Alg = func(int, ids.Assignment) local.ViewAlgorithm { return largestid.Pruning{} }
+			res, err := sweep.Run(ctx, spec)
+			if err != nil {
+				return nil, err
+			}
 			t := &Table{
 				Title:   "E6: pruning algorithm, E[avg radius] vs worst-case avg",
 				Columns: []string{"n", "meanAvg", "H(n)", "worstAvg", "mean/worst", "meanMax", "n/2"},
 			}
 			var ns []int
 			var means []float64
-			for _, n := range sizes {
-				c, err := graph.NewCycle(n)
+			for i := range res.Sizes {
+				s := &res.Sizes[i]
+				worst, err := analytic.WorstCycleSum(s.N)
 				if err != nil {
 					return nil, err
 				}
-				summaries := make([]measure.Summary, 0, trials)
-				for trial := 0; trial < trials; trial++ {
-					res, err := local.RunView(c, ids.Random(n, rng), largestid.Pruning{})
-					if err != nil {
-						return nil, err
-					}
-					summaries = append(summaries, measure.Summarize(res.Radii))
-				}
-				agg := measure.NewAggregate(summaries)
-
-				worst, err := analytic.WorstCycleSum(n)
-				if err != nil {
-					return nil, err
-				}
-				worstAvg := float64(worst) / float64(n)
-				t.AddRow(n, agg.MeanAvg, analytic.Harmonic(n), worstAvg,
-					agg.MeanAvg/worstAvg, agg.MeanMax, n/2)
-				ns = append(ns, n)
-				means = append(means, agg.MeanAvg)
+				worstAvg := float64(worst) / float64(s.N)
+				t.AddRow(s.N, s.MeanAvg(), analytic.Harmonic(s.N), worstAvg,
+					s.MeanAvg()/worstAvg, s.MeanMax(), s.N/2)
+				ns = append(ns, s.N)
+				means = append(means, s.MeanAvg())
 			}
 			if fit, err := measure.FitAgainstLog(ns, means); err == nil {
 				t.AddNote("log fit of meanAvg vs ln n: slope=%.4f, R2=%.5f — expectation is Θ(log n) too", fit.Slope, fit.R2)
@@ -69,19 +61,16 @@ func e6() Experiment {
 
 // e7 addresses the characterisation question of §4: for which problems do
 // the two measures separate? Largest ID separates exponentially; colouring
-// and MIS do not separate at all.
+// and MIS do not separate at all. One sweep per algorithm; the sweeps share
+// the seed, so every algorithm sees the same identifier permutation at each
+// size — the same controlled comparison the sequential loop used to make.
 func e7() Experiment {
 	return Experiment{
 		ID:    "E7",
 		Title: "Problem characterisation: max/avg separation by problem",
 		Claim: "§4: \"It would be interesting to characterise the problems of the first and second types\"",
-		Run: func(cfg Config) (*Table, error) {
-			sizes := sizesOrDefault(cfg, []int{64, 256, 1024, 4096})
-			rng := rand.New(rand.NewSource(cfg.Seed))
-			t := &Table{
-				Title:   "E7: max vs avg radius per problem (random permutations)",
-				Columns: []string{"n", "problem", "algorithm", "max", "avg", "max/avg"},
-			}
+		Run: func(ctx context.Context, cfg Config) (*Table, error) {
+			defSizes := []int{64, 256, 1024, 4096}
 			type entry struct {
 				problem string
 				alg     func(a ids.Assignment) local.ViewAlgorithm
@@ -94,26 +83,42 @@ func e7() Experiment {
 					return mis.FromColoring{Base: coloring.ForMaxID(a.MaxID())}
 				}},
 			}
-			ratios := map[string][]float64{}
-			var ns []int
-			for _, n := range sizes {
-				c, err := graph.NewCycle(n)
+
+			type sweepOut struct {
+				stats []sweep.SizeStats
+				names []string
+			}
+			outs := make([]sweepOut, len(entries))
+			for ei, e := range entries {
+				spec := cycleSpec(cfg, defSizes, 1)
+				// One assignment per size: the names slots below are
+				// per-size, so multiple trials would race on them.
+				spec.Trials = 1
+				names := make([]string, len(spec.Sizes))
+				spec.Alg = func(_ int, a ids.Assignment) local.ViewAlgorithm { return e.alg(a) }
+				spec.Observe = func(sizeIdx, _ int, _ graph.Graph, _ ids.Assignment, res *local.Result) {
+					names[sizeIdx] = res.Algorithm
+				}
+				res, err := sweep.Run(ctx, spec)
 				if err != nil {
 					return nil, err
 				}
-				a := ids.Random(n, rng)
-				ns = append(ns, n)
-				for _, e := range entries {
-					alg := e.alg(a)
-					res, err := local.RunView(c, a, alg)
-					if err != nil {
-						return nil, err
-					}
+				outs[ei] = sweepOut{stats: res.Sizes, names: names}
+			}
+
+			t := &Table{
+				Title:   "E7: max vs avg radius per problem (random permutations)",
+				Columns: []string{"n", "problem", "algorithm", "max", "avg", "max/avg"},
+			}
+			ratios := map[string][]float64{}
+			for i := range outs[0].stats {
+				for ei, e := range entries {
+					s := outs[ei].stats[i]
 					ratio := math.Inf(1)
-					if res.AvgRadius() > 0 {
-						ratio = float64(res.MaxRadius()) / res.AvgRadius()
+					if s.WorstAvg.Avg > 0 {
+						ratio = float64(s.WorstMax.Max) / s.WorstAvg.Avg
 					}
-					t.AddRow(n, e.problem, alg.Name(), res.MaxRadius(), res.AvgRadius(), ratio)
+					t.AddRow(s.N, e.problem, outs[ei].names[i], s.WorstMax.Max, s.WorstAvg.Avg, ratio)
 					ratios[e.problem] = append(ratios[e.problem], ratio)
 				}
 			}

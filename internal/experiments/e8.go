@@ -1,30 +1,30 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
+	"math/rand"
 
 	"repro/internal/graph"
 	"repro/internal/ids"
 	"repro/internal/linial"
 	"repro/internal/local"
-	"repro/internal/problems"
+	"repro/internal/sweep"
 )
 
 // e8 goes below the black box of §3: Theorem 1 consumes Linial's lower
 // bound as given; here we compute its smallest concrete instances exactly.
 // The neighbourhood graph N_r(s) is built explicitly and 3-coloured (or
 // proven non-3-colourable) by exact search; feasible cases are turned into
-// synthesized minimal-radius algorithms and executed on the simulator.
+// synthesized minimal-radius algorithms and executed on the simulator. The
+// exact searches are independent, so they run sharded via sweep.Map — the
+// s=7 impossibility proof no longer serialises behind the feasible cases.
 func e8() Experiment {
 	return Experiment{
 		ID:    "E8",
 		Title: "Linial's bound, smallest instances: exact radius-1 feasibility thresholds",
 		Claim: "§3 uses Linial's Ω(log* n) as a black box; E8 recomputes its base cases exactly",
-		Run: func(cfg Config) (*Table, error) {
-			t := &Table{
-				Title:   "E8: exact 3-colourability of the neighbourhood graph N_r(s)",
-				Columns: []string{"r", "s", "views", "edges", "algorithmExists", "simulated"},
-			}
+		Run: func(ctx context.Context, cfg Config) (*Table, error) {
 			type q struct{ r, s int }
 			cases := []q{
 				{0, 4}, // K_4: radius 0 fails already at four identifiers
@@ -33,20 +33,37 @@ func e8() Experiment {
 				{1, 6}, // the last feasible radius-1 space
 				{1, 7}, // the exact impossibility threshold
 			}
-			for _, c := range cases {
+			type outcome struct {
+				verdict   linial.Verdict
+				simulated string
+			}
+			outs := make([]outcome, len(cases))
+			if err := sweep.Map(ctx, cfg.Workers, len(cases), func(i int) error {
+				c := cases[i]
 				v, err := linial.ThreeColorable(c.s, c.r)
 				if err != nil {
-					return nil, fmt.Errorf("E8 (s=%d,r=%d): %w", c.s, c.r, err)
+					return fmt.Errorf("E8 (s=%d,r=%d): %w", c.s, c.r, err)
 				}
-				simulated := "-"
+				outs[i].verdict = v
+				outs[i].simulated = "-"
 				if v.Usable && c.r == 1 {
-					res, err := runSynthesized(c.s)
+					sim, err := runSynthesized(ctx, cfg, c.s)
 					if err != nil {
-						return nil, fmt.Errorf("E8 synthesized (s=%d): %w", c.s, err)
+						return fmt.Errorf("E8 synthesized (s=%d): %w", c.s, err)
 					}
-					simulated = res
+					outs[i].simulated = sim
 				}
-				t.AddRow(c.r, c.s, v.Views, v.Edges, v.Usable, simulated)
+				return nil
+			}); err != nil {
+				return nil, err
+			}
+			t := &Table{
+				Title:   "E8: exact 3-colourability of the neighbourhood graph N_r(s)",
+				Columns: []string{"r", "s", "views", "edges", "algorithmExists", "simulated"},
+			}
+			for i, c := range cases {
+				v := outs[i].verdict
+				t.AddRow(c.r, c.s, v.Views, v.Edges, v.Usable, outs[i].simulated)
 			}
 			t.AddNote("radius-1 3-colouring exists iff the identifier space has at most 6 identifiers")
 			t.AddNote("feasible tables run on the simulator at radius exactly 1 — minimal algorithms in the paper's sense")
@@ -57,10 +74,10 @@ func e8() Experiment {
 }
 
 // runSynthesized executes the synthesized radius-1 table on the largest
-// in-space ring with an open window (n = s >= 2r+2 would include id s; use
-// n = s when s <= ... identifiers of C_n are 0..n-1, so n = s exactly uses
-// the full space) and reports its verified radius profile.
-func runSynthesized(s int) (string, error) {
+// in-space ring (identifiers of C_n are 0..n-1, so n = s exactly uses the
+// full space), routed through a single-instance sweep with strict
+// verification, and reports its radius profile.
+func runSynthesized(ctx context.Context, cfg Config, s int) (string, error) {
 	ta, err := linial.Synthesize(s, 1)
 	if err != nil {
 		return "", err
@@ -69,17 +86,21 @@ func runSynthesized(s int) (string, error) {
 	if n < 3 {
 		return "", fmt.Errorf("space %d too small for a ring", s)
 	}
-	c, err := graph.NewCycle(n)
+	spec := sweep.Spec{
+		Seed:    cfg.Seed,
+		Sizes:   []int{n},
+		Trials:  1,
+		Workers: cfg.Workers,
+		Graph:   func(n int, _ *rand.Rand) (graph.Graph, error) { return graph.NewCycle(n) },
+		Assign:  assignFixed(func(n int) (ids.Assignment, error) { return ids.Identity(n), nil }),
+		Alg:     func(int, ids.Assignment) local.ViewAlgorithm { return ta },
+		Verify:  verifyColoring,
+		Strict:  true,
+	}
+	res, err := sweep.Run(ctx, spec)
 	if err != nil {
 		return "", err
 	}
-	a := ids.Identity(n)
-	res, err := local.RunView(c, a, ta)
-	if err != nil {
-		return "", err
-	}
-	if err := (problems.Coloring{K: 3}).Verify(c, a, res.Outputs); err != nil {
-		return "", err
-	}
-	return fmt.Sprintf("C_%d max=%d avg=%.1f", n, res.MaxRadius(), res.AvgRadius()), nil
+	st := res.Sizes[0]
+	return fmt.Sprintf("C_%d max=%d avg=%.1f", n, st.WorstMax.Max, st.WorstAvg.Avg), nil
 }

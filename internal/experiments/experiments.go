@@ -1,20 +1,29 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
+	"math/rand"
 	"sort"
+
+	"repro/internal/graph"
+	"repro/internal/ids"
+	"repro/internal/sweep"
 )
 
 // Config tunes an experiment run. The zero value plus a seed gives the
 // defaults used in EXPERIMENTS.md; benchmarks use reduced sizes.
 type Config struct {
-	// Seed drives all randomness; equal seeds reproduce tables exactly.
+	// Seed drives all randomness; equal seeds reproduce tables exactly,
+	// independent of Workers.
 	Seed int64
 	// Sizes overrides the experiment's default n sweep when non-empty.
 	Sizes []int
 	// Trials is the number of sampled permutations per size (default
 	// experiment-specific).
 	Trials int
+	// Workers bounds the sweep worker pool (0 = GOMAXPROCS).
+	Workers int
 }
 
 // Experiment is one reproducible claim of the paper.
@@ -25,8 +34,9 @@ type Experiment struct {
 	Title string
 	// Claim cites the paper location the experiment reproduces.
 	Claim string
-	// Run executes the experiment and renders its table.
-	Run func(cfg Config) (*Table, error)
+	// Run executes the experiment and renders its table. The context
+	// cancels the underlying sweeps; a cancelled run returns an error.
+	Run func(ctx context.Context, cfg Config) (*Table, error)
 }
 
 // registry holds all experiments keyed by ID.
@@ -76,4 +86,25 @@ func trialsOrDefault(cfg Config, def int) int {
 		return cfg.Trials
 	}
 	return def
+}
+
+// cycleSpec is the spec skeleton shared by the ring experiments: sizes and
+// trials resolved against the experiment defaults, cycle instances, and the
+// config's seed and worker pool.
+func cycleSpec(cfg Config, defSizes []int, defTrials int) sweep.Spec {
+	return sweep.Spec{
+		Seed:    cfg.Seed,
+		Sizes:   sizesOrDefault(cfg, defSizes),
+		Trials:  trialsOrDefault(cfg, defTrials),
+		Workers: cfg.Workers,
+		Graph:   func(n int, _ *rand.Rand) (graph.Graph, error) { return graph.NewCycle(n) },
+	}
+}
+
+// assignFixed adapts a deterministic per-size assignment constructor into a
+// sweep assignment source.
+func assignFixed(build func(n int) (ids.Assignment, error)) func(int, int, int, *rand.Rand) (ids.Assignment, error) {
+	return func(_, n, _ int, _ *rand.Rand) (ids.Assignment, error) {
+		return build(n)
+	}
 }

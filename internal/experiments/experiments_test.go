@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"encoding/csv"
 	"strings"
 	"testing"
@@ -39,7 +40,7 @@ func TestAllExperimentsRunSmall(t *testing.T) {
 	for _, e := range All() {
 		e := e
 		t.Run(e.ID, func(t *testing.T) {
-			tab, err := e.Run(smallCfg())
+			tab, err := e.Run(context.Background(), smallCfg())
 			if err != nil {
 				t.Fatalf("%s: %v", e.ID, err)
 			}
@@ -60,16 +61,86 @@ func TestExperimentsDeterministicPerSeed(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		t1, err := e.Run(smallCfg())
+		t1, err := e.Run(context.Background(), smallCfg())
 		if err != nil {
 			t.Fatalf("%s run 1: %v", id, err)
 		}
-		t2, err := e.Run(smallCfg())
+		t2, err := e.Run(context.Background(), smallCfg())
 		if err != nil {
 			t.Fatalf("%s run 2: %v", id, err)
 		}
 		if t1.Render() != t2.Render() {
 			t.Errorf("%s not deterministic for a fixed seed", id)
+		}
+	}
+}
+
+// TestExperimentsDeterministicAcrossWorkers is the sharding guarantee
+// surfaced at the table level: every experiment renders byte-identically
+// whether its sweeps run on one worker or eight.
+func TestExperimentsDeterministicAcrossWorkers(t *testing.T) {
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			seq := smallCfg()
+			seq.Workers = 1
+			par := smallCfg()
+			par.Workers = 8
+			t1, err := e.Run(context.Background(), seq)
+			if err != nil {
+				t.Fatalf("%s workers=1: %v", e.ID, err)
+			}
+			t2, err := e.Run(context.Background(), par)
+			if err != nil {
+				t.Fatalf("%s workers=8: %v", e.ID, err)
+			}
+			if r1, r2 := t1.Render(), t2.Render(); r1 != r2 {
+				t.Errorf("%s table depends on the worker count:\nworkers=1:\n%s\nworkers=8:\n%s", e.ID, r1, r2)
+			}
+		})
+	}
+}
+
+// TestE3UnsortedSizes regresses the out-of-range panic when the size
+// override is not ascending: maxP must be the maximum, not the last entry.
+func TestE3UnsortedSizes(t *testing.T) {
+	e, err := Get("E3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab, err := e.Run(context.Background(), Config{Seed: 1, Sizes: []int{64, 16}})
+	if err != nil {
+		t.Fatalf("descending sizes: %v", err)
+	}
+	if len(tab.Rows) != 2 {
+		t.Fatalf("got %d rows, want 2", len(tab.Rows))
+	}
+}
+
+// TestE5DuplicateSizes regresses the nil-report panic when the size sweep
+// repeats a value: per-size slots are keyed by index, not by n.
+func TestE5DuplicateSizes(t *testing.T) {
+	e, err := Get("E5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab, err := e.Run(context.Background(), Config{Seed: 1, Sizes: []int{16, 16}})
+	if err != nil {
+		t.Fatalf("duplicate sizes: %v", err)
+	}
+	if len(tab.Rows) != 2 {
+		t.Fatalf("got %d rows, want 2", len(tab.Rows))
+	}
+}
+
+// TestExperimentsCancellation cancels the context up front: every
+// experiment must fail fast instead of computing its table.
+func TestExperimentsCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, e := range All() {
+		if _, err := e.Run(ctx, smallCfg()); err == nil {
+			t.Errorf("%s ignored a cancelled context", e.ID)
 		}
 	}
 }
@@ -82,7 +153,7 @@ func TestE2ExactIdentity(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	tab, err := e.Run(Config{Seed: 1, Sizes: []int{16, 64, 256, 1024}, Trials: 1})
+	tab, err := e.Run(context.Background(), Config{Seed: 1, Sizes: []int{16, 64, 256, 1024}, Trials: 1})
 	if err != nil {
 		t.Fatal(err)
 	}

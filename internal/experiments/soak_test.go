@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"math"
 	"strconv"
 	"testing"
@@ -16,7 +17,7 @@ func TestSoakLargeSweeps(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	tab, err := e2.Run(Config{Seed: 3, Sizes: []int{1 << 12, 1 << 14, 1 << 16}, Trials: 2})
+	tab, err := e2.Run(context.Background(), Config{Seed: 3, Sizes: []int{1 << 12, 1 << 14, 1 << 16}, Trials: 2})
 	if err != nil {
 		t.Fatalf("E2 soak: %v", err)
 	}
@@ -55,7 +56,7 @@ func TestSoakLargeSweeps(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	tab4, err := e4.Run(Config{Seed: 3, Sizes: []int{1 << 17}})
+	tab4, err := e4.Run(context.Background(), Config{Seed: 3, Sizes: []int{1 << 17}})
 	if err != nil {
 		t.Fatalf("E4 soak: %v", err)
 	}

@@ -1,7 +1,9 @@
 // Package experiments turns every quantitative claim of the paper into a
-// reproducible experiment E1..E7 (see DESIGN.md for the index) with a
+// reproducible experiment E1..E9 (see EXPERIMENTS.md for the index) with a
 // uniform table output, shared by cmd/avgbench and the root benchmark
-// suite.
+// suite. All experiments execute on the sharded sweep engine
+// (internal/sweep): equal seeds reproduce tables exactly at any worker
+// count, and a context cancels mid-sweep with a prompt error.
 package experiments
 
 import (
@@ -10,14 +12,15 @@ import (
 	"strings"
 )
 
-// Table is one experiment's output: a titled grid of cells.
+// Table is one experiment's output: a titled grid of cells. The JSON tags
+// define the machine-readable schema emitted by cmd/avgbench -json.
 type Table struct {
-	Title   string
-	Columns []string
-	Rows    [][]string
+	Title   string     `json:"title"`
+	Columns []string   `json:"columns"`
+	Rows    [][]string `json:"rows"`
 	// Notes carry the experiment's verdicts (fits, checks) printed below
 	// the grid.
-	Notes []string
+	Notes []string `json:"notes,omitempty"`
 }
 
 // AddRow appends a row, formatting each cell with %v.

@@ -76,6 +76,21 @@ func NewBall(g Graph, center, r int) *Ball {
 // Size reports the number of vertices in the ball.
 func (b *Ball) Size() int { return len(b.Verts) }
 
+// Clone returns a deep copy of the ball, independent of any builder that
+// may recycle the original's storage.
+func (b *Ball) Clone() *Ball {
+	c := &Ball{
+		Radius: b.Radius,
+		Verts:  append([]int(nil), b.Verts...),
+		Dist:   append([]int(nil), b.Dist...),
+		Adj:    make([][]int, len(b.Adj)),
+	}
+	for i, row := range b.Adj {
+		c.Adj[i] = append([]int(nil), row...)
+	}
+	return c
+}
+
 // DegreeWithin reports the degree of local vertex i inside the ball.
 func (b *Ball) DegreeWithin(i int) int { return len(b.Adj[i]) }
 

@@ -5,32 +5,79 @@ package graph
 // ball until the node decides; rebuilding each ball from scratch would make
 // a radius-r execution cost O(r^2) per node instead of O(ball size).
 //
-// The Ball exposed by the builder is updated in place by Grow; callers that
-// need a stable snapshot must copy it.
+// A builder is also reusable across centres (and across graphs) via Reset:
+// sweep workers keep one builder alive for millions of vertex executions and
+// pay no per-vertex allocation once the internal buffers have warmed up.
+// Membership tests use an epoch-stamped dense array indexed by original
+// vertex, so a Reset is O(1) rather than O(ball size).
+//
+// The Ball exposed by the builder is updated in place by Grow and recycled
+// by Reset; callers that need a stable snapshot must copy it.
 type BallBuilder struct {
-	g        Graph
-	ball     *Ball
-	local    map[int]int
+	g    Graph
+	ball *Ball
+	// localIdx[v] is the local index of original vertex v, valid only when
+	// stamp[v] == epoch. The epoch bump in Reset invalidates the whole
+	// table without touching it.
+	localIdx []int32
+	stamp    []uint32
+	epoch    uint32
 	frontier []int // local indices at distance exactly ball.Radius
+	next     []int // scratch for the frontier being built by Grow
 }
 
 // NewBallBuilder starts a radius-0 ball around center.
 func NewBallBuilder(g Graph, center int) *BallBuilder {
-	bb := &BallBuilder{
-		g:     g,
-		local: map[int]int{center: 0},
-		ball: &Ball{
-			Radius: 0,
-			Verts:  []int{center},
-			Dist:   []int{0},
-			Adj:    [][]int{nil},
-		},
-		frontier: []int{0},
-	}
+	bb := &BallBuilder{ball: &Ball{}}
+	bb.Reset(g, center)
 	return bb
 }
 
-// Ball returns the current ball. It is mutated by subsequent Grow calls.
+// Reset restarts the builder as a radius-0 ball around center in g,
+// recycling all internal storage (including the Ball returned by Ball(),
+// which must no longer be referenced by the previous use). g may differ
+// from the graph of the previous use.
+func (bb *BallBuilder) Reset(g Graph, center int) {
+	bb.g = g
+	if n := g.N(); len(bb.localIdx) < n {
+		bb.localIdx = make([]int32, n)
+		bb.stamp = make([]uint32, n)
+		bb.epoch = 0
+	}
+	bb.epoch++
+	if bb.epoch == 0 {
+		// The 32-bit epoch wrapped: stale stamps could collide, so clear
+		// them once every 2^32 resets and restart at epoch 1.
+		for i := range bb.stamp {
+			bb.stamp[i] = 0
+		}
+		bb.epoch = 1
+	}
+	b := bb.ball
+	b.Radius = 0
+	b.Verts = append(b.Verts[:0], center)
+	b.Dist = append(b.Dist[:0], 0)
+	bb.reuseAdjRow(0)
+	bb.localIdx[center] = 0
+	bb.stamp[center] = bb.epoch
+	bb.frontier = append(bb.frontier[:0], 0)
+	bb.next = bb.next[:0]
+}
+
+// reuseAdjRow extends ball.Adj to cover local index j, recycling the row
+// capacity left behind by earlier uses of the builder.
+func (bb *BallBuilder) reuseAdjRow(j int) {
+	b := bb.ball
+	if j < cap(b.Adj) {
+		b.Adj = b.Adj[:j+1]
+		b.Adj[j] = b.Adj[j][:0]
+		return
+	}
+	b.Adj = append(b.Adj, nil)
+}
+
+// Ball returns the current ball. It is mutated by subsequent Grow calls and
+// recycled by Reset.
 func (bb *BallBuilder) Ball() *Ball { return bb.ball }
 
 // Grow extends the ball radius by one and returns the local index of the
@@ -41,35 +88,39 @@ func (bb *BallBuilder) Grow() (frontierStart int) {
 	b := bb.ball
 	frontierStart = len(b.Verts)
 	newRadius := b.Radius + 1
-	var newFrontier []int
+	bb.next = bb.next[:0]
 	for _, i := range bb.frontier {
 		v := b.Verts[i]
 		for p := 0; p < bb.g.Degree(v); p++ {
 			w := bb.g.Neighbor(v, p)
-			if _, ok := bb.local[w]; !ok {
-				j := len(b.Verts)
-				bb.local[w] = j
-				b.Verts = append(b.Verts, w)
-				b.Dist = append(b.Dist, newRadius)
-				b.Adj = append(b.Adj, nil)
-				newFrontier = append(newFrontier, j)
+			if bb.stamp[w] == bb.epoch {
+				continue
 			}
+			j := len(b.Verts)
+			b.Verts = append(b.Verts, w)
+			b.Dist = append(b.Dist, newRadius)
+			bb.reuseAdjRow(j)
+			bb.localIdx[w] = int32(j)
+			bb.stamp[w] = bb.epoch
+			bb.next = append(bb.next, j)
 		}
 	}
 	// Rebuild adjacency rows whose membership can have changed: the old
 	// frontier (gains edges to the new layer and to peers at its own
 	// distance) and the new layer. Interior rows are already complete.
-	for _, i := range append(append([]int(nil), bb.frontier...), newFrontier...) {
-		v := b.Verts[i]
-		row := b.Adj[i][:0]
-		for p := 0; p < bb.g.Degree(v); p++ {
-			if j, ok := bb.local[bb.g.Neighbor(v, p)]; ok {
-				row = append(row, j)
+	for _, layer := range [2][]int{bb.frontier, bb.next} {
+		for _, i := range layer {
+			v := b.Verts[i]
+			row := b.Adj[i][:0]
+			for p := 0; p < bb.g.Degree(v); p++ {
+				if w := bb.g.Neighbor(v, p); bb.stamp[w] == bb.epoch {
+					row = append(row, int(bb.localIdx[w]))
+				}
 			}
+			b.Adj[i] = row
 		}
-		b.Adj[i] = row
 	}
 	b.Radius = newRadius
-	bb.frontier = newFrontier
+	bb.frontier, bb.next = bb.next, bb.frontier
 	return frontierStart
 }

@@ -81,6 +81,53 @@ func TestBallBuilderFrontierStart(t *testing.T) {
 	}
 }
 
+// TestBallBuilderReset is the reuse contract: a Reset builder behaves
+// exactly like a fresh one, across centres and across graphs of different
+// sizes, with the epoch trick making stale state from earlier uses
+// invisible.
+func TestBallBuilderReset(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	gnp, err := NewGNP(20, 0.2, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	graphs := []Graph{MustCycle(13), gnp, MustPath(6), MustCycle(30)}
+	bb := NewBallBuilder(graphs[0], 0)
+	for round := 0; round < 3; round++ {
+		for _, g := range graphs {
+			for v := 0; v < g.N(); v += 2 {
+				bb.Reset(g, v)
+				for r := 0; r <= 6; r++ {
+					want := NewBall(g, v, r)
+					if !ballsEqual(bb.Ball(), want) {
+						t.Fatalf("round %d, n=%d, vertex %d, radius %d: reset builder ball differs from NewBall", round, g.N(), v, r)
+					}
+					bb.Grow()
+				}
+			}
+		}
+	}
+}
+
+// TestBallBuilderResetAllocs checks that warmed-up reuse is allocation-free:
+// the whole point of Reset is that sweep workers pay no per-vertex garbage.
+func TestBallBuilderResetAllocs(t *testing.T) {
+	c := MustCycle(64)
+	bb := NewBallBuilder(c, 0)
+	for r := 0; r < 40; r++ { // warm every buffer to full size
+		bb.Grow()
+	}
+	allocs := testing.AllocsPerRun(50, func() {
+		bb.Reset(c, 7)
+		for r := 0; r < 32; r++ {
+			bb.Grow()
+		}
+	})
+	if allocs > 0 {
+		t.Errorf("warmed-up Reset+Grow cycle allocates %.1f times per run, want 0", allocs)
+	}
+}
+
 func TestBallBuilderSaturates(t *testing.T) {
 	c := MustCycle(7)
 	bb := NewBallBuilder(c, 2)

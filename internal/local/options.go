@@ -1,5 +1,7 @@
 package local
 
+import "context"
+
 // Option configures an engine run.
 type Option func(*config)
 
@@ -17,6 +19,7 @@ type Progress struct {
 type config struct {
 	maxRadius int
 	observer  func(Progress)
+	ctx       context.Context
 }
 
 func newConfig(n int, opts []Option) config {
@@ -44,6 +47,16 @@ func WithMaxRadius(r int) Option {
 		if r > 0 {
 			c.maxRadius = r
 		}
+	}
+}
+
+// WithContext attaches a cancellation context to a view-engine run. The
+// engine polls ctx between vertices (every 256 of them, to keep the check
+// off the per-decision hot path) and aborts with ctx's error once it is
+// cancelled. A nil or background context disables the checks.
+func WithContext(ctx context.Context) Option {
+	return func(c *config) {
+		c.ctx = ctx
 	}
 }
 

@@ -1,0 +1,99 @@
+package local
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/ids"
+)
+
+// Runner executes view-engine runs with reusable scratch: one ball builder
+// (reset per vertex instead of reallocated), the parallel identifier and
+// degree slices, and the Result buffers. A warmed-up Runner performs whole
+// executions without allocating, which is what makes large permutation
+// sweeps allocation-bound on nothing but the algorithms themselves.
+//
+// A Runner is not safe for concurrent use; pools keep one per worker. The
+// Result returned by Run aliases the Runner's buffers and is only valid
+// until the next Run call — callers that need to retain it must copy the
+// slices (RunView does exactly that ownership hand-off by dropping the
+// Runner).
+type Runner struct {
+	bb      *graph.BallBuilder
+	ids     []int
+	degrees []int
+	res     Result
+}
+
+// NewRunner returns an empty Runner; buffers are grown on first use.
+func NewRunner() *Runner { return &Runner{} }
+
+// Run executes alg at every vertex of g under the identifier assignment a,
+// exactly like RunView, but recycles the Runner's scratch and Result
+// buffers. The returned Result is overwritten by the next Run.
+func (r *Runner) Run(g graph.Graph, a ids.Assignment, alg ViewAlgorithm, opts ...Option) (*Result, error) {
+	n := g.N()
+	if len(a) != n {
+		return nil, fmt.Errorf("local: assignment covers %d vertices, graph has %d", len(a), n)
+	}
+	if err := a.Validate(); err != nil {
+		return nil, err
+	}
+	cfg := newConfig(n, opts)
+	r.res.Algorithm = alg.Name()
+	r.res.Outputs = resizeInts(r.res.Outputs, n)
+	r.res.Radii = resizeInts(r.res.Radii, n)
+	for v := 0; v < n; v++ {
+		if cfg.ctx != nil && v&0xff == 0 {
+			if err := cfg.ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
+		out, rad, err := r.runVertex(g, a, alg, v, cfg)
+		if err != nil {
+			return nil, err
+		}
+		r.res.Outputs[v] = out
+		r.res.Radii[v] = rad
+	}
+	return &r.res, nil
+}
+
+// runVertex grows vertex v's view until alg decides, reusing the Runner's
+// ball builder and label slices.
+func (r *Runner) runVertex(g graph.Graph, a ids.Assignment, alg ViewAlgorithm, v int, cfg config) (out, radius int, err error) {
+	if r.bb == nil {
+		r.bb = graph.NewBallBuilder(g, v)
+	} else {
+		r.bb.Reset(g, v)
+	}
+	view := View{ball: r.bb.Ball(), frontierStart: 0}
+	view.ids, view.degrees = labelsFor(g, view.ball, a, r.ids[:0], r.degrees[:0])
+	for {
+		out, done := alg.Decide(view)
+		if cfg.observer != nil {
+			cfg.observer(Progress{Vertex: v, Radius: view.Radius(), Decided: done})
+		}
+		if done {
+			// Hand the (possibly re-grown) label buffers back so their
+			// capacity carries over to the next vertex.
+			r.ids, r.degrees = view.ids, view.degrees
+			return out, view.Radius(), nil
+		}
+		if view.Radius() >= cfg.maxRadius {
+			r.ids, r.degrees = view.ids, view.degrees
+			return 0, 0, fmt.Errorf("local: %s undecided at vertex %d after radius %d", alg.Name(), v, cfg.maxRadius)
+		}
+		start := r.bb.Grow()
+		view.frontierStart = start
+		view.ids, view.degrees = labelsFor(g, view.ball, a, view.ids[:start], view.degrees[:start])
+	}
+}
+
+// resizeInts returns s with length exactly n, reusing capacity.
+func resizeInts(s []int, n int) []int {
+	if cap(s) < n {
+		return make([]int, n)
+	}
+	return s[:n]
+}

@@ -19,7 +19,9 @@ func (p subviewProbe) Decide(v View) (int, bool) {
 	if v.Radius() < p.radius {
 		return 0, false
 	}
-	*p.views = append(*p.views, v)
+	// Views are engine-owned and recycled across vertices; retaining one
+	// past Decide requires a deep copy.
+	*p.views = append(*p.views, v.Clone())
 	return 0, true
 }
 

@@ -19,8 +19,6 @@
 package local
 
 import (
-	"fmt"
-
 	"repro/internal/graph"
 	"repro/internal/ids"
 )
@@ -100,6 +98,19 @@ func (v View) FrontierStart() int { return v.frontierStart }
 // that the view is the entire graph.
 func (v View) Closed(k int) bool { return v.ball.AllDegreesWithin(k) }
 
+// Clone returns a deep copy of the view that remains valid after Decide
+// returns. Algorithms must not retain the View they are handed — the engine
+// recycles its storage across radii and across vertices — so any probe or
+// instrumentation that wants to keep a view must keep a Clone.
+func (v View) Clone() View {
+	return View{
+		ball:          v.ball.Clone(),
+		ids:           append([]int(nil), v.ids...),
+		degrees:       append([]int(nil), v.degrees...),
+		frontierStart: v.frontierStart,
+	}
+}
+
 // Canonical renders the view (structure + identifiers) as a deterministic
 // string; two vertices with isomorphic ID-labelled balls canonicalise
 // identically.
@@ -139,49 +150,9 @@ type ViewAlgorithm interface {
 // connected graph needs radius beyond the point where its ball covers the
 // whole graph.
 func RunView(g graph.Graph, a ids.Assignment, alg ViewAlgorithm, opts ...Option) (*Result, error) {
-	n := g.N()
-	if len(a) != n {
-		return nil, fmt.Errorf("local: assignment covers %d vertices, graph has %d", len(a), n)
-	}
-	if err := a.Validate(); err != nil {
-		return nil, err
-	}
-	cfg := newConfig(n, opts)
-	res := &Result{
-		Algorithm: alg.Name(),
-		Outputs:   make([]int, n),
-		Radii:     make([]int, n),
-	}
-	for v := 0; v < n; v++ {
-		out, r, err := runVertex(g, a, alg, v, cfg)
-		if err != nil {
-			return nil, err
-		}
-		res.Outputs[v] = out
-		res.Radii[v] = r
-	}
-	return res, nil
-}
-
-func runVertex(g graph.Graph, a ids.Assignment, alg ViewAlgorithm, v int, cfg config) (out, radius int, err error) {
-	bb := graph.NewBallBuilder(g, v)
-	view := View{ball: bb.Ball(), frontierStart: 0}
-	view.ids, view.degrees = labelsFor(g, view.ball, a, nil, nil)
-	for {
-		out, done := alg.Decide(view)
-		if cfg.observer != nil {
-			cfg.observer(Progress{Vertex: v, Radius: view.Radius(), Decided: done})
-		}
-		if done {
-			return out, view.Radius(), nil
-		}
-		if view.Radius() >= cfg.maxRadius {
-			return 0, 0, fmt.Errorf("local: %s undecided at vertex %d after radius %d", alg.Name(), v, cfg.maxRadius)
-		}
-		start := bb.Grow()
-		view.frontierStart = start
-		view.ids, view.degrees = labelsFor(g, view.ball, a, view.ids[:start], view.degrees[:start])
-	}
+	// A fresh Runner is dropped on return, so the caller takes ownership of
+	// the Result it would otherwise recycle.
+	return NewRunner().Run(g, a, alg, opts...)
 }
 
 // labelsFor extends the parallel identifier and degree slices to cover all

@@ -66,12 +66,19 @@ func RunViewParallel(g graph.Graph, a ids.Assignment, alg ViewAlgorithm, opts ..
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			runner := NewRunner() // per-worker scratch, reused across vertices
 			for {
 				v := nextVertex()
 				if v < 0 {
 					return
 				}
-				out, r, err := runVertex(g, a, alg, v, cfg)
+				if cfg.ctx != nil {
+					if err := cfg.ctx.Err(); err != nil {
+						fail(err)
+						return
+					}
+				}
+				out, r, err := runner.runVertex(g, a, alg, v, cfg)
 				if err != nil {
 					fail(err)
 					return

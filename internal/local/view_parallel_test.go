@@ -1,6 +1,8 @@
 package local
 
 import (
+	"context"
+	"errors"
 	"math/rand"
 	"sync"
 	"testing"
@@ -42,6 +44,21 @@ func TestRunViewParallelPropagatesErrors(t *testing.T) {
 	}
 	if _, err := RunViewParallel(c, ids.Identity(5), echoAlg{}); err == nil {
 		t.Fatal("length mismatch accepted")
+	}
+}
+
+// TestRunViewParallelHonoursContext regresses the WithContext contract on
+// the parallel engine: a cancelled context must abort the run with the
+// context's error instead of silently executing every vertex.
+func TestRunViewParallelHonoursContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	c := graph.MustCycle(64)
+	if _, err := RunViewParallel(c, ids.Identity(64), echoAlg{}, WithContext(ctx)); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled parallel run returned %v, want context.Canceled", err)
+	}
+	if _, err := RunView(c, ids.Identity(64), echoAlg{}, WithContext(ctx)); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled sequential run returned %v, want context.Canceled", err)
 	}
 }
 

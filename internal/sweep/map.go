@@ -1,0 +1,81 @@
+package sweep
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Map runs fn(i) for every i in [0, n) across a bounded worker pool and
+// returns the first error. It is the sweep engine for experiment stages
+// that are not permutation trials — closed-form checks, exact searches —
+// where each index owns its own output slot, so results stay deterministic
+// at any worker count.
+//
+// The context is polled between indices; on cancellation Map stops handing
+// out work and returns the context's error. workers <= 0 means GOMAXPROCS.
+func Map(ctx context.Context, workers, n int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var (
+		next      atomic.Int64
+		completed atomic.Int64
+		mu        sync.Mutex
+		firstErr  error
+		wg        sync.WaitGroup
+	)
+	fail := func(err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+			cancel()
+		}
+		mu.Unlock()
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				if runCtx.Err() != nil {
+					return
+				}
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				if err := fn(i); err != nil {
+					fail(err)
+					return
+				}
+				completed.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	mu.Lock()
+	err := firstErr
+	mu.Unlock()
+	if err != nil {
+		return err
+	}
+	// Only surface the context error when it actually cost indices.
+	if completed.Load() < int64(n) {
+		return ctx.Err()
+	}
+	return nil
+}

@@ -1,0 +1,211 @@
+package sweep
+
+import (
+	"math"
+
+	"repro/internal/measure"
+)
+
+// SizeStats is the streaming aggregate of every trial executed at one sweep
+// size. It is O(max radius) in memory — not O(trials) — because trials fold
+// into integer totals, a pooled radius histogram, and the summaries of the
+// two extremal trials. All folds are commutative and tie-broken by trial
+// index, so merged shards produce bit-identical statistics at any worker
+// count.
+type SizeStats struct {
+	// N is the number of vertices at this sweep size.
+	N int
+	// Trials counts completed trials (smaller than requested after a
+	// cancellation).
+	Trials int
+	// Failures counts trials whose Verify hook rejected the outputs.
+	Failures int
+	// TotalSum is Σ over trials of Σ_v r(v). Integer, hence
+	// order-independent; MeanAvg derives from it exactly.
+	TotalSum int64
+	// TotalMax is Σ over trials of max_v r(v).
+	TotalMax int64
+	// WorstAvg summarises the trial maximising the per-trial radius sum —
+	// the paper's worst-case average measure over the sampled permutations.
+	WorstAvg measure.Summary
+	// WorstAvgTrial is the index of that trial (lowest index on ties).
+	WorstAvgTrial int
+	// WorstMax summarises the trial maximising the per-trial maximum radius
+	// — the classic measure over the sampled permutations.
+	WorstMax measure.Summary
+	// WorstMaxTrial is the index of that trial (lowest index on ties).
+	WorstMaxTrial int
+	// Hist pools the radius histogram over all vertices of all trials:
+	// Hist[r] executions decided at radius exactly r.
+	Hist []int64
+}
+
+// MeanAvg is the empirical expectation of the average radius over trials.
+func (s *SizeStats) MeanAvg() float64 {
+	if s.Trials == 0 || s.N == 0 {
+		return 0
+	}
+	return float64(s.TotalSum) / float64(int64(s.Trials)*int64(s.N))
+}
+
+// MeanMax is the empirical expectation of the maximum radius over trials.
+func (s *SizeStats) MeanMax() float64 {
+	if s.Trials == 0 {
+		return 0
+	}
+	return float64(s.TotalMax) / float64(s.Trials)
+}
+
+// Verified reports whether every completed trial passed verification.
+func (s *SizeStats) Verified() bool { return s.Failures == 0 }
+
+// Quantile returns the q-quantile of the pooled radius distribution, with
+// the same order-statistic interpolation as measure.Quantile.
+func (s *SizeStats) Quantile(q float64) float64 {
+	var count int64
+	for _, c := range s.Hist {
+		count += c
+	}
+	return quantileHist(s.Hist, count, q)
+}
+
+// addTrial folds one completed trial into the aggregate. hist is the
+// trial's own radius histogram; sum its Summary.
+func (s *SizeStats) addTrial(trial int, sum measure.Summary, hist []int64, verifyFailed bool) {
+	s.Trials++
+	if verifyFailed {
+		s.Failures++
+	}
+	s.TotalSum += int64(sum.Sum)
+	s.TotalMax += int64(sum.Max)
+	if len(hist) > len(s.Hist) {
+		s.Hist = append(s.Hist, make([]int64, len(hist)-len(s.Hist))...)
+	}
+	for r, c := range hist {
+		s.Hist[r] += c
+	}
+	if s.Trials == 1 {
+		s.WorstAvg, s.WorstAvgTrial = sum, trial
+		s.WorstMax, s.WorstMaxTrial = sum, trial
+		return
+	}
+	if worseSum(sum, trial, s.WorstAvg, s.WorstAvgTrial) {
+		s.WorstAvg, s.WorstAvgTrial = sum, trial
+	}
+	if worseMax(sum, trial, s.WorstMax, s.WorstMaxTrial) {
+		s.WorstMax, s.WorstMaxTrial = sum, trial
+	}
+}
+
+// merge folds another shard's aggregate for the same size into s. Commutes
+// with addTrial in any interleaving: integer totals add, histograms add,
+// and the extremal-trial selection depends only on (value, trial index).
+func (s *SizeStats) merge(o *SizeStats) {
+	if o.Trials == 0 {
+		return
+	}
+	if s.Trials == 0 {
+		n := s.N // worker shards don't know the size; keep the caller's
+		*s = *o
+		s.N = n
+		// Deep-copy the histogram: o's shard may be reused by the caller.
+		s.Hist = append([]int64(nil), o.Hist...)
+		return
+	}
+	s.Trials += o.Trials
+	s.Failures += o.Failures
+	s.TotalSum += o.TotalSum
+	s.TotalMax += o.TotalMax
+	if len(o.Hist) > len(s.Hist) {
+		s.Hist = append(s.Hist, make([]int64, len(o.Hist)-len(s.Hist))...)
+	}
+	for r, c := range o.Hist {
+		s.Hist[r] += c
+	}
+	if worseSum(o.WorstAvg, o.WorstAvgTrial, s.WorstAvg, s.WorstAvgTrial) {
+		s.WorstAvg, s.WorstAvgTrial = o.WorstAvg, o.WorstAvgTrial
+	}
+	if worseMax(o.WorstMax, o.WorstMaxTrial, s.WorstMax, s.WorstMaxTrial) {
+		s.WorstMax, s.WorstMaxTrial = o.WorstMax, o.WorstMaxTrial
+	}
+}
+
+// worseSum reports whether trial a (summary sa) beats trial b as the
+// worst-by-radius-sum trial. Integer comparison with lowest-index
+// tie-breaking keeps the selection independent of fold order.
+func worseSum(sa measure.Summary, a int, sb measure.Summary, b int) bool {
+	if sa.Sum != sb.Sum {
+		return sa.Sum > sb.Sum
+	}
+	return a < b
+}
+
+// worseMax is worseSum for the worst-by-maximum-radius trial.
+func worseMax(sa measure.Summary, a int, sb measure.Summary, b int) bool {
+	if sa.Max != sb.Max {
+		return sa.Max > sb.Max
+	}
+	return a < b
+}
+
+// summarizeHist computes the measure.Summary of one trial from its radius
+// histogram in O(max radius), matching measure.Summarize (which sorts the
+// raw radii) exactly.
+func summarizeHist(hist []int64) measure.Summary {
+	var s measure.Summary
+	var count int64
+	for r, c := range hist {
+		if c == 0 {
+			continue
+		}
+		count += c
+		s.Sum += r * int(c)
+		s.Max = r
+	}
+	s.N = int(count)
+	if count == 0 {
+		return s
+	}
+	s.Avg = float64(s.Sum) / float64(count)
+	s.Median = quantileHist(hist, count, 0.5)
+	s.P90 = quantileHist(hist, count, 0.9)
+	return s
+}
+
+// quantileHist is measure.Quantile evaluated against a histogram instead of
+// a raw value slice: linear interpolation between the floor and ceiling
+// order statistics of position q*(count-1).
+func quantileHist(hist []int64, count int64, q float64) float64 {
+	if count == 0 {
+		return math.NaN()
+	}
+	if q <= 0 {
+		return float64(kthHist(hist, 0))
+	}
+	if q >= 1 {
+		return float64(kthHist(hist, count-1))
+	}
+	pos := q * float64(count-1)
+	lo := int64(math.Floor(pos))
+	hi := int64(math.Ceil(pos))
+	frac := pos - float64(lo)
+	vlo := kthHist(hist, lo)
+	vhi := vlo
+	if hi != lo {
+		vhi = kthHist(hist, hi)
+	}
+	return float64(vlo)*(1-frac) + float64(vhi)*frac
+}
+
+// kthHist returns the 0-based k-th order statistic of the histogram's
+// multiset.
+func kthHist(hist []int64, k int64) int {
+	var c int64
+	for r, cnt := range hist {
+		c += cnt
+		if c > k {
+			return r
+		}
+	}
+	return len(hist) - 1
+}

@@ -1,0 +1,327 @@
+// Package sweep is the shared execution engine for the paper's experiments:
+// it turns "(graph generator, permutation source, algorithm) × trials" into
+// batched jobs dispatched across a worker pool and streams the results into
+// per-size aggregates.
+//
+// Every experiment in the repository is a sweep over graph sizes × sampled
+// identifier permutations, measuring the two running-time measures under
+// comparison (max_v r(v) and (Σ_v r(v))/n). The package factors out the
+// loop all of them used to hand-roll, and adds what a full-size table needs:
+//
+//   - sharding: trials are chunked into jobs and executed by a bounded
+//     worker pool (Spec.Workers, default GOMAXPROCS);
+//   - scratch reuse: each worker owns a local.Runner, so ball builders,
+//     label slices and result buffers are recycled across every trial the
+//     worker executes — steady-state sweeps allocate almost nothing;
+//   - streaming aggregation: trials fold into O(sizes)-memory SizeStats
+//     (integer totals, extremal-trial summaries, pooled radius histograms),
+//     never into per-trial slices;
+//   - determinism: each (size, trial) derives its own rng seed from the
+//     sweep seed and its coordinates alone, and all folds commute, so a
+//     given seed produces bit-identical results at any worker count;
+//   - cancellation: the context is polled between vertices, trials and
+//     jobs; a cancelled Run returns promptly with the partial aggregates
+//     and a wrapped context error.
+package sweep
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+
+	"repro/internal/graph"
+	"repro/internal/ids"
+	"repro/internal/local"
+)
+
+// Spec describes one sharded permutation sweep.
+type Spec struct {
+	// Seed drives all randomness. Equal seeds reproduce results exactly,
+	// independent of Workers.
+	Seed int64
+	// Sizes is the n sweep; one SizeStats is produced per entry.
+	Sizes []int
+	// Trials is the number of sampled permutations per size (default 1).
+	Trials int
+	// Workers bounds the worker pool (default GOMAXPROCS).
+	Workers int
+	// MaxRadius overrides the engine's safety cap when positive.
+	MaxRadius int
+	// Graph builds the size-n instance. The rng is seeded from (Seed, size
+	// index) so random families are reproducible. Required.
+	Graph func(n int, rng *rand.Rand) (graph.Graph, error)
+	// Assign produces the identifier assignment of one trial; the rng is
+	// seeded from (Seed, size index, trial). sizeIdx indexes Sizes, which
+	// disambiguates duplicate size values. Defaults to uniformly random
+	// permutations.
+	Assign func(sizeIdx, n, trial int, rng *rand.Rand) (ids.Assignment, error)
+	// Alg instantiates the algorithm for one trial (assignment-dependent
+	// algorithms like Cole-Vishkin's ForMaxID need a). Required.
+	Alg func(n int, a ids.Assignment) local.ViewAlgorithm
+	// Verify optionally checks the outputs of every trial. Failures are
+	// counted in SizeStats.Failures — or abort the sweep when Strict is
+	// set. Must be safe for concurrent use.
+	Verify func(g graph.Graph, a ids.Assignment, res *local.Result) error
+	// Strict promotes a Verify failure into a sweep-aborting error.
+	Strict bool
+	// Observe, when set, sees every trial's raw execution from inside the
+	// worker (res and its slices are only valid during the call). Must be
+	// safe for concurrent use: trials run on different workers, so writes
+	// must be keyed by the full (sizeIdx, trial) coordinate — or guarded by
+	// a trial check, or the sweep restricted to Trials = 1. A slot keyed by
+	// sizeIdx alone races between the trials that share the size.
+	Observe func(sizeIdx, trial int, g graph.Graph, a ids.Assignment, res *local.Result)
+}
+
+// Result is a completed (or cancelled) sweep: one aggregate per size, in
+// Spec.Sizes order.
+type Result struct {
+	Sizes []SizeStats
+}
+
+// job is a batch of consecutive trials at one size.
+type job struct {
+	sizeIdx int
+	t0, t1  int
+}
+
+// worker is the per-worker reusable state: the execution scratch, the trial
+// histogram buffer, and this shard's partial aggregates.
+type worker struct {
+	runner *local.Runner
+	hist   []int64
+	shard  []SizeStats
+	opts   []local.Option
+}
+
+// Run executes the sweep. On cancellation it returns the partial aggregates
+// together with an error wrapping the context's; on any other failure the
+// first error wins and the sweep stops early.
+func Run(ctx context.Context, spec Spec) (*Result, error) {
+	if len(spec.Sizes) == 0 {
+		return nil, fmt.Errorf("sweep: no sizes")
+	}
+	if spec.Alg == nil {
+		return nil, fmt.Errorf("sweep: nil Alg")
+	}
+	if spec.Graph == nil {
+		return nil, fmt.Errorf("sweep: nil Graph")
+	}
+	trials := spec.Trials
+	if trials <= 0 {
+		trials = 1
+	}
+	workers := spec.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if max := len(spec.Sizes) * trials; workers > max {
+		workers = max
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+
+	// Build every size's graph once, up front: Graph implementations are
+	// immutable, so all workers share them.
+	graphs := make([]graph.Graph, len(spec.Sizes))
+	for i, n := range spec.Sizes {
+		rng := rand.New(rand.NewSource(graphSeed(spec.Seed, i)))
+		g, err := spec.Graph(n, rng)
+		if err != nil {
+			return nil, fmt.Errorf("sweep: build size %d: %w", n, err)
+		}
+		graphs[i] = g
+	}
+
+	// Chunk trials into jobs: a few batches per worker balances load
+	// without serialising on the channel.
+	chunk := trials / (workers * 4)
+	if chunk < 1 {
+		chunk = 1
+	}
+	var jobs []job
+	for i := range spec.Sizes {
+		for t0 := 0; t0 < trials; t0 += chunk {
+			t1 := t0 + chunk
+			if t1 > trials {
+				t1 = trials
+			}
+			jobs = append(jobs, job{sizeIdx: i, t0: t0, t1: t1})
+		}
+	}
+
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var (
+		mu       sync.Mutex
+		firstErr error
+	)
+	fail := func(err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+			cancel()
+		}
+		mu.Unlock()
+	}
+
+	if workers == 1 {
+		// True sequential path: no goroutines, no channels — the baseline
+		// the sharded path is benchmarked against, and the cheapest way to
+		// run tiny sweeps.
+		w := newWorker(spec, runCtx, len(spec.Sizes))
+		for _, j := range jobs {
+			for t := j.t0; t < j.t1; t++ {
+				if runCtx.Err() != nil {
+					break
+				}
+				if err := w.runTrial(spec, graphs[j.sizeIdx], j.sizeIdx, t); err != nil {
+					if runCtx.Err() == nil {
+						fail(err)
+					}
+					break
+				}
+			}
+			if firstErr != nil || runCtx.Err() != nil {
+				break
+			}
+		}
+		return finish(ctx, spec, trials, []*worker{w}, firstErr)
+	}
+
+	jobCh := make(chan job)
+	go func() {
+		defer close(jobCh)
+		for _, j := range jobs {
+			select {
+			case jobCh <- j:
+			case <-runCtx.Done():
+				return
+			}
+		}
+	}()
+
+	shards := make([]*worker, workers)
+	var wg sync.WaitGroup
+	for wi := 0; wi < workers; wi++ {
+		w := newWorker(spec, runCtx, len(spec.Sizes))
+		shards[wi] = w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range jobCh {
+				for t := j.t0; t < j.t1; t++ {
+					if runCtx.Err() != nil {
+						return
+					}
+					if err := w.runTrial(spec, graphs[j.sizeIdx], j.sizeIdx, t); err != nil {
+						if runCtx.Err() == nil {
+							fail(err)
+						}
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	mu.Lock()
+	err := firstErr
+	mu.Unlock()
+	return finish(ctx, spec, trials, shards, err)
+}
+
+// newWorker builds one worker's reusable state.
+func newWorker(spec Spec, runCtx context.Context, sizes int) *worker {
+	w := &worker{
+		runner: local.NewRunner(),
+		shard:  make([]SizeStats, sizes),
+		opts:   []local.Option{local.WithContext(runCtx)},
+	}
+	if spec.MaxRadius > 0 {
+		w.opts = append(w.opts, local.WithMaxRadius(spec.MaxRadius))
+	}
+	return w
+}
+
+// finish merges the worker shards into the final Result and classifies how
+// the sweep ended: clean, failed, or cancelled with partial aggregates.
+func finish(ctx context.Context, spec Spec, trials int, shards []*worker, firstErr error) (*Result, error) {
+	res := &Result{Sizes: make([]SizeStats, len(spec.Sizes))}
+	done := 0
+	for i, n := range spec.Sizes {
+		res.Sizes[i].N = n
+		for _, w := range shards {
+			res.Sizes[i].merge(&w.shard[i])
+		}
+		done += res.Sizes[i].Trials
+	}
+	if firstErr != nil {
+		return res, firstErr
+	}
+	// A context that fires after the final trial completed did not cost any
+	// results; only report cancellation when work was actually skipped.
+	if cerr := ctx.Err(); cerr != nil && done < len(spec.Sizes)*trials {
+		return res, fmt.Errorf("sweep: cancelled with partial results (%d/%d trials): %w",
+			done, len(spec.Sizes)*trials, cerr)
+	}
+	return res, nil
+}
+
+// runTrial executes one (size, trial) unit and folds it into the worker's
+// shard.
+func (w *worker) runTrial(spec Spec, g graph.Graph, sizeIdx, trial int) error {
+	n := g.N()
+	rng := rand.New(rand.NewSource(trialSeed(spec.Seed, sizeIdx, trial)))
+	var (
+		a   ids.Assignment
+		err error
+	)
+	if spec.Assign != nil {
+		a, err = spec.Assign(sizeIdx, n, trial, rng)
+	} else {
+		a = ids.Random(n, rng)
+	}
+	if err != nil {
+		return fmt.Errorf("sweep: assign size %d trial %d: %w", n, trial, err)
+	}
+	res, err := w.runner.Run(g, a, spec.Alg(n, a), w.opts...)
+	if err != nil {
+		return err
+	}
+
+	maxR := 0
+	for _, r := range res.Radii {
+		if r > maxR {
+			maxR = r
+		}
+	}
+	if need := maxR + 1; need > len(w.hist) {
+		w.hist = append(w.hist, make([]int64, need-len(w.hist))...)
+	}
+	hist := w.hist[:maxR+1]
+	for r := range hist {
+		hist[r] = 0
+	}
+	for _, r := range res.Radii {
+		hist[r]++
+	}
+
+	verifyFailed := false
+	if spec.Verify != nil {
+		if verr := spec.Verify(g, a, res); verr != nil {
+			if spec.Strict {
+				return fmt.Errorf("sweep: verify size %d trial %d: %w", n, trial, verr)
+			}
+			verifyFailed = true
+		}
+	}
+	if spec.Observe != nil {
+		spec.Observe(sizeIdx, trial, g, a, res)
+	}
+	w.shard[sizeIdx].addTrial(trial, summarizeHist(hist), hist, verifyFailed)
+	return nil
+}
