@@ -115,14 +115,16 @@ func BenchmarkE9GeneralGraphs(b *testing.B) {
 // benchSweepWorkers regenerates E6 at its full default scale (sizes up to
 // n=4096, 20 random permutations each) with a fixed worker-pool size. The
 // Sequential/Sharded pair is the engine's headline: identical tables,
-// wall-clock divided by the core count.
-func benchSweepWorkers(b *testing.B, workers int) {
+// wall-clock divided by the core count. noAtlas pins the run to the
+// ball-builder path, the pre-atlas baseline the Atlas pair is measured
+// against; the tables are byte-identical in all four configurations.
+func benchSweepWorkers(b *testing.B, workers int, noAtlas bool) {
 	b.Helper()
 	e, err := experiments.Get("E6")
 	if err != nil {
 		b.Fatal(err)
 	}
-	cfg := experiments.Config{Seed: 1, Workers: workers}
+	cfg := experiments.Config{Seed: 1, Workers: workers, NoAtlas: noAtlas}
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		tab, err := e.Run(context.Background(), cfg)
@@ -135,25 +137,35 @@ func benchSweepWorkers(b *testing.B, workers int) {
 	}
 }
 
-// BenchmarkSweepE6Sequential is the full-size E6 sweep on one worker — the
-// old hand-rolled loop's execution model.
-func BenchmarkSweepE6Sequential(b *testing.B) { benchSweepWorkers(b, 1) }
+// BenchmarkSweepE6Sequential is the full-size E6 sweep on one worker with
+// the atlas disabled — the old hand-rolled loop's execution model, kept as
+// the perf baseline.
+func BenchmarkSweepE6Sequential(b *testing.B) { benchSweepWorkers(b, 1, true) }
 
-// BenchmarkSweepE6Sharded is the same sweep sharded across all cores; same
-// seed, byte-identical table, and the wall-clock win the sweep engine
-// exists for.
-func BenchmarkSweepE6Sharded(b *testing.B) { benchSweepWorkers(b, 0) }
+// BenchmarkSweepE6Sharded is the builder-path sweep sharded across all
+// cores; same seed, byte-identical table.
+func BenchmarkSweepE6Sharded(b *testing.B) { benchSweepWorkers(b, 0, true) }
 
-// BenchmarkSweepRawSequential and BenchmarkSweepRawSharded measure the
-// sweep engine directly (no table rendering): the pruning algorithm over
-// random permutations of a 4096-cycle, 32 trials.
-func benchSweepRaw(b *testing.B, workers int) {
+// BenchmarkSweepE6AtlasSequential serves the same sweep from the shared
+// ball atlas on one worker: BFS layers are materialised once per size and
+// every trial shrinks to relabel + decide.
+func BenchmarkSweepE6AtlasSequential(b *testing.B) { benchSweepWorkers(b, 1, false) }
+
+// BenchmarkSweepE6AtlasSharded combines both engines: the atlas fast path
+// under the full worker pool, all workers sharing each size's layer store.
+func BenchmarkSweepE6AtlasSharded(b *testing.B) { benchSweepWorkers(b, 0, false) }
+
+// benchSweepRaw measures the sweep engine directly (no table rendering):
+// the pruning algorithm over random permutations of a 4096-cycle, 32
+// trials, with the atlas either forced off (builder baseline) or on.
+func benchSweepRaw(b *testing.B, workers int, noAtlas bool) {
 	b.Helper()
 	spec := sweep.Spec{
 		Seed:    9,
 		Sizes:   []int{4096},
 		Trials:  32,
 		Workers: workers,
+		NoAtlas: noAtlas,
 		Graph:   func(n int, _ *rand.Rand) (graph.Graph, error) { return graph.NewCycle(n) },
 		Alg:     func(int, ids.Assignment) local.ViewAlgorithm { return largestid.Pruning{} },
 	}
@@ -169,8 +181,10 @@ func benchSweepRaw(b *testing.B, workers int) {
 	}
 }
 
-func BenchmarkSweepRawSequential(b *testing.B) { benchSweepRaw(b, 1) }
-func BenchmarkSweepRawSharded(b *testing.B)    { benchSweepRaw(b, 0) }
+func BenchmarkSweepRawSequential(b *testing.B)      { benchSweepRaw(b, 1, true) }
+func BenchmarkSweepRawSharded(b *testing.B)         { benchSweepRaw(b, 0, true) }
+func BenchmarkSweepRawAtlasSequential(b *testing.B) { benchSweepRaw(b, 1, false) }
+func BenchmarkSweepRawAtlasSharded(b *testing.B)    { benchSweepRaw(b, 0, false) }
 
 // --- simulator hot paths ---
 
@@ -284,6 +298,25 @@ func BenchmarkBallGrowth(b *testing.B) {
 		bb := graph.NewBallBuilder(c, 0)
 		for r := 0; r < n/2; r++ {
 			bb.Grow()
+		}
+	}
+}
+
+// BenchmarkBallAtlasServe measures the atlas steady state the sweep relies
+// on: after one center's layers are materialised, every further trial's
+// ball is served as prefix windows in O(radius) row pointers.
+func BenchmarkBallAtlasServe(b *testing.B) {
+	const n = 1 << 14
+	c := graph.MustCycle(n)
+	atlas := graph.NewBallAtlas(c, -1)
+	if atlas.Ensure(0, n/2) == nil {
+		b.Fatal("atlas capped")
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if st := atlas.Ensure(0, n/2); st == nil || st.SizeAt(n/2) != n {
+			b.Fatal("under-served")
 		}
 	}
 }

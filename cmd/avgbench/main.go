@@ -12,6 +12,8 @@
 //	avgbench -e all -timeout 30s    # give up (with an error) after 30s
 //	avgbench -e E3 -csv             # machine-readable output
 //	avgbench -e all -json          	# machine-readable output, with metadata
+//	avgbench -e E6 -noatlas         # force the ball-builder path (perf bisection)
+//	avgbench -e E6 -cpuprofile cpu.pb.gz -memprofile mem.pb.gz
 package main
 
 import (
@@ -21,6 +23,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 
@@ -45,6 +49,9 @@ func run(args []string) error {
 	asCSV := fs.Bool("csv", false, "emit CSV instead of aligned text")
 	asJSON := fs.Bool("json", false, "emit JSON (tables plus metadata)")
 	list := fs.Bool("list", false, "list experiments and exit")
+	noAtlas := fs.Bool("noatlas", false, "disable the shared ball-atlas fast path (identical tables, builder-path timing)")
+	cpuProfile := fs.String("cpuprofile", "", "write a pprof CPU profile of the runs to this file")
+	memProfile := fs.String("memprofile", "", "write a pprof heap profile to this file after the runs")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -58,7 +65,7 @@ func run(args []string) error {
 		return fmt.Errorf("-csv and -json are mutually exclusive")
 	}
 
-	cfg := experiments.Config{Seed: *seed, Trials: *trials, Workers: *workers}
+	cfg := experiments.Config{Seed: *seed, Trials: *trials, Workers: *workers, NoAtlas: *noAtlas}
 	if *sizesFlag != "" {
 		for _, part := range strings.Split(*sizesFlag, ",") {
 			n, err := strconv.Atoi(strings.TrimSpace(part))
@@ -85,6 +92,35 @@ func run(args []string) error {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
 		defer cancel()
+	}
+
+	// Profiling hooks: hot-path regressions should be diagnosable from a
+	// released binary without editing code.
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			return fmt.Errorf("create -cpuprofile: %w", err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return fmt.Errorf("start CPU profile: %w", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		f, err := os.Create(*memProfile)
+		if err != nil {
+			return fmt.Errorf("create -memprofile: %w", err)
+		}
+		defer func() {
+			// Snapshot after the runs, with the dust settled, so the
+			// profile reflects retained allocations.
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "avgbench: write heap profile:", err)
+			}
+			f.Close()
+		}()
 	}
 
 	// jsonTable pairs an experiment's metadata with its rendered table for

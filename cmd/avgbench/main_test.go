@@ -1,6 +1,10 @@
 package main
 
-import "testing"
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
 
 func TestRunSingleExperiment(t *testing.T) {
 	if err := run([]string{"-e", "E3", "-sizes", "16,64"}); err != nil {
@@ -50,6 +54,36 @@ func TestRunJSON(t *testing.T) {
 func TestRunWorkers(t *testing.T) {
 	if err := run([]string{"-e", "E6", "-sizes", "16,32", "-trials", "4", "-workers", "3"}); err != nil {
 		t.Errorf("workers: %v", err)
+	}
+}
+
+func TestRunNoAtlas(t *testing.T) {
+	if err := run([]string{"-e", "E6", "-sizes", "16,32", "-trials", "3", "-noatlas"}); err != nil {
+		t.Errorf("noatlas: %v", err)
+	}
+}
+
+func TestRunProfiles(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.pb.gz")
+	mem := filepath.Join(dir, "mem.pb.gz")
+	if err := run([]string{"-e", "E1", "-sizes", "32", "-trials", "1",
+		"-cpuprofile", cpu, "-memprofile", mem}); err != nil {
+		t.Fatalf("profiled run: %v", err)
+	}
+	for _, p := range []string{cpu, mem} {
+		if st, err := os.Stat(p); err != nil || st.Size() == 0 {
+			t.Errorf("profile %s missing or empty (err=%v)", p, err)
+		}
+	}
+}
+
+func TestRunProfileErrors(t *testing.T) {
+	if err := run([]string{"-e", "E1", "-sizes", "16", "-cpuprofile", "/nonexistent-dir/x.prof"}); err == nil {
+		t.Error("unwritable -cpuprofile accepted")
+	}
+	if err := run([]string{"-e", "E1", "-sizes", "16", "-trials", "1", "-memprofile", "/nonexistent-dir/x.prof"}); err == nil {
+		t.Error("unwritable -memprofile accepted")
 	}
 }
 

@@ -1,0 +1,118 @@
+// Command bench2json converts `go test -bench` text output on stdin into a
+// JSON array on stdout, so CI can archive benchmark results as a
+// machine-readable artifact and the perf trajectory of the sweep engine is
+// tracked run over run.
+//
+// Usage:
+//
+//	go test -run '^$' -bench '^BenchmarkSweep' -benchmem . | bench2json > BENCH_sweep.json
+//
+// Context lines (goos/goarch/pkg/cpu) are attached to every subsequent
+// result. Unparseable lines are ignored, so PASS/ok trailers and -v noise
+// are harmless.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Result is one benchmark line plus the context it ran under.
+type Result struct {
+	Name       string  `json:"name"`
+	Procs      int     `json:"procs,omitempty"`
+	Iterations int64   `json:"iterations"`
+	NsPerOp    float64 `json:"ns_per_op,omitempty"`
+	BytesPerOp float64 `json:"bytes_per_op,omitempty"`
+	AllocsOp   float64 `json:"allocs_per_op,omitempty"`
+	Goos       string  `json:"goos,omitempty"`
+	Goarch     string  `json:"goarch,omitempty"`
+	Pkg        string  `json:"pkg,omitempty"`
+	CPU        string  `json:"cpu,omitempty"`
+}
+
+func main() {
+	if err := run(os.Stdin, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "bench2json:", err)
+		os.Exit(1)
+	}
+}
+
+func run(in *os.File, out *os.File) error {
+	results, err := Parse(bufio.NewScanner(in))
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	return enc.Encode(results)
+}
+
+// Parse consumes benchmark output line by line. Exported for the tests.
+func Parse(sc *bufio.Scanner) ([]Result, error) {
+	var (
+		results      = []Result{}
+		goos, goarch string
+		pkg, cpu     string
+	)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos:"):
+			goos = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
+			continue
+		case strings.HasPrefix(line, "goarch:"):
+			goarch = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
+			continue
+		case strings.HasPrefix(line, "pkg:"):
+			pkg = strings.TrimSpace(strings.TrimPrefix(line, "pkg:"))
+			continue
+		case strings.HasPrefix(line, "cpu:"):
+			cpu = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+			continue
+		case !strings.HasPrefix(line, "Benchmark"):
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			continue
+		}
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue // e.g. "BenchmarkFoo ... FAIL"
+		}
+		r := Result{Iterations: iters, Goos: goos, Goarch: goarch, Pkg: pkg, CPU: cpu}
+		r.Name, r.Procs = splitProcs(fields[0])
+		// Remaining fields come in "<value> <unit>" pairs.
+		for i := 2; i+1 < len(fields); i += 2 {
+			val, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			switch fields[i+1] {
+			case "ns/op":
+				r.NsPerOp = val
+			case "B/op":
+				r.BytesPerOp = val
+			case "allocs/op":
+				r.AllocsOp = val
+			}
+		}
+		results = append(results, r)
+	}
+	return results, sc.Err()
+}
+
+// splitProcs separates the "-8" GOMAXPROCS suffix from a benchmark name.
+func splitProcs(name string) (string, int) {
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if p, err := strconv.Atoi(name[i+1:]); err == nil {
+			return name[:i], p
+		}
+	}
+	return name, 0
+}

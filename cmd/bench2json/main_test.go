@@ -1,0 +1,62 @@
+package main
+
+import (
+	"bufio"
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: repro
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkSweepE6Sequential      	      10	  72038054 ns/op	 3059900 B/op	    8962 allocs/op
+BenchmarkSweepE6AtlasSharded-8  	      10	  33594313 ns/op	 2051253 B/op	     683 allocs/op
+PASS
+ok  	repro	2.358s
+`
+
+func TestParse(t *testing.T) {
+	results, err := Parse(bufio.NewScanner(strings.NewReader(sample)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2 {
+		t.Fatalf("parsed %d results, want 2", len(results))
+	}
+	r := results[0]
+	if r.Name != "BenchmarkSweepE6Sequential" || r.Procs != 0 {
+		t.Errorf("first result name/procs = %q/%d", r.Name, r.Procs)
+	}
+	if r.Iterations != 10 || r.NsPerOp != 72038054 || r.BytesPerOp != 3059900 || r.AllocsOp != 8962 {
+		t.Errorf("first result metrics wrong: %+v", r)
+	}
+	if r.Goos != "linux" || r.Goarch != "amd64" || r.Pkg != "repro" || !strings.Contains(r.CPU, "Xeon") {
+		t.Errorf("context not attached: %+v", r)
+	}
+	s := results[1]
+	if s.Name != "BenchmarkSweepE6AtlasSharded" || s.Procs != 8 {
+		t.Errorf("procs suffix not split: %q/%d", s.Name, s.Procs)
+	}
+}
+
+func TestParseIgnoresNoise(t *testing.T) {
+	noisy := "=== RUN TestX\nBenchmarkBroken FAIL\nrandom text\nBenchmarkOK 3 100 ns/op\n"
+	results, err := Parse(bufio.NewScanner(strings.NewReader(noisy)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 1 || results[0].Name != "BenchmarkOK" || results[0].NsPerOp != 100 {
+		t.Fatalf("noise handling wrong: %+v", results)
+	}
+}
+
+func TestParseEmpty(t *testing.T) {
+	results, err := Parse(bufio.NewScanner(strings.NewReader("")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if results == nil || len(results) != 0 {
+		t.Fatalf("empty input must yield an empty (non-nil) slice, got %#v", results)
+	}
+}

@@ -32,11 +32,8 @@ func (Pruning) Name() string { return "largestid/pruning" }
 // or proves the view complete (Yes). Only the freshly revealed frontier
 // needs scanning: earlier vertices were checked at smaller radii.
 func (Pruning) Decide(v local.View) (int, bool) {
-	own := v.CenterID()
-	for i := v.FrontierStart(); i < v.Size(); i++ {
-		if v.ID(i) > own {
-			return problems.No, true
-		}
+	if v.MaxIDIn(v.FrontierStart(), v.Size()) > v.CenterID() {
+		return problems.No, true
 	}
 	if v.Complete() {
 		return problems.Yes, true
@@ -58,11 +55,8 @@ func (FullView) Decide(v local.View) (int, bool) {
 	if !v.Complete() {
 		return 0, false
 	}
-	own := v.CenterID()
-	for i := 0; i < v.Size(); i++ {
-		if v.ID(i) > own {
-			return problems.No, true
-		}
+	if v.MaxIDIn(0, v.Size()) > v.CenterID() {
+		return problems.No, true
 	}
 	return problems.Yes, true
 }

@@ -91,6 +91,7 @@ func runSynthesized(ctx context.Context, cfg Config, s int) (string, error) {
 		Sizes:   []int{n},
 		Trials:  1,
 		Workers: cfg.Workers,
+		NoAtlas: cfg.NoAtlas,
 		Graph:   func(n int, _ *rand.Rand) (graph.Graph, error) { return graph.NewCycle(n) },
 		Assign:  assignFixed(func(n int) (ids.Assignment, error) { return ids.Identity(n), nil }),
 		Alg:     func(int, ids.Assignment) local.ViewAlgorithm { return ta },

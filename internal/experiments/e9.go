@@ -72,6 +72,7 @@ func e9() Experiment {
 					Sizes:   f.sizes,
 					Trials:  trials,
 					Workers: cfg.Workers,
+					NoAtlas: cfg.NoAtlas,
 					Graph:   f.build,
 					Alg:     func(int, ids.Assignment) local.ViewAlgorithm { return largestid.Pruning{} },
 					Verify:  verifyLargestID,

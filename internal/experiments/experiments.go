@@ -24,6 +24,11 @@ type Config struct {
 	Trials int
 	// Workers bounds the sweep worker pool (0 = GOMAXPROCS).
 	Workers int
+	// NoAtlas disables the sweep engine's shared per-size ball atlas.
+	// Tables are byte-identical either way; the toggle exists for
+	// benchmarking the fast path against the builder baseline and for
+	// bisecting perf regressions.
+	NoAtlas bool
 }
 
 // Experiment is one reproducible claim of the paper.
@@ -97,6 +102,7 @@ func cycleSpec(cfg Config, defSizes []int, defTrials int) sweep.Spec {
 		Sizes:   sizesOrDefault(cfg, defSizes),
 		Trials:  trialsOrDefault(cfg, defTrials),
 		Workers: cfg.Workers,
+		NoAtlas: cfg.NoAtlas,
 		Graph:   func(n int, _ *rand.Rand) (graph.Graph, error) { return graph.NewCycle(n) },
 	}
 }

@@ -1,0 +1,535 @@
+package graph
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// DefaultAtlasMemLimit is the per-atlas memory cap applied when a BallAtlas
+// is created with limit 0: beyond it the atlas stops materialising layers
+// and callers fall back to the incremental BallBuilder. The default is
+// sized so that every cycle/path/tree/grid sweep in the repository fits
+// comfortably while a dense family (GNP near the connectivity threshold,
+// cliques at large n) cannot take the process down.
+const DefaultAtlasMemLimit = 256 << 20 // 256 MiB
+
+// BallAtlas is a per-graph, read-only, lazily grown store of every vertex's
+// BFS ball layers. It exists because permutation sweeps run thousands of
+// identifier assignments over the SAME graph instance, yet ball structure
+// (discovery order, distances, induced adjacency) depends only on the graph
+// — so the BFS work of the view engine is identical across trials and can
+// be paid once.
+//
+// For each centre the atlas records the full BFS discovery order (exploring
+// ports in increasing order, exactly the order NewBall and BallBuilder use),
+// flattened into Verts/Dist/Degs arrays with per-radius layer offsets. The
+// radius-r ball is then a PREFIX WINDOW of those arrays.
+//
+// Storage is two-tier, because most algorithms never look at edges:
+//
+//   - The SKELETON (always materialised) additionally stores each local
+//     vertex's induced degree at its own discovery radius (OwnDeg). Over
+//     the lifetime of a growing ball, local vertex i (discovered at
+//     distance d) has exactly two induced degrees: OwnDeg(i) at radius d
+//     and its true degree at every radius > d (all neighbours sit at
+//     distance <= d+1, hence inside the ball). That is everything
+//     completeness and degree checks need.
+//   - The ROWS (materialised per centre on first demand, see RowsFor)
+//     store the actual adjacency lists, CSR-flattened in port order, in
+//     the same two variants: the row truncated to the ball at the
+//     vertex's own radius, and the complete row.
+//
+// Growth is lazy and radius-incremental with geometric lookahead: only
+// radii within a constant factor of what some trial actually reaches are
+// ever materialised, and a memory cap (see NewBallAtlas) bounds the total
+// footprint — when the cap is hit, Ensure returns nil and callers fall
+// back to their own BallBuilder. An atlas is safe for concurrent use:
+// readers are lock-free (snapshots are published via atomic pointers and
+// all arrays are append-only), growth is serialised per centre.
+type BallAtlas struct {
+	g         Graph
+	budget    atomic.Int64
+	exhausted atomic.Bool
+	balls     []vertexAtlas
+	scratch   sync.Pool // *atlasScratch
+
+	// Flat CSR copy of the graph, built once on first growth: BFS over
+	// offset/adjacency arrays runs several times faster than through the
+	// Graph interface, and every centre's growth shares it.
+	csrOnce sync.Once
+	csrOff  []int32
+	csrAdj  []int32
+}
+
+// vertexAtlas is one centre's slot: a mutex serialising growth and the
+// atomically published immutable snapshots of the skeleton and the rows.
+type vertexAtlas struct {
+	mu    sync.Mutex
+	state atomic.Pointer[AtlasBall]
+	rows  atomic.Pointer[AtlasRows]
+}
+
+// AtlasBall is an immutable snapshot of one centre's materialised skeleton.
+// All exported data is read-only and shared between every worker using the
+// atlas; callers must not modify it.
+type AtlasBall struct {
+	// MaxRadius is the largest radius whose view this snapshot can serve.
+	MaxRadius int
+	// Complete reports that the ball covers the centre's whole connected
+	// component: views at ANY radius are servable from this snapshot.
+	Complete bool
+	// Verts, Dist and Degs are parallel arrays over the BFS discovery
+	// order: original vertex name, distance from the centre, and true
+	// degree in the graph. The radius-r ball is the prefix [0, SizeAt(r)).
+	Verts []int
+	Dist  []int
+	Degs  []int
+	// LayerEnd[r] is the number of vertices at distance <= r, r in
+	// [0, MaxRadius].
+	LayerEnd []int
+	// ownDeg[i] is local vertex i's induced degree in the ball at its own
+	// discovery radius Dist[i]; at any larger radius its induced degree is
+	// Degs[i].
+	ownDeg []int32
+	// layerFull[r] reports that every distance-r vertex already shows its
+	// full degree inside the radius-r ball — i.e. the radius-r view is
+	// provably complete (interior vertices always show full degree). One
+	// flag per materialised radius turns the view engine's completeness
+	// check into an O(1) lookup.
+	layerFull []bool
+}
+
+// serves reports whether the snapshot can produce the radius-r view.
+func (ab *AtlasBall) serves(r int) bool { return ab.Complete || ab.MaxRadius >= r }
+
+// SizeAt returns the number of vertices in the radius-r ball. For r beyond
+// MaxRadius (valid only when Complete) the ball has stopped growing.
+func (ab *AtlasBall) SizeAt(r int) int {
+	if r >= ab.MaxRadius {
+		return ab.LayerEnd[ab.MaxRadius]
+	}
+	return ab.LayerEnd[r]
+}
+
+// FrontierStartAt returns the local index of the first vertex at distance
+// exactly r — the boundary between interior vertices (full induced degree,
+// full rows) and frontier vertices (own degree, own rows) in the radius-r
+// view. Equal to SizeAt(r) when the layer is empty.
+func (ab *AtlasBall) FrontierStartAt(r int) int {
+	if r <= 0 {
+		return 0
+	}
+	if r > ab.MaxRadius {
+		return ab.LayerEnd[ab.MaxRadius]
+	}
+	return ab.LayerEnd[r-1]
+}
+
+// OwnDeg returns local vertex i's induced degree at its own discovery
+// radius.
+func (ab *AtlasBall) OwnDeg(i int) int { return int(ab.ownDeg[i]) }
+
+// OwnDegs exposes the whole own-degree array (read-only) for hot loops
+// that check a frontier range without per-element method calls.
+func (ab *AtlasBall) OwnDegs() []int32 { return ab.ownDeg }
+
+// CompleteAt reports whether the radius-r view is complete: every vertex
+// visible at radius r shows all of its edges inside the ball. Radii past
+// MaxRadius are only served when the ball is Complete, where the frontier
+// is empty and completeness is trivially true.
+func (ab *AtlasBall) CompleteAt(r int) bool {
+	if r >= len(ab.layerFull) {
+		return true
+	}
+	return ab.layerFull[r]
+}
+
+// memSize approximates the skeleton's footprint in bytes.
+func (ab *AtlasBall) memSize() int64 {
+	words := len(ab.Verts) + len(ab.Dist) + len(ab.Degs) + len(ab.LayerEnd)
+	return int64(words)*8 + int64(len(ab.ownDeg))*4 + int64(len(ab.layerFull))
+}
+
+// AtlasRows is an immutable snapshot of one centre's materialised adjacency
+// rows, covering the skeleton prefix [0, Size). Rows are shared and
+// read-only.
+type AtlasRows struct {
+	// Size is the number of local vertices covered (the skeleton size at
+	// materialisation time).
+	Size int
+	// interiorEnd bounds the prefix with full rows available.
+	interiorEnd int
+	ownOff      []int32
+	ownData     []int
+	fullOff     []int32
+	fullData    []int
+}
+
+// OwnRow returns local vertex i's induced adjacency row at its own
+// discovery radius (neighbours at distance <= Dist[i]), in port order.
+func (ar *AtlasRows) OwnRow(i int) []int {
+	return ar.ownData[ar.ownOff[i]:ar.ownOff[i+1]]
+}
+
+// FullRow returns local vertex i's complete adjacency row (every
+// neighbour, mapped to local indices), in port order. Valid for interior
+// vertices: i < InteriorEnd().
+func (ar *AtlasRows) FullRow(i int) []int {
+	return ar.fullData[ar.fullOff[i]:ar.fullOff[i+1]]
+}
+
+// InteriorEnd returns the end of the prefix whose full rows exist.
+func (ar *AtlasRows) InteriorEnd() int { return ar.interiorEnd }
+
+func (ar *AtlasRows) memSize() int64 {
+	return int64(len(ar.ownData)+len(ar.fullData))*8 +
+		int64(len(ar.ownOff)+len(ar.fullOff))*4
+}
+
+// atlasScratch is the pooled BFS membership scratch used during growth —
+// the same epoch-stamped dense-array trick BallBuilder uses, shared
+// through a pool so concurrent growth of different centres never contends
+// on it.
+type atlasScratch struct {
+	localIdx []int32
+	stamp    []uint32
+	epoch    uint32
+}
+
+// NewBallAtlas creates an empty atlas over g. memLimit caps the total
+// memory (in bytes, approximately) of materialised data: 0 applies
+// DefaultAtlasMemLimit, negative disables the cap. Nothing is materialised
+// until the first Ensure.
+//
+// The cap is soft: it is charged per growth step, and the step that
+// crosses it completes before all further materialisation stops — so the
+// overshoot is bounded by one centre's ball (or, for RowsFor, one centre's
+// edge lists) and a capped atlas keeps serving everything it already
+// built.
+func NewBallAtlas(g Graph, memLimit int64) *BallAtlas {
+	switch {
+	case memLimit == 0:
+		memLimit = DefaultAtlasMemLimit
+	case memLimit < 0:
+		memLimit = int64(1) << 62
+	}
+	a := &BallAtlas{g: g, balls: make([]vertexAtlas, g.N())}
+	a.budget.Store(memLimit)
+	return a
+}
+
+// Graph returns the graph the atlas was built over.
+func (a *BallAtlas) Graph() Graph { return a.g }
+
+// MemUsed reports the approximate bytes of materialised data.
+func (a *BallAtlas) MemUsed() int64 {
+	var used int64
+	for i := range a.balls {
+		if st := a.balls[i].state.Load(); st != nil {
+			used += st.memSize()
+		}
+		if rows := a.balls[i].rows.Load(); rows != nil {
+			used += rows.memSize()
+		}
+	}
+	return used
+}
+
+// Exhausted reports whether the atlas hit its memory cap; once true, no
+// further layers will ever be materialised.
+func (a *BallAtlas) Exhausted() bool { return a.exhausted.Load() }
+
+// csr lazily flattens the graph into offset/adjacency arrays shared by all
+// growth. The copy costs O(n + E) once and is charged to the budget.
+func (a *BallAtlas) csr() ([]int32, []int32) {
+	a.csrOnce.Do(func() {
+		g := a.g
+		n := g.N()
+		off := make([]int32, n+1)
+		for v := 0; v < n; v++ {
+			off[v+1] = off[v] + int32(g.Degree(v))
+		}
+		adj := make([]int32, off[n])
+		k := 0
+		for v := 0; v < n; v++ {
+			for p := 0; p < g.Degree(v); p++ {
+				adj[k] = int32(g.Neighbor(v, p))
+				k++
+			}
+		}
+		a.budget.Add(-int64(len(off)+len(adj)) * 4)
+		a.csrOff, a.csrAdj = off, adj
+	})
+	return a.csrOff, a.csrAdj
+}
+
+// Ensure returns a snapshot able to serve the radius-r view around center,
+// materialising missing skeleton layers first. It returns nil when the
+// memory cap prevents the required growth; already materialised radii
+// remain served forever. The fast path (layers already present) is a
+// single atomic load.
+//
+// Growth uses geometric lookahead: a call that must grow materialises past
+// r (see lookahead), so a centre repeatedly asked for one more radius (the
+// view engine's access pattern) re-stamps its ball O(log) times instead of
+// once per radius — total build cost stays linear in the final ball size,
+// and materialisation stays within a constant factor of the deepest radius
+// any trial actually reaches.
+func (a *BallAtlas) Ensure(center, r int) *AtlasBall {
+	va := &a.balls[center]
+	if st := va.state.Load(); st != nil && st.serves(r) {
+		return st
+	}
+	if a.exhausted.Load() {
+		return nil
+	}
+	va.mu.Lock()
+	defer va.mu.Unlock()
+	st := va.state.Load()
+	if st != nil && st.serves(r) {
+		return st
+	}
+	if a.exhausted.Load() {
+		return nil
+	}
+	next := a.grow(center, st, lookahead(st, r))
+	va.state.Store(next)
+	return next
+}
+
+// lookahead picks the speculative growth target: a few radii on the first
+// materialisation (most sweep executions stop within a handful of radii,
+// and one presized growth call is much cheaper than three), then 1.5× the
+// materialised radius, never less than the request.
+func lookahead(st *AtlasBall, r int) int {
+	if st == nil {
+		if r < 3 {
+			return 3
+		}
+		return r
+	}
+	if ahead := st.MaxRadius + st.MaxRadius/2 + 1; ahead > r {
+		return ahead
+	}
+	return r
+}
+
+// grow extends st (nil: not yet materialised) to radius target (or
+// completion). The growth is charged to the budget afterwards — the soft
+// cap — so the snapshot always serves target, and crossing the cap stops
+// all future materialisation instead of failing this one. Called with the
+// centre's mutex held. The returned snapshot shares its arrays' backing
+// with st — appends only ever write past the published lengths, so
+// concurrent readers of older snapshots are undisturbed.
+func (a *BallAtlas) grow(center int, st *AtlasBall, target int) *AtlasBall {
+	csrOff, csrAdj := a.csr()
+	sc := a.getScratch()
+	defer a.scratch.Put(sc)
+
+	next := &AtlasBall{}
+	if st == nil {
+		deg := int(csrOff[center+1] - csrOff[center])
+		// One presized block for the three parallel int arrays: shallow
+		// centres (the common case) then grow with zero reallocations.
+		est := 1 + deg*target
+		if est > a.g.N() {
+			est = a.g.N()
+		}
+		block := make([]int, est, 3*est)
+		next.Verts = append(block[:0:est], center)
+		next.Dist = append(block[est:est:2*est], 0)
+		next.Degs = append(block[2*est:2*est:3*est], deg)
+		next.LayerEnd = make([]int, 1, target+1)
+		next.LayerEnd[0] = 1
+		next.ownDeg = append(make([]int32, 0, est), 0)
+		next.layerFull = append(make([]bool, 0, target+1), deg == 0)
+	} else {
+		*next = *st
+	}
+	// Re-stamp the existing ball so membership tests see it. This is the
+	// only repeated work across growth calls; the geometric lookahead
+	// keeps its total O(final ball size).
+	for i, v := range next.Verts {
+		sc.localIdx[v] = int32(i)
+		sc.stamp[v] = sc.epoch
+	}
+
+	var before int64 // first materialisation charges the initial snapshot too
+	if st != nil {
+		before = st.memSize()
+	}
+	for next.MaxRadius < target && !next.Complete {
+		r := next.MaxRadius // materialising radius r+1
+		fs := 0
+		if r > 0 {
+			fs = next.LayerEnd[r-1]
+		}
+		fe := next.LayerEnd[r]
+		start := len(next.Verts)
+		// Discover layer r+1 in frontier order × port order — the exact
+		// discovery order of NewBall/BallBuilder.
+		for i := fs; i < fe; i++ {
+			v := next.Verts[i]
+			for _, w32 := range csrAdj[csrOff[v]:csrOff[v+1]] {
+				w := int(w32)
+				if sc.stamp[w] == sc.epoch {
+					continue
+				}
+				sc.localIdx[w] = int32(len(next.Verts))
+				sc.stamp[w] = sc.epoch
+				next.Verts = append(next.Verts, w)
+				next.Dist = append(next.Dist, r+1)
+				next.Degs = append(next.Degs, int(csrOff[w+1]-csrOff[w]))
+			}
+		}
+		// Own degrees for the new layer: with layers 0..r+1 now stamped
+		// and r+2 not yet discovered, the stamped neighbours of a layer-
+		// (r+1) vertex are exactly its ball-(r+1) neighbours.
+		full := true
+		for i := start; i < len(next.Verts); i++ {
+			v := next.Verts[i]
+			var d int32
+			for _, w := range csrAdj[csrOff[v]:csrOff[v+1]] {
+				if sc.stamp[w] == sc.epoch {
+					d++
+				}
+			}
+			next.ownDeg = append(next.ownDeg, d)
+			full = full && int(d) == next.Degs[i]
+		}
+		next.layerFull = append(next.layerFull, full)
+		next.LayerEnd = append(next.LayerEnd, len(next.Verts))
+		next.MaxRadius++
+		if start == len(next.Verts) {
+			// Empty layer: the ball covers the component; every larger
+			// radius is now servable (all vertices interior).
+			next.Complete = true
+		}
+	}
+	if a.budget.Add(before-next.memSize()) < 0 {
+		// Soft cap: this snapshot stands (its data is already built), but
+		// nothing further will ever be materialised.
+		a.exhausted.Store(true)
+	}
+	return next
+}
+
+// RowsFor returns adjacency rows covering at least the first size local
+// vertices of center's skeleton, with full rows available for at least the
+// first interiorNeed of them, materialising (or extending) the rows on
+// first demand. Row materialisation never fails: a view that was already
+// served from the skeleton must be able to enumerate its edges, so this
+// path may overshoot the memory cap (it still charges the budget, stopping
+// all future skeleton growth). size must not exceed the materialised
+// skeleton, and interiorNeed must not exceed the skeleton's interior
+// prefix.
+func (a *BallAtlas) RowsFor(center, size, interiorNeed int) *AtlasRows {
+	va := &a.balls[center]
+	if rows := va.rows.Load(); rows != nil && rows.Size >= size && rows.interiorEnd >= interiorNeed {
+		return rows
+	}
+	va.mu.Lock()
+	defer va.mu.Unlock()
+	if rows := va.rows.Load(); rows != nil && rows.Size >= size && rows.interiorEnd >= interiorNeed {
+		return rows
+	}
+	st := va.state.Load()
+	csrOff, csrAdj := a.csr()
+	sc := a.getScratch()
+	defer a.scratch.Put(sc)
+	for i, v := range st.Verts {
+		sc.localIdx[v] = int32(i)
+		sc.stamp[v] = sc.epoch
+	}
+	n := len(st.Verts)
+	rows := &AtlasRows{
+		Size:        n,
+		interiorEnd: st.FrontierStartAt(st.MaxRadius),
+		ownOff:      make([]int32, 1, n+1),
+		fullOff:     make([]int32, 1, n+1),
+	}
+	if st.Complete {
+		rows.interiorEnd = n
+	}
+	for i := 0; i < n; i++ {
+		v, d := st.Verts[i], st.Dist[i]
+		for _, w32 := range csrAdj[csrOff[v]:csrOff[v+1]] {
+			w := int(w32)
+			// Own row: neighbours inside the ball at i's own radius.
+			if sc.stamp[w] == sc.epoch && st.Dist[sc.localIdx[w]] <= d {
+				rows.ownData = append(rows.ownData, int(sc.localIdx[w]))
+			}
+		}
+		rows.ownOff = append(rows.ownOff, int32(len(rows.ownData)))
+		if i < rows.interiorEnd {
+			// Full row: every neighbour is stamped (all sit at distance
+			// <= d+1 <= MaxRadius).
+			for _, w := range csrAdj[csrOff[v]:csrOff[v+1]] {
+				rows.fullData = append(rows.fullData, int(sc.localIdx[w]))
+			}
+			rows.fullOff = append(rows.fullOff, int32(len(rows.fullData)))
+		}
+	}
+	delta := rows.memSize()
+	if old := va.rows.Load(); old != nil {
+		delta -= old.memSize() // the old snapshot is garbage once replaced
+	}
+	if a.budget.Add(-delta) < 0 {
+		a.exhausted.Store(true)
+	}
+	va.rows.Store(rows)
+	return rows
+}
+
+// getScratch checks a membership scratch out of the pool, sized to the
+// graph, with a fresh epoch.
+func (a *BallAtlas) getScratch() *atlasScratch {
+	sc, _ := a.scratch.Get().(*atlasScratch)
+	if sc == nil {
+		sc = &atlasScratch{}
+	}
+	if n := a.g.N(); len(sc.localIdx) < n {
+		sc.localIdx = make([]int32, n)
+		sc.stamp = make([]uint32, n)
+		sc.epoch = 0
+	}
+	sc.epoch++
+	if sc.epoch == 0 {
+		// 32-bit epoch wrapped: clear stale stamps once per 2^32 uses.
+		for i := range sc.stamp {
+			sc.stamp[i] = 0
+		}
+		sc.epoch = 1
+	}
+	return sc
+}
+
+// BallAt materialises the radius-r ball around center as a standalone
+// Ball, byte-identical to NewBall(g, center, r) and to a BallBuilder grown
+// r times. It allocates per call — the sweep hot path serves views from
+// the skeleton directly — and returns nil when the atlas is memory-capped.
+func (a *BallAtlas) BallAt(center, r int) *Ball {
+	if r < 0 {
+		r = 0
+	}
+	st := a.Ensure(center, r)
+	if st == nil {
+		return nil
+	}
+	end := st.SizeAt(r)
+	fs := st.FrontierStartAt(r)
+	rows := a.RowsFor(center, end, fs)
+	b := &Ball{
+		Radius: r,
+		Verts:  append([]int(nil), st.Verts[:end]...),
+		Dist:   append([]int(nil), st.Dist[:end]...),
+		Adj:    make([][]int, end),
+	}
+	for i := 0; i < fs; i++ {
+		b.Adj[i] = append([]int(nil), rows.FullRow(i)...)
+	}
+	for i := fs; i < end; i++ {
+		b.Adj[i] = append([]int(nil), rows.OwnRow(i)...)
+	}
+	return b
+}

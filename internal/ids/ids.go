@@ -136,11 +136,31 @@ func BitReversal(n int) Assignment {
 
 // Validate checks distinctness and non-negativity.
 func (a Assignment) Validate() error {
-	seen := make(map[int]int, len(a))
+	// Dense identifier spaces (permutations and affine rescalings, the
+	// common case in sweeps) are checked with a flat table — an order of
+	// magnitude cheaper than a map, and Validate sits on the per-trial hot
+	// path of the sweep engine. Sparse spaces fall back to the map.
+	maxID := -1
 	for v, id := range a {
 		if id < 0 {
 			return fmt.Errorf("ids: vertex %d: %w (%d)", v, ErrNegativeID, id)
 		}
+		if id > maxID {
+			maxID = id
+		}
+	}
+	if maxID < 8*len(a) {
+		seen := make([]int32, maxID+1)
+		for v, id := range a {
+			if prev := seen[id]; prev != 0 {
+				return fmt.Errorf("ids: vertices %d and %d: %w (%d)", int(prev)-1, v, ErrDuplicateID, id)
+			}
+			seen[id] = int32(v) + 1
+		}
+		return nil
+	}
+	seen := make(map[int]int, len(a))
+	for v, id := range a {
 		if prev, ok := seen[id]; ok {
 			return fmt.Errorf("ids: vertices %d and %d: %w (%d)", prev, v, ErrDuplicateID, id)
 		}

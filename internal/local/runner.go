@@ -2,6 +2,7 @@ package local
 
 import (
 	"fmt"
+	"reflect"
 
 	"repro/internal/graph"
 	"repro/internal/ids"
@@ -18,8 +19,17 @@ import (
 // until the next Run call — callers that need to retain it must copy the
 // slices (RunView does exactly that ownership hand-off by dropping the
 // Runner).
+//
+// With SetAtlas, a Runner additionally serves views from a shared
+// graph.BallAtlas: ball structure is permutation-invariant, so per-trial
+// work shrinks to relabelling identifiers over atlas prefix windows plus
+// the algorithm's own decisions — no BFS, no adjacency rebuild, no degree
+// lookups. Results are byte-identical to the builder path.
 type Runner struct {
 	bb      *graph.BallBuilder
+	atlas   *graph.BallAtlas
+	aball   graph.Ball // scratch ball whose slices window the atlas
+	av      atlasView  // scratch atlas context referenced by served views
 	ids     []int
 	degrees []int
 	res     Result
@@ -27,6 +37,11 @@ type Runner struct {
 
 // NewRunner returns an empty Runner; buffers are grown on first use.
 func NewRunner() *Runner { return &Runner{} }
+
+// SetAtlas attaches a shared ball atlas (nil detaches). The atlas is used
+// only when its graph is the one passed to Run; vertices the atlas cannot
+// serve (memory cap) transparently fall back to the ball-builder path.
+func (r *Runner) SetAtlas(a *graph.BallAtlas) { r.atlas = a }
 
 // Run executes alg at every vertex of g under the identifier assignment a,
 // exactly like RunView, but recycles the Runner's scratch and Result
@@ -43,13 +58,24 @@ func (r *Runner) Run(g graph.Graph, a ids.Assignment, alg ViewAlgorithm, opts ..
 	r.res.Algorithm = alg.Name()
 	r.res.Outputs = resizeInts(r.res.Outputs, n)
 	r.res.Radii = resizeInts(r.res.Radii, n)
+	useAtlas := r.atlas != nil && atlasMatches(r.atlas, g)
 	for v := 0; v < n; v++ {
 		if cfg.ctx != nil && v&0xff == 0 {
 			if err := cfg.ctx.Err(); err != nil {
 				return nil, err
 			}
 		}
-		out, rad, err := r.runVertex(g, a, alg, v, cfg)
+		var (
+			out, rad int
+			err      error
+			served   bool
+		)
+		if useAtlas {
+			out, rad, served, err = r.runVertexAtlas(a, alg, v, cfg)
+		}
+		if !served && err == nil {
+			out, rad, err = r.runVertex(g, a, alg, v, cfg)
+		}
 		if err != nil {
 			return nil, err
 		}
@@ -57,6 +83,56 @@ func (r *Runner) Run(g graph.Graph, a ids.Assignment, alg ViewAlgorithm, opts ..
 		r.res.Radii[v] = rad
 	}
 	return &r.res, nil
+}
+
+// runVertexAtlas is runVertex served from the shared atlas: the ball's
+// Verts/Dist arrays are prefix windows of the centre's atlas skeleton,
+// degrees alias the skeleton, degree/completeness queries answer from the
+// precomputed own-degrees, and adjacency rows materialise in the atlas
+// only if the algorithm enumerates edges — so the per-radius work is just
+// relabelling the new layer's identifiers and the algorithm's own Decide.
+// served=false (with err=nil) means the atlas hit its memory cap and the
+// caller must rerun the vertex on the builder path; a WithProgress
+// observer may then see the abandoned attempt's early radii twice.
+func (r *Runner) runVertexAtlas(a ids.Assignment, alg ViewAlgorithm, v int, cfg config) (out, radius int, served bool, err error) {
+	st := r.atlas.Ensure(v, 0)
+	if st == nil {
+		return 0, 0, false, nil
+	}
+	ball := &r.aball
+	ball.Radius = 0
+	ball.Verts = st.Verts[:1]
+	ball.Dist = st.Dist[:1]
+	ball.Adj = nil
+	r.av = atlasView{st: st, atlas: r.atlas, assign: a, center: v, centerID: a[v]}
+	view := View{ball: ball, frontierStart: 0, av: &r.av}
+	view.degrees = st.Degs[:1]
+	for {
+		out, done := alg.Decide(view)
+		if cfg.observer != nil {
+			cfg.observer(Progress{Vertex: v, Radius: ball.Radius, Decided: done})
+		}
+		if done {
+			return out, ball.Radius, true, nil
+		}
+		if ball.Radius >= cfg.maxRadius {
+			return 0, 0, true, fmt.Errorf("local: %s undecided at vertex %d after radius %d", alg.Name(), v, cfg.maxRadius)
+		}
+		newR := ball.Radius + 1
+		if !st.Complete && newR > st.MaxRadius {
+			if st = r.atlas.Ensure(v, newR); st == nil {
+				return 0, 0, false, nil
+			}
+			r.av.st = st
+		}
+		prevEnd := len(ball.Verts)
+		newEnd := st.SizeAt(newR)
+		ball.Verts = st.Verts[:newEnd]
+		ball.Dist = st.Dist[:newEnd]
+		ball.Radius = newR
+		view.frontierStart = prevEnd
+		view.degrees = st.Degs[:newEnd]
+	}
 }
 
 // runVertex grows vertex v's view until alg decides, reusing the Runner's
@@ -88,6 +164,17 @@ func (r *Runner) runVertex(g graph.Graph, a ids.Assignment, alg ViewAlgorithm, v
 		view.frontierStart = start
 		view.ids, view.degrees = labelsFor(g, view.ball, a, view.ids[:start], view.degrees[:start])
 	}
+}
+
+// atlasMatches reports whether the attached atlas was built over g.
+// Interface equality panics for non-comparable dynamic graph types, so
+// those conservatively never match (and fall back to the builder path).
+func atlasMatches(atlas *graph.BallAtlas, g graph.Graph) bool {
+	ag := atlas.Graph()
+	if ag == nil || g == nil || !reflect.TypeOf(g).Comparable() {
+		return false
+	}
+	return ag == g
 }
 
 // resizeInts returns s with length exactly n, reusing capacity.

@@ -1,0 +1,87 @@
+package sweep
+
+import (
+	"reflect"
+	"sync"
+
+	"repro/internal/graph"
+)
+
+// The atlas cache shares ball atlases across sweep runs: atlas content is
+// a pure function of the graph, so two sweeps over the same instance — the
+// two sweeps of E2, the four of E7, repeated avgbench invocations over the
+// same sizes — can reuse one layer store instead of re-deriving it. Cached
+// entries keep growing lazily as later sweeps reach deeper radii.
+//
+// Only value-shaped comparable graphs are cacheable: types like Cycle and
+// Path compare equal across independent constructions and hit. Pointer-
+// shaped graphs (e.g. *Adj) would key by identity, and sweeps rebuild
+// their graphs per run, so caching them could only pin memory without
+// ever hitting — they get private atlases. Only default-capped atlases
+// are shared (a custom AtlasMemLimit gets a private atlas — its cap is
+// the caller's business).
+//
+// Eviction is LRU, bounded both by entry count and by total resident
+// bytes (atlases keep growing after insertion, so the byte bound is
+// re-checked on every access); exhausted atlases — memory-capped, serving
+// only fallbacks — are dropped eagerly.
+const (
+	atlasCacheBound    = 32
+	atlasCacheMemBound = 1 << 30 // 1 GiB across all cached atlases
+)
+
+var atlasCache = struct {
+	mu      sync.Mutex
+	entries map[graph.Graph]*graph.BallAtlas
+	order   []graph.Graph // LRU: oldest first
+}{entries: make(map[graph.Graph]*graph.BallAtlas)}
+
+// atlasFor returns the shared atlas for g, creating and caching it when
+// absent. memLimit != 0 bypasses the cache entirely.
+func atlasFor(g graph.Graph, memLimit int64) *graph.BallAtlas {
+	if memLimit != 0 || !cacheable(g) {
+		return graph.NewBallAtlas(g, memLimit)
+	}
+	c := &atlasCache
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	a, ok := c.entries[g]
+	if ok {
+		for i, k := range c.order {
+			if k == g {
+				c.order = append(append(c.order[:i:i], c.order[i+1:]...), g)
+				break
+			}
+		}
+	} else {
+		a = graph.NewBallAtlas(g, 0)
+		c.entries[g] = a
+		c.order = append(c.order, g)
+	}
+	// Evict oldest-first past either bound, and exhausted atlases
+	// anywhere; the just-returned atlas is always kept.
+	var total int64
+	for _, k := range c.order {
+		total += c.entries[k].MemUsed()
+	}
+	kept := c.order[:0]
+	for i, k := range c.order {
+		last := i == len(c.order)-1 // most recently used: the caller's
+		over := len(c.order)-i > atlasCacheBound || total > atlasCacheMemBound
+		if !last && (over || c.entries[k].Exhausted()) {
+			total -= c.entries[k].MemUsed()
+			delete(c.entries, k)
+			continue
+		}
+		kept = append(kept, k)
+	}
+	c.order = kept
+	return a
+}
+
+// cacheable reports whether g can key the cross-run cache: comparable and
+// not pointer-shaped (pointer identities never repeat across sweep runs).
+func cacheable(g graph.Graph) bool {
+	t := reflect.TypeOf(g)
+	return t != nil && t.Kind() != reflect.Ptr && t.Comparable()
+}

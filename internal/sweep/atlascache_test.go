@@ -1,0 +1,36 @@
+package sweep
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// TestAtlasCacheSharing pins the cache contract: equal comparable graph
+// values share one atlas, pointer-shaped graphs never enter the cache,
+// custom memory limits get private atlases, and the entry bound evicts
+// oldest-first.
+func TestAtlasCacheSharing(t *testing.T) {
+	a1 := atlasFor(graph.MustCycle(10), 0)
+	a2 := atlasFor(graph.MustCycle(10), 0)
+	if a1 != a2 {
+		t.Error("equal cycle values must share one cached atlas")
+	}
+	if atlasFor(graph.MustCycle(10), 4096) == a1 {
+		t.Error("custom mem limit must bypass the cache")
+	}
+	adj, err := graph.NewGrid(3, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if atlasFor(adj, 0) == atlasFor(adj, 0) {
+		t.Error("pointer-shaped graphs must get private atlases")
+	}
+	// Flood the cache past its entry bound: the first cycle must be gone.
+	for n := 20; n < 20+atlasCacheBound+4; n++ {
+		atlasFor(graph.MustCycle(n), 0)
+	}
+	if atlasFor(graph.MustCycle(10), 0) == a1 {
+		t.Error("flooded cache did not evict the oldest entry")
+	}
+}

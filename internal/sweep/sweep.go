@@ -73,6 +73,16 @@ type Spec struct {
 	// a trial check, or the sweep restricted to Trials = 1. A slot keyed by
 	// sizeIdx alone races between the trials that share the size.
 	Observe func(sizeIdx, trial int, g graph.Graph, a ids.Assignment, res *local.Result)
+	// NoAtlas disables the shared per-size ball atlas. By default the sweep
+	// builds one graph.BallAtlas per size and every worker serves its views
+	// from it, turning the per-trial inner loop from BFS + adjacency
+	// rebuild into relabel + decide; ball structure is permutation-
+	// invariant, so results are byte-identical either way.
+	NoAtlas bool
+	// AtlasMemLimit caps each size's atlas memory in bytes: 0 applies
+	// graph.DefaultAtlasMemLimit, negative disables the cap. A capped
+	// atlas transparently degrades to the ball-builder path.
+	AtlasMemLimit int64
 }
 
 // Result is a completed (or cancelled) sweep: one aggregate per size, in
@@ -136,6 +146,17 @@ func Run(ctx context.Context, spec Spec) (*Result, error) {
 		graphs[i] = g
 	}
 
+	// One shared ball atlas per size: BFS layers depend only on the graph,
+	// so all trials and workers reuse them; layers grow lazily inside the
+	// atlas under its own synchronisation, and atlases for comparable
+	// graph values are shared across sweep runs (see atlasFor).
+	atlases := make([]*graph.BallAtlas, len(graphs))
+	if !spec.NoAtlas {
+		for i, g := range graphs {
+			atlases[i] = atlasFor(g, spec.AtlasMemLimit)
+		}
+	}
+
 	// Chunk trials into jobs: a few batches per worker balances load
 	// without serialising on the channel.
 	chunk := trials / (workers * 4)
@@ -178,7 +199,7 @@ func Run(ctx context.Context, spec Spec) (*Result, error) {
 				if runCtx.Err() != nil {
 					break
 				}
-				if err := w.runTrial(spec, graphs[j.sizeIdx], j.sizeIdx, t); err != nil {
+				if err := w.runTrial(spec, graphs[j.sizeIdx], atlases[j.sizeIdx], j.sizeIdx, t); err != nil {
 					if runCtx.Err() == nil {
 						fail(err)
 					}
@@ -217,7 +238,7 @@ func Run(ctx context.Context, spec Spec) (*Result, error) {
 					if runCtx.Err() != nil {
 						return
 					}
-					if err := w.runTrial(spec, graphs[j.sizeIdx], j.sizeIdx, t); err != nil {
+					if err := w.runTrial(spec, graphs[j.sizeIdx], atlases[j.sizeIdx], j.sizeIdx, t); err != nil {
 						if runCtx.Err() == nil {
 							fail(err)
 						}
@@ -272,8 +293,9 @@ func finish(ctx context.Context, spec Spec, trials int, shards []*worker, firstE
 }
 
 // runTrial executes one (size, trial) unit and folds it into the worker's
-// shard.
-func (w *worker) runTrial(spec Spec, g graph.Graph, sizeIdx, trial int) error {
+// shard. atlas (nil when disabled) is the size's shared ball store.
+func (w *worker) runTrial(spec Spec, g graph.Graph, atlas *graph.BallAtlas, sizeIdx, trial int) error {
+	w.runner.SetAtlas(atlas)
 	n := g.N()
 	rng := rand.New(rand.NewSource(trialSeed(spec.Seed, sizeIdx, trial)))
 	var (

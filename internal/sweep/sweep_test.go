@@ -99,6 +99,78 @@ func TestMatchesSequentialLoop(t *testing.T) {
 	}
 }
 
+// TestAtlasOnOffIdentical is the atlas acceptance guarantee at the sweep
+// level: the same seed produces byte-identical aggregates with the atlas
+// on, off, and at any worker count — the atlas is purely a throughput
+// optimisation.
+func TestAtlasOnOffIdentical(t *testing.T) {
+	base := cycleSpec(17, []int{16, 33, 64}, 7, 1)
+	base.NoAtlas = true
+	want, err := Run(context.Background(), base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 3, 8} {
+		spec := cycleSpec(17, []int{16, 33, 64}, 7, workers)
+		got, err := Run(context.Background(), spec)
+		if err != nil {
+			t.Fatalf("atlas workers=%d: %v", workers, err)
+		}
+		if !reflect.DeepEqual(want, got) {
+			t.Errorf("workers=%d: atlas-backed aggregates differ from builder run", workers)
+		}
+	}
+}
+
+// TestAtlasMemLimitFallbackIdentical pins the degraded mode end to end: a
+// sweep whose atlases exhaust mid-run still emits identical tables.
+func TestAtlasMemLimitFallbackIdentical(t *testing.T) {
+	base := cycleSpec(21, []int{48}, 6, 2)
+	base.NoAtlas = true
+	want, err := Run(context.Background(), base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := cycleSpec(21, []int{48}, 6, 2)
+	spec.AtlasMemLimit = 2048
+	got, err := Run(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(want, got) {
+		t.Error("memory-capped atlas sweep diverged from builder sweep")
+	}
+}
+
+// TestAtlasAcrossFamilies runs the sweep's atlas path over non-ring
+// families (the E9 shapes) against the builder path.
+func TestAtlasAcrossFamilies(t *testing.T) {
+	builders := map[string]func(n int, rng *rand.Rand) (graph.Graph, error){
+		"path": func(n int, _ *rand.Rand) (graph.Graph, error) { return graph.NewPath(n) },
+		"grid": func(_ int, _ *rand.Rand) (graph.Graph, error) { return graph.NewGrid(5, 5) },
+		"tree": func(n int, rng *rand.Rand) (graph.Graph, error) { return graph.NewRandomTree(n, rng) },
+		"gnp":  func(n int, rng *rand.Rand) (graph.Graph, error) { return graph.NewGNP(n, 0.15, rng) },
+	}
+	for name, build := range builders {
+		spec := cycleSpec(5, []int{25}, 4, 3)
+		spec.Graph = build
+		spec.Verify = nil // GNP may be disconnected; skip the ring verifier
+		spec.NoAtlas = true
+		want, err := Run(context.Background(), spec)
+		if err != nil {
+			t.Fatalf("%s builder: %v", name, err)
+		}
+		spec.NoAtlas = false
+		got, err := Run(context.Background(), spec)
+		if err != nil {
+			t.Fatalf("%s atlas: %v", name, err)
+		}
+		if !reflect.DeepEqual(want, got) {
+			t.Errorf("%s: atlas sweep diverged from builder sweep", name)
+		}
+	}
+}
+
 // TestCancellationReturnsPartial cancels a long sweep mid-flight and
 // demands a prompt return carrying both the partial aggregates and a
 // wrapped context error.
