@@ -117,14 +117,16 @@ func BenchmarkE9GeneralGraphs(b *testing.B) {
 // Sequential/Sharded pair is the engine's headline: identical tables,
 // wall-clock divided by the core count. noAtlas pins the run to the
 // ball-builder path, the pre-atlas baseline the Atlas pair is measured
-// against; the tables are byte-identical in all four configurations.
-func benchSweepWorkers(b *testing.B, workers int, noAtlas bool) {
+// against; noKernels keeps the atlas but takes the per-vertex view path
+// instead of the flat decision kernels. The tables are byte-identical in
+// every configuration.
+func benchSweepWorkers(b *testing.B, workers int, noAtlas, noKernels bool) {
 	b.Helper()
 	e, err := experiments.Get("E6")
 	if err != nil {
 		b.Fatal(err)
 	}
-	cfg := experiments.Config{Seed: 1, Workers: workers, NoAtlas: noAtlas}
+	cfg := experiments.Config{Seed: 1, Workers: workers, NoAtlas: noAtlas, NoKernels: noKernels}
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		tab, err := e.Run(context.Background(), cfg)
@@ -140,20 +142,26 @@ func benchSweepWorkers(b *testing.B, workers int, noAtlas bool) {
 // BenchmarkSweepE6Sequential is the full-size E6 sweep on one worker with
 // the atlas disabled — the old hand-rolled loop's execution model, kept as
 // the perf baseline.
-func BenchmarkSweepE6Sequential(b *testing.B) { benchSweepWorkers(b, 1, true) }
+func BenchmarkSweepE6Sequential(b *testing.B) { benchSweepWorkers(b, 1, true, false) }
 
 // BenchmarkSweepE6Sharded is the builder-path sweep sharded across all
 // cores; same seed, byte-identical table.
-func BenchmarkSweepE6Sharded(b *testing.B) { benchSweepWorkers(b, 0, true) }
+func BenchmarkSweepE6Sharded(b *testing.B) { benchSweepWorkers(b, 0, true, false) }
 
 // BenchmarkSweepE6AtlasSequential serves the same sweep from the shared
 // ball atlas on one worker: BFS layers are materialised once per size and
 // every trial shrinks to relabel + decide.
-func BenchmarkSweepE6AtlasSequential(b *testing.B) { benchSweepWorkers(b, 1, false) }
+func BenchmarkSweepE6AtlasSequential(b *testing.B) { benchSweepWorkers(b, 1, false, false) }
 
-// BenchmarkSweepE6AtlasSharded combines both engines: the atlas fast path
-// under the full worker pool, all workers sharing each size's layer store.
-func BenchmarkSweepE6AtlasSharded(b *testing.B) { benchSweepWorkers(b, 0, false) }
+// BenchmarkSweepE6AtlasSharded combines every engine layer: flat decision
+// kernels over the shared atlas under the full worker pool — the headline
+// configuration the CI regression guard tracks.
+func BenchmarkSweepE6AtlasSharded(b *testing.B) { benchSweepWorkers(b, 0, false, false) }
+
+// BenchmarkSweepE6AtlasNoKernels is the atlas WITHOUT the flat kernels —
+// the PR 2 execution model, kept as the A/B baseline the kernel speedup is
+// measured against (cmd/avgbench -nokernels is the CLI form).
+func BenchmarkSweepE6AtlasNoKernels(b *testing.B) { benchSweepWorkers(b, 0, false, true) }
 
 // benchSweepRaw measures the sweep engine directly (no table rendering):
 // the pruning algorithm over random permutations of a 4096-cycle, 32

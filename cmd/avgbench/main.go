@@ -13,6 +13,7 @@
 //	avgbench -e E3 -csv             # machine-readable output
 //	avgbench -e all -json          	# machine-readable output, with metadata
 //	avgbench -e E6 -noatlas         # force the ball-builder path (perf bisection)
+//	avgbench -e E6 -nokernels       # keep the atlas, skip the flat decision kernels
 //	avgbench -e E6 -cpuprofile cpu.pb.gz -memprofile mem.pb.gz
 package main
 
@@ -50,6 +51,7 @@ func run(args []string) error {
 	asJSON := fs.Bool("json", false, "emit JSON (tables plus metadata)")
 	list := fs.Bool("list", false, "list experiments and exit")
 	noAtlas := fs.Bool("noatlas", false, "disable the shared ball-atlas fast path (identical tables, builder-path timing)")
+	noKernels := fs.Bool("nokernels", false, "disable the flat decision kernels over the atlas (identical tables, view-path timing)")
 	cpuProfile := fs.String("cpuprofile", "", "write a pprof CPU profile of the runs to this file")
 	memProfile := fs.String("memprofile", "", "write a pprof heap profile to this file after the runs")
 	if err := fs.Parse(args); err != nil {
@@ -65,7 +67,7 @@ func run(args []string) error {
 		return fmt.Errorf("-csv and -json are mutually exclusive")
 	}
 
-	cfg := experiments.Config{Seed: *seed, Trials: *trials, Workers: *workers, NoAtlas: *noAtlas}
+	cfg := experiments.Config{Seed: *seed, Trials: *trials, Workers: *workers, NoAtlas: *noAtlas, NoKernels: *noKernels}
 	if *sizesFlag != "" {
 		for _, part := range strings.Split(*sizesFlag, ",") {
 			n, err := strconv.Atoi(strings.TrimSpace(part))

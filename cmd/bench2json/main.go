@@ -3,9 +3,17 @@
 // machine-readable artifact and the perf trajectory of the sweep engine is
 // tracked run over run.
 //
+// With -baseline it additionally acts as a regression guard: every parsed
+// benchmark present in the baseline JSON (a previous bench2json output,
+// committed in-repo) is compared by name, and the command exits non-zero
+// when ns/op or allocs/op exceed baseline × -tolerance. Faster-than-
+// baseline runs always pass; improvements are adopted by re-committing the
+// baseline file.
+//
 // Usage:
 //
 //	go test -run '^$' -bench '^BenchmarkSweep' -benchmem . | bench2json > BENCH_sweep.json
+//	bench2json -baseline BENCH_sweep.json -tolerance 1.3 < bench_sweep.txt > new.json
 //
 // Context lines (goos/goarch/pkg/cpu) are attached to every subsequent
 // result. Unparseable lines are ignored, so PASS/ok trailers and -v noise
@@ -15,7 +23,9 @@ package main
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"strings"
@@ -36,20 +46,100 @@ type Result struct {
 }
 
 func main() {
-	if err := run(os.Stdin, os.Stdout); err != nil {
+	baseline := flag.String("baseline", "", "baseline JSON (a previous bench2json output) to guard against")
+	tolerance := flag.Float64("tolerance", 1.3, "fail when allocs/op exceeds baseline × tolerance (and ns/op, unless -time-tolerance overrides)")
+	timeTolerance := flag.Float64("time-tolerance", 0, "separate tolerance for ns/op (0 = use -tolerance); wall-clock on shared runners is noisier than allocation counts")
+	flag.Parse()
+	if err := run(os.Stdin, os.Stdout, os.Stderr, *baseline, *tolerance, *timeTolerance); err != nil {
 		fmt.Fprintln(os.Stderr, "bench2json:", err)
 		os.Exit(1)
 	}
 }
 
-func run(in *os.File, out *os.File) error {
+func run(in io.Reader, out, errOut io.Writer, baseline string, tolerance, timeTolerance float64) error {
 	results, err := Parse(bufio.NewScanner(in))
 	if err != nil {
 		return err
 	}
 	enc := json.NewEncoder(out)
 	enc.SetIndent("", "  ")
-	return enc.Encode(results)
+	if err := enc.Encode(results); err != nil {
+		return err
+	}
+	if baseline == "" {
+		return nil
+	}
+	if timeTolerance <= 0 {
+		timeTolerance = tolerance
+	}
+	data, err := os.ReadFile(baseline)
+	if err != nil {
+		return fmt.Errorf("read -baseline: %w", err)
+	}
+	var base []Result
+	if err := json.Unmarshal(data, &base); err != nil {
+		return fmt.Errorf("parse -baseline: %w", err)
+	}
+	if compared(base, results) == 0 {
+		// A guard that matches nothing guards nothing: renamed benchmarks
+		// or a drifted baseline must fail loudly, not pass silently.
+		return fmt.Errorf("no benchmark in the input matches a name in %s; regenerate the baseline", baseline)
+	}
+	regressions := Compare(base, results, timeTolerance, tolerance)
+	for _, r := range regressions {
+		fmt.Fprintln(errOut, "bench2json: REGRESSION:", r)
+	}
+	if len(regressions) > 0 {
+		return fmt.Errorf("%d benchmark(s) regressed beyond tolerance of %s", len(regressions), baseline)
+	}
+	fmt.Fprintf(errOut, "bench2json: %d benchmark(s) within %.2fx time / %.2fx allocs of %s\n",
+		compared(base, results), timeTolerance, tolerance, baseline)
+	return nil
+}
+
+// Compare matches new results against baseline results by benchmark name
+// and returns a description of every metric exceeding its tolerance
+// (timeTol for ns/op, allocTol for allocs/op). Benchmarks missing on
+// either side are skipped: the guard only judges pairs it can actually
+// compare — run (via the caller) demands at least one pair matched.
+func Compare(base, cur []Result, timeTol, allocTol float64) []string {
+	byName := make(map[string]Result, len(base))
+	for _, b := range base {
+		byName[b.Name] = b
+	}
+	var regressions []string
+	for _, c := range cur {
+		b, ok := byName[c.Name]
+		if !ok {
+			continue
+		}
+		if b.NsPerOp > 0 && c.NsPerOp > b.NsPerOp*timeTol {
+			regressions = append(regressions, fmt.Sprintf(
+				"%s: %.0f ns/op vs baseline %.0f (%.2fx > %.2fx)",
+				c.Name, c.NsPerOp, b.NsPerOp, c.NsPerOp/b.NsPerOp, timeTol))
+		}
+		if b.AllocsOp > 0 && c.AllocsOp > b.AllocsOp*allocTol {
+			regressions = append(regressions, fmt.Sprintf(
+				"%s: %.0f allocs/op vs baseline %.0f (%.2fx > %.2fx)",
+				c.Name, c.AllocsOp, b.AllocsOp, c.AllocsOp/b.AllocsOp, allocTol))
+		}
+	}
+	return regressions
+}
+
+// compared counts the benchmark pairs the guard actually judged.
+func compared(base, cur []Result) int {
+	byName := make(map[string]bool, len(base))
+	for _, b := range base {
+		byName[b.Name] = true
+	}
+	n := 0
+	for _, c := range cur {
+		if byName[c.Name] {
+			n++
+		}
+	}
+	return n
 }
 
 // Parse consumes benchmark output line by line. Exported for the tests.

@@ -2,6 +2,8 @@ package main
 
 import (
 	"bufio"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -58,5 +60,94 @@ func TestParseEmpty(t *testing.T) {
 	}
 	if results == nil || len(results) != 0 {
 		t.Fatalf("empty input must yield an empty (non-nil) slice, got %#v", results)
+	}
+}
+
+// TestCompare covers the regression guard's verdicts: within tolerance,
+// time regression, alloc regression, and unmatched names skipped.
+func TestCompare(t *testing.T) {
+	base := []Result{
+		{Name: "BenchmarkSweepE6AtlasSharded", NsPerOp: 10e6, AllocsOp: 90},
+		{Name: "BenchmarkGone", NsPerOp: 5e6},
+	}
+	cur := []Result{
+		{Name: "BenchmarkSweepE6AtlasSharded", NsPerOp: 12e6, AllocsOp: 100},
+		{Name: "BenchmarkNew", NsPerOp: 99e6},
+	}
+	if regs := Compare(base, cur, 1.3, 1.3); len(regs) != 0 {
+		t.Fatalf("within tolerance flagged: %v", regs)
+	}
+	cur[0].NsPerOp = 14e6
+	if regs := Compare(base, cur, 1.3, 1.3); len(regs) != 1 {
+		t.Fatalf("time regression not flagged exactly once: %v", regs)
+	}
+	cur[0].AllocsOp = 200
+	if regs := Compare(base, cur, 1.3, 1.3); len(regs) != 2 {
+		t.Fatalf("alloc regression not flagged: %v", regs)
+	}
+	// Faster-than-baseline never fails.
+	cur[0] = Result{Name: "BenchmarkSweepE6AtlasSharded", NsPerOp: 1e6, AllocsOp: 10}
+	if regs := Compare(base, cur, 1.3, 1.3); len(regs) != 0 {
+		t.Fatalf("improvement flagged: %v", regs)
+	}
+}
+
+// TestRunBaselineGuard exercises the end-to-end -baseline path: JSON still
+// lands on stdout, and the exit error fires only on regression.
+func TestRunBaselineGuard(t *testing.T) {
+	dir := t.TempDir()
+	baseline := filepath.Join(dir, "base.json")
+	if err := os.WriteFile(baseline, []byte(`[{"name":"BenchmarkX","iterations":3,"ns_per_op":100,"allocs_per_op":5}]`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	bench := "BenchmarkX   3   110 ns/op   80 B/op   5 allocs/op\n"
+	var out, errOut strings.Builder
+	if err := run(strings.NewReader(bench), &out, &errOut, baseline, 1.3, 0); err != nil {
+		t.Fatalf("within-tolerance run failed: %v (stderr %q)", err, errOut.String())
+	}
+	if !strings.Contains(out.String(), "BenchmarkX") {
+		t.Fatalf("stdout JSON missing result: %q", out.String())
+	}
+	bench = "BenchmarkX   3   500 ns/op   80 B/op   5 allocs/op\n"
+	out.Reset()
+	errOut.Reset()
+	err := run(strings.NewReader(bench), &out, &errOut, baseline, 1.3, 0)
+	if err == nil {
+		t.Fatal("regressed run returned nil error")
+	}
+	if !strings.Contains(errOut.String(), "REGRESSION") {
+		t.Fatalf("stderr missing regression report: %q", errOut.String())
+	}
+}
+
+// TestRunBaselineNoMatchFails pins the guard's self-check: a baseline that
+// matches none of the parsed benchmarks must fail instead of silently
+// guarding nothing, and a looser -time-tolerance must apply to ns/op only.
+func TestRunBaselineNoMatchFails(t *testing.T) {
+	dir := t.TempDir()
+	baseline := filepath.Join(dir, "base.json")
+	if err := os.WriteFile(baseline, []byte(`[{"name":"BenchmarkRenamed","iterations":3,"ns_per_op":100}]`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out, errOut strings.Builder
+	err := run(strings.NewReader("BenchmarkX   3   110 ns/op\n"), &out, &errOut, baseline, 1.3, 0)
+	if err == nil || !strings.Contains(err.Error(), "no benchmark") {
+		t.Fatalf("zero-match guard passed silently: %v", err)
+	}
+
+	if err := os.WriteFile(baseline, []byte(`[{"name":"BenchmarkX","iterations":3,"ns_per_op":100,"allocs_per_op":5}]`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// 1.8x slower: fails at the default 1.3 but passes with -time-tolerance 2.
+	out.Reset()
+	errOut.Reset()
+	if err := run(strings.NewReader("BenchmarkX   3   180 ns/op   80 B/op   5 allocs/op\n"), &out, &errOut, baseline, 1.3, 2.0); err != nil {
+		t.Fatalf("time-tolerance override not applied: %v", err)
+	}
+	// ...but allocs still fail at the strict tolerance.
+	out.Reset()
+	errOut.Reset()
+	if err := run(strings.NewReader("BenchmarkX   3   100 ns/op   80 B/op   50 allocs/op\n"), &out, &errOut, baseline, 1.3, 2.0); err == nil {
+		t.Fatal("alloc regression passed under loose time tolerance")
 	}
 }

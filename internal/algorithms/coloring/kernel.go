@@ -1,0 +1,73 @@
+package coloring
+
+import (
+	"repro/internal/graph"
+	"repro/internal/ids"
+	"repro/internal/local"
+)
+
+var _ local.Kernel = Uniform{}
+
+// DecideAll implements local.Kernel for consistently oriented rings. On a
+// graph.Cycle the segment a radius-r view reveals is known analytically —
+// the identifiers at ring positions v-r..v+r, closed once 2r+1 covers the
+// ring — so the kernel evaluates the phase construction directly over the
+// assignment with no View, no atlas rows and no per-radius ball walk. Any
+// other graph is declined and runs on the view path.
+func (Uniform) DecideAll(run *local.KernelRun) (bool, error) {
+	ring, ok := run.Atlas.Graph().(graph.Cycle)
+	if !ok {
+		return false, nil
+	}
+	n := ring.N()
+	buf := run.IntScratch(n) // segment scratch, shared across vertices, radii and trials
+	for v := range run.Radii {
+		if err := run.Err(v); err != nil {
+			return true, err
+		}
+		for r := 0; ; r++ {
+			ev := uniformEval{seg: ringSegment(run.Assign, buf, v, r, n)}
+			colour, ok := ev.finalColour(0)
+			if ok {
+				run.Outs[v], run.Radii[v] = colour, r
+				break
+			}
+			if r >= run.MaxRadius {
+				return true, run.Undecided(Uniform{}.Name(), v)
+			}
+		}
+	}
+	return true, nil
+}
+
+// ringSegment writes the segment a radius-r view on the oriented n-ring
+// reveals around vertex v into buf and returns it: identifiers in successor
+// order spanning [v-r, v+r], closed (the whole ring, starting at v) once
+// 2r+1 covers every vertex — exactly what extractSegment walks out of the
+// equivalent View.
+func ringSegment(a ids.Assignment, buf []int, v, r, n int) segment {
+	if 2*r+1 >= n {
+		s := buf[:n]
+		for i := range s {
+			p := v + i
+			if p >= n {
+				p -= n
+			}
+			s[i] = a[p]
+		}
+		return segment{ids: s, center: 0, closed: true}
+	}
+	s := buf[:2*r+1]
+	p := v - r
+	if p < 0 {
+		p += n
+	}
+	for i := range s {
+		s[i] = a[p]
+		p++
+		if p == n {
+			p = 0
+		}
+	}
+	return segment{ids: s, center: r}
+}

@@ -48,7 +48,7 @@ func e1() Experiment {
 				if worst.Max > 0 {
 					ratio = worst.Avg / float64(worst.Max)
 				}
-				t.AddRow(s.N, worst.Max, s.N/2, ratio, s.Verified())
+				t.AddRow(ci(s.N), ci(worst.Max), ci(s.N/2), cf(ratio), cb(s.Verified()))
 				ns = append(ns, s.N)
 				maxima = append(maxima, float64(worst.Max))
 			}
@@ -115,9 +115,9 @@ func e2() Experiment {
 				exact := s.TotalSum == theory
 				worstAvg := worst.Avg
 				sampled := rndRes.Sizes[i].WorstAvg.Avg
-				t.AddRow(n, worst.Sum, theory, exact, worstAvg,
-					math.Log(float64(n)), worst.Median, worst.P90, sampled,
-					float64(worst.Max)/worstAvg)
+				t.AddRow(ci(n), ci(worst.Sum), ci(theory), cb(exact), cf(worstAvg),
+					cf(math.Log(float64(n))), cf(worst.Median), cf(worst.P90), cf(sampled),
+					cf(float64(worst.Max)/worstAvg))
 				ns = append(ns, n)
 				avgs = append(avgs, worstAvg)
 			}
@@ -173,7 +173,7 @@ func e3() Experiment {
 				eq := a[p] == closed[p]
 				allEqual = allEqual && eq
 				ratio := float64(a[p]) / analytic.NLogN(p)
-				t.AddRow(p, a[p], closed[p], eq, ratio)
+				t.AddRow(ci(p), ci(a[p]), ci(closed[p]), cb(eq), cf(ratio))
 			}
 			for p := 0; p <= maxP; p++ {
 				if a[p] != closed[p] {

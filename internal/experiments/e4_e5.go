@@ -60,8 +60,8 @@ func e4() Experiment {
 				if uni.WorstMax.Max > worstUni {
 					worstUni = uni.WorstMax.Max
 				}
-				t.AddRow(cv.N, analytic.LogStar(float64(cv.N)), cv.WorstMax.Max, cv.WorstAvg.Avg,
-					uni.WorstMax.Max, uni.WorstAvg.Avg, cv.Verified() && uni.Verified())
+				t.AddRow(ci(cv.N), ci(analytic.LogStar(float64(cv.N))), ci(cv.WorstMax.Max), cf(cv.WorstAvg.Avg),
+					ci(uni.WorstMax.Max), cf(uni.WorstAvg.Avg), cb(cv.Verified() && uni.Verified()))
 			}
 			t.AddNote("radii stay <= %d (CV) and <= %d (uniform) across 4 decades of n: the log* plateau", worstCV, worstUni)
 			t.AddNote("avg/max ratio stays Θ(1): colouring does not average down (matches Theorem 1)")
@@ -143,8 +143,8 @@ func e5() Experiment {
 			}
 			for i, adv := range advRes.Sizes {
 				report := reports[i]
-				t.AddRow(adv.N, favRes.Sizes[i].WorstAvg.Avg, rndRes.Sizes[i].WorstAvg.Avg,
-					adv.WorstAvg.Avg, report.Slices, report.TargetRadius, lemma3s[i], adv.Verified())
+				t.AddRow(ci(adv.N), cf(favRes.Sizes[i].WorstAvg.Avg), cf(rndRes.Sizes[i].WorstAvg.Avg),
+					cf(adv.WorstAvg.Avg), ci(report.Slices), ci(report.TargetRadius), cf(lemma3s[i]), cb(adv.Verified()))
 			}
 			t.AddNote("no arrangement pushes the average below the Ω(log* n) floor; the adversarial pi pins slice centres to radius >= R")
 			t.AddNote("lemma3min is the empirical constant of Lemma 3 (avg radius near a radius-r vertex / r)")

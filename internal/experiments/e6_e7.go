@@ -36,8 +36,8 @@ func e6() Experiment {
 				Title:   "E6: pruning algorithm, E[avg radius] vs worst-case avg",
 				Columns: []string{"n", "meanAvg", "H(n)", "worstAvg", "mean/worst", "meanMax", "n/2"},
 			}
-			var ns []int
-			var means []float64
+			ns := make([]int, 0, len(res.Sizes))
+			means := make([]float64, 0, len(res.Sizes))
 			for i := range res.Sizes {
 				s := &res.Sizes[i]
 				worst, err := analytic.WorstCycleSum(s.N)
@@ -45,8 +45,8 @@ func e6() Experiment {
 					return nil, err
 				}
 				worstAvg := float64(worst) / float64(s.N)
-				t.AddRow(s.N, s.MeanAvg(), analytic.Harmonic(s.N), worstAvg,
-					s.MeanAvg()/worstAvg, s.MeanMax(), s.N/2)
+				t.AddRow(ci(s.N), cf(s.MeanAvg()), cf(analytic.Harmonic(s.N)), cf(worstAvg),
+					cf(s.MeanAvg()/worstAvg), cf(s.MeanMax()), ci(s.N/2))
 				ns = append(ns, s.N)
 				means = append(means, s.MeanAvg())
 			}
@@ -118,7 +118,7 @@ func e7() Experiment {
 					if s.WorstAvg.Avg > 0 {
 						ratio = float64(s.WorstMax.Max) / s.WorstAvg.Avg
 					}
-					t.AddRow(s.N, e.problem, outs[ei].names[i], s.WorstMax.Max, s.WorstAvg.Avg, ratio)
+					t.AddRow(ci(s.N), cs(e.problem), cs(outs[ei].names[i]), ci(s.WorstMax.Max), cf(s.WorstAvg.Avg), cf(ratio))
 					ratios[e.problem] = append(ratios[e.problem], ratio)
 				}
 			}

@@ -63,7 +63,7 @@ func e8() Experiment {
 			}
 			for i, c := range cases {
 				v := outs[i].verdict
-				t.AddRow(c.r, c.s, v.Views, v.Edges, v.Usable, outs[i].simulated)
+				t.AddRow(ci(c.r), ci(c.s), ci(v.Views), ci(v.Edges), cb(v.Usable), cs(outs[i].simulated))
 			}
 			t.AddNote("radius-1 3-colouring exists iff the identifier space has at most 6 identifiers")
 			t.AddNote("feasible tables run on the simulator at radius exactly 1 — minimal algorithms in the paper's sense")
@@ -87,16 +87,17 @@ func runSynthesized(ctx context.Context, cfg Config, s int) (string, error) {
 		return "", fmt.Errorf("space %d too small for a ring", s)
 	}
 	spec := sweep.Spec{
-		Seed:    cfg.Seed,
-		Sizes:   []int{n},
-		Trials:  1,
-		Workers: cfg.Workers,
-		NoAtlas: cfg.NoAtlas,
-		Graph:   func(n int, _ *rand.Rand) (graph.Graph, error) { return graph.NewCycle(n) },
-		Assign:  assignFixed(func(n int) (ids.Assignment, error) { return ids.Identity(n), nil }),
-		Alg:     func(int, ids.Assignment) local.ViewAlgorithm { return ta },
-		Verify:  verifyColoring,
-		Strict:  true,
+		Seed:      cfg.Seed,
+		Sizes:     []int{n},
+		Trials:    1,
+		Workers:   cfg.Workers,
+		NoAtlas:   cfg.NoAtlas,
+		NoKernels: cfg.NoKernels,
+		Graph:     func(n int, _ *rand.Rand) (graph.Graph, error) { return graph.NewCycle(n) },
+		Assign:    assignFixed(func(n int) (ids.Assignment, error) { return ids.Identity(n), nil }),
+		Alg:       func(int, ids.Assignment) local.ViewAlgorithm { return ta },
+		Verify:    verifyColoring,
+		Strict:    true,
 	}
 	res, err := sweep.Run(ctx, spec)
 	if err != nil {

@@ -68,15 +68,16 @@ func e9() Experiment {
 			for fi, f := range families {
 				diams := make([]int, len(f.sizes))
 				spec := sweep.Spec{
-					Seed:    cfg.Seed,
-					Sizes:   f.sizes,
-					Trials:  trials,
-					Workers: cfg.Workers,
-					NoAtlas: cfg.NoAtlas,
-					Graph:   f.build,
-					Alg:     func(int, ids.Assignment) local.ViewAlgorithm { return largestid.Pruning{} },
-					Verify:  verifyLargestID,
-					Strict:  true,
+					Seed:      cfg.Seed,
+					Sizes:     f.sizes,
+					Trials:    trials,
+					Workers:   cfg.Workers,
+					NoAtlas:   cfg.NoAtlas,
+					NoKernels: cfg.NoKernels,
+					Graph:     f.build,
+					Alg:       func(int, ids.Assignment) local.ViewAlgorithm { return largestid.Pruning{} },
+					Verify:    verifyLargestID,
+					Strict:    true,
 					Observe: func(sizeIdx, trial int, g graph.Graph, _ ids.Assignment, _ *local.Result) {
 						if trial == 0 {
 							diams[sizeIdx] = graph.Diameter(g)
@@ -102,7 +103,7 @@ func e9() Experiment {
 				if worstAvg > 0 {
 					ratio = float64(worstMax) / worstAvg
 				}
-				t.AddRow(f.name, s.N, out.diams[i], worstMax, worstAvg, ratio)
+				t.AddRow(cs(f.name), ci(s.N), ci(out.diams[i]), ci(worstMax), cf(worstAvg), cf(ratio))
 			}
 			// Size-major over the shared sweep, then the clique row, keeping
 			// the historical table layout.

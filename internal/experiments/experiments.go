@@ -29,6 +29,10 @@ type Config struct {
 	// benchmarking the fast path against the builder baseline and for
 	// bisecting perf regressions.
 	NoAtlas bool
+	// NoKernels pins atlas-backed runs to the per-vertex view path instead
+	// of the flat decision kernels. Tables are byte-identical either way;
+	// like NoAtlas it exists for A/B profiling (avgbench -nokernels).
+	NoKernels bool
 }
 
 // Experiment is one reproducible claim of the paper.
@@ -98,12 +102,13 @@ func trialsOrDefault(cfg Config, def int) int {
 // config's seed and worker pool.
 func cycleSpec(cfg Config, defSizes []int, defTrials int) sweep.Spec {
 	return sweep.Spec{
-		Seed:    cfg.Seed,
-		Sizes:   sizesOrDefault(cfg, defSizes),
-		Trials:  trialsOrDefault(cfg, defTrials),
-		Workers: cfg.Workers,
-		NoAtlas: cfg.NoAtlas,
-		Graph:   func(n int, _ *rand.Rand) (graph.Graph, error) { return graph.NewCycle(n) },
+		Seed:      cfg.Seed,
+		Sizes:     sizesOrDefault(cfg, defSizes),
+		Trials:    trialsOrDefault(cfg, defTrials),
+		Workers:   cfg.Workers,
+		NoAtlas:   cfg.NoAtlas,
+		NoKernels: cfg.NoKernels,
+		Graph:     func(n int, _ *rand.Rand) (graph.Graph, error) { return graph.NewCycle(n) },
 	}
 }
 

@@ -178,8 +178,8 @@ func TestTableRenderAndCSV(t *testing.T) {
 		Title:   "demo",
 		Columns: []string{"a", "bb"},
 	}
-	tab.AddRow(1, 2.5)
-	tab.AddRow("x", "y")
+	tab.AddRow(ci(1), cf(2.5))
+	tab.AddRow(cs("x"), cs("y"))
 	tab.AddNote("note %d", 7)
 	out := tab.Render()
 	for _, want := range []string{"demo", "a", "bb", "2.500", "note: note 7"} {

@@ -9,6 +9,7 @@ package experiments
 import (
 	"encoding/csv"
 	"fmt"
+	"strconv"
 	"strings"
 )
 
@@ -23,16 +24,65 @@ type Table struct {
 	Notes []string `json:"notes,omitempty"`
 }
 
-// AddRow appends a row, formatting each cell with %v.
-func (t *Table) AddRow(cells ...any) {
+// Cell is one pre-typed table cell. Rows are built from Cells instead of
+// ...any because tables are assembled inside benchmarked experiment runs:
+// boxing every int and float into an interface costs an allocation per
+// cell, while a []Cell variadic stays on the caller's stack.
+type Cell struct {
+	kind byte
+	i    int64
+	f    float64
+	s    string
+}
+
+const (
+	cellInt byte = iota
+	cellFloat
+	cellString
+	cellBool
+)
+
+// ci, cf, cs and cb wrap ints (and the bool flavour), %.3f-rendered floats
+// and strings as cells.
+func ci[T int | int64](v T) Cell { return Cell{kind: cellInt, i: int64(v)} }
+func cf(v float64) Cell          { return Cell{kind: cellFloat, f: v} }
+func cs(v string) Cell           { return Cell{kind: cellString, s: v} }
+func cb(v bool) Cell {
+	if v {
+		return Cell{kind: cellBool, i: 1}
+	}
+	return Cell{kind: cellBool}
+}
+
+// AddRow appends a row, formatting ints with %d, floats with %.3f, bools
+// as true/false. All cells of the row are rendered into one backing string
+// and sliced, so a row costs three allocations instead of one per cell.
+func (t *Table) AddRow(cells ...Cell) {
 	row := make([]string, len(cells))
-	for i, c := range cells {
-		switch v := c.(type) {
-		case float64:
-			row[i] = fmt.Sprintf("%.3f", v)
-		default:
-			row[i] = fmt.Sprint(v)
+	var offsArr [16]int
+	offs := offsArr[:0]
+	if len(cells) > len(offsArr) {
+		offs = make([]int, 0, len(cells))
+	}
+	var buf []byte
+	for _, c := range cells {
+		switch c.kind {
+		case cellInt:
+			buf = strconv.AppendInt(buf, c.i, 10)
+		case cellFloat:
+			buf = strconv.AppendFloat(buf, c.f, 'f', 3, 64)
+		case cellString:
+			buf = append(buf, c.s...)
+		case cellBool:
+			buf = strconv.AppendBool(buf, c.i != 0)
 		}
+		offs = append(offs, len(buf))
+	}
+	backing := string(buf)
+	start := 0
+	for i, end := range offs {
+		row[i] = backing[start:end]
+		start = end
 	}
 	t.Rows = append(t.Rows, row)
 }

@@ -49,6 +49,21 @@ func Random(n int, rng *rand.Rand) Assignment {
 	return Assignment(rng.Perm(n))
 }
 
+// RandomInto fills buf with a uniformly random permutation of
+// {0..len(buf)-1} drawn from rng and returns it as an Assignment. It is the
+// alloc-free form of Random for per-trial hot loops: given equal rng
+// states the two produce bit-identical permutations (the Fisher–Yates walk
+// below consumes rng exactly like rand.Perm, including the redundant i=0
+// draw rand.Perm is locked into for Go 1 compatibility).
+func RandomInto(buf []int, rng *rand.Rand) Assignment {
+	for i := range buf {
+		j := rng.Intn(i + 1)
+		buf[i] = buf[j]
+		buf[j] = i
+	}
+	return Assignment(buf)
+}
+
 // RandomSparse draws n distinct identifiers uniformly from {0..space-1}.
 // It models the standard LOCAL assumption that identifiers come from a
 // space polynomially (or more) larger than n — the regime in which

@@ -221,3 +221,43 @@ func TestInverseRoundTrip(t *testing.T) {
 		t.Errorf("Inverse not an involution: %v", err)
 	}
 }
+
+// TestRandomIntoMatchesRandom pins the alloc-free permutation drawer to
+// Random bit for bit: the sweep engine's determinism contract (equal seeds,
+// equal tables) depends on the two being interchangeable.
+func TestRandomIntoMatchesRandom(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 7, 64, 501} {
+		seed := int64(100 + n)
+		want := Random(n, rand.New(rand.NewSource(seed)))
+		buf := make([]int, n)
+		got := RandomInto(buf, rand.New(rand.NewSource(seed)))
+		for v := range want {
+			if got[v] != want[v] {
+				t.Fatalf("n=%d: RandomInto diverges from Random at vertex %d: %d != %d", n, v, got[v], want[v])
+			}
+		}
+		if err := got.Validate(); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		// The rng streams must stay aligned after the draw too: batched
+		// trials reuse one reseeded generator.
+		ra, rb := rand.New(rand.NewSource(seed)), rand.New(rand.NewSource(seed))
+		Random(n, ra)
+		RandomInto(buf, rb)
+		if ra.Int63() != rb.Int63() {
+			t.Fatalf("n=%d: rng state diverges after draw", n)
+		}
+	}
+}
+
+// TestRandomIntoReusesStorage checks the alloc-free contract.
+func TestRandomIntoReusesStorage(t *testing.T) {
+	buf := make([]int, 32)
+	rng := rand.New(rand.NewSource(5))
+	allocs := testing.AllocsPerRun(100, func() {
+		RandomInto(buf, rng)
+	})
+	if allocs != 0 {
+		t.Fatalf("RandomInto allocated %v times per draw", allocs)
+	}
+}

@@ -1,0 +1,85 @@
+package local
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/ids"
+)
+
+// Kernel is the optional flat fast path of the view engine. A ViewAlgorithm
+// may additionally implement it to compute every vertex's output and
+// stopping radius in one pass over a shared atlas skeleton — no View
+// objects, no per-vertex relabel scratch, no interface call per radius
+// increment. Decisions like largest-ID pruning reduce to argmax scans over
+// atlas prefix windows, so the kernel form is a tight loop over the
+// skeleton's flat arrays.
+//
+// A Runner with an atlas attached detects the interface and dispatches to
+// it; results must be byte-identical to the view path (the engine's
+// equivalence suites enforce this for every kernel in the repository).
+// Builder-path runs, MessageAlgorithm runs, runs with a WithProgress
+// observer, and runs under WithoutKernels never consult the interface.
+type Kernel interface {
+	// DecideAll fills run.Outs and run.Radii for every vertex, marking
+	// vertices it cannot serve (the atlas hit its memory cap mid-growth)
+	// with run.Radii[v] = KernelUnserved; the engine reruns those on the
+	// ball-builder path. ok=false declines the whole graph (e.g. a
+	// ring-only kernel handed a tree) and the engine falls back to the
+	// view path; Outs/Radii may then be left in any state.
+	DecideAll(run *KernelRun) (ok bool, err error)
+}
+
+// KernelUnserved in Radii[v] marks a vertex the kernel could not serve.
+const KernelUnserved = -1
+
+// KernelRun carries one flat pass's inputs and outputs. Outs and Radii
+// alias the engine's result buffers; Assign and the atlas are shared and
+// read-only.
+type KernelRun struct {
+	// Atlas is the ball store of the graph under execution. Kernels grow
+	// it with Ensure exactly like the view path, so materialisation stays
+	// within the same lookahead policy either way.
+	Atlas *graph.BallAtlas
+	// Assign is the trial's identifier assignment, indexed by original
+	// vertex name (the atlas skeleton's Verts entries).
+	Assign ids.Assignment
+	// Outs and Radii receive every vertex's output and stopping radius.
+	Outs, Radii []int
+	// MaxRadius is the engine safety cap; a vertex still undecided there
+	// must fail with Undecided.
+	MaxRadius int
+	// Ctx cancels the pass; poll it with Err.
+	Ctx context.Context
+	// Scratch is kernel-owned spill storage the engine preserves across
+	// the Runner's runs: a kernel that needs per-pass working memory (the
+	// ring colouring's segment buffer) takes it with IntScratch instead of
+	// allocating once per trial.
+	Scratch []int
+}
+
+// IntScratch returns the run's scratch resized to n ints (contents
+// unspecified), growing the persisted storage at most once per Runner.
+func (kr *KernelRun) IntScratch(n int) []int {
+	if cap(kr.Scratch) < n {
+		kr.Scratch = make([]int, n)
+	}
+	kr.Scratch = kr.Scratch[:n]
+	return kr.Scratch
+}
+
+// Err polls the run's context every 256 vertices (keyed by v, mirroring the
+// view path's cadence) and returns its error once cancelled.
+func (kr *KernelRun) Err(v int) error {
+	if kr.Ctx != nil && v&0xff == 0 {
+		return kr.Ctx.Err()
+	}
+	return nil
+}
+
+// Undecided formats the engine's standard over-cap error, byte-identical to
+// the view path's.
+func (kr *KernelRun) Undecided(name string, v int) error {
+	return fmt.Errorf("local: %s undecided at vertex %d after radius %d", name, v, kr.MaxRadius)
+}

@@ -20,6 +20,8 @@ type config struct {
 	maxRadius int
 	observer  func(Progress)
 	ctx       context.Context
+	noKernels bool
+	validated bool
 }
 
 func newConfig(n int, opts []Option) config {
@@ -28,6 +30,16 @@ func newConfig(n int, opts []Option) config {
 		o(&cfg)
 	}
 	return cfg
+}
+
+// newConfigInto is newConfig resolving into caller-owned storage: applying
+// dynamic Option funcs to a stack-local config forces it to escape, so hot
+// paths that run per trial (Runner.Run) reuse a struct they already own.
+func newConfigInto(cfg *config, n int, opts []Option) {
+	*cfg = config{maxRadius: defaultMaxRadius(n)}
+	for _, o := range opts {
+		o(cfg)
+	}
 }
 
 // defaultMaxRadius is the engine safety cap: any correct unknown-n
@@ -57,6 +69,27 @@ func WithMaxRadius(r int) Option {
 func WithContext(ctx context.Context) Option {
 	return func(c *config) {
 		c.ctx = ctx
+	}
+}
+
+// WithoutKernels pins an atlas-backed run to the per-vertex view path even
+// when the algorithm implements Kernel. Results are byte-identical either
+// way; the toggle exists for A/B profiling and perf bisection (cmd/avgbench
+// exposes it as -nokernels).
+func WithoutKernels() Option {
+	return func(c *config) {
+		c.noKernels = true
+	}
+}
+
+// WithValidatedIDs asserts that the assignment handed to Run is already
+// known to be valid (pairwise-distinct, non-negative), skipping the O(n)
+// Validate on the engine's hot path. Use only for assignments produced by
+// trusted constructors — the sweep engine's internally drawn permutations
+// are valid by construction.
+func WithValidatedIDs() Option {
+	return func(c *config) {
+		c.validated = true
 	}
 }
 

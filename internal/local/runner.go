@@ -24,7 +24,10 @@ import (
 // graph.BallAtlas: ball structure is permutation-invariant, so per-trial
 // work shrinks to relabelling identifiers over atlas prefix windows plus
 // the algorithm's own decisions — no BFS, no adjacency rebuild, no degree
-// lookups. Results are byte-identical to the builder path.
+// lookups. If the algorithm also implements Kernel, the whole run
+// collapses further into one flat DecideAll pass over the skeleton (see
+// Kernel; WithoutKernels pins the view path). Results are byte-identical
+// to the builder path either way.
 type Runner struct {
 	bb      *graph.BallBuilder
 	atlas   *graph.BallAtlas
@@ -33,6 +36,8 @@ type Runner struct {
 	ids     []int
 	degrees []int
 	res     Result
+	cfg     config    // per-run options, resolved into Runner-owned storage
+	krun    KernelRun // scratch pass context handed to Kernel.DecideAll
 }
 
 // NewRunner returns an empty Runner; buffers are grown on first use.
@@ -51,14 +56,31 @@ func (r *Runner) Run(g graph.Graph, a ids.Assignment, alg ViewAlgorithm, opts ..
 	if len(a) != n {
 		return nil, fmt.Errorf("local: assignment covers %d vertices, graph has %d", len(a), n)
 	}
-	if err := a.Validate(); err != nil {
-		return nil, err
+	newConfigInto(&r.cfg, n, opts)
+	cfg := r.cfg
+	if !cfg.validated {
+		if err := a.Validate(); err != nil {
+			return nil, err
+		}
 	}
-	cfg := newConfig(n, opts)
 	r.res.Algorithm = alg.Name()
 	r.res.Outputs = resizeInts(r.res.Outputs, n)
 	r.res.Radii = resizeInts(r.res.Radii, n)
 	useAtlas := r.atlas != nil && atlasMatches(r.atlas, g)
+	if useAtlas && !cfg.noKernels && cfg.observer == nil {
+		// Kernel fast path: one flat pass over the atlas skeleton. Progress
+		// observers need the per-radius callbacks only the view path makes,
+		// so their runs stay there.
+		if k, ok := alg.(Kernel); ok {
+			served, err := r.runKernel(g, a, alg, k, cfg)
+			if err != nil {
+				return nil, err
+			}
+			if served {
+				return &r.res, nil
+			}
+		}
+	}
 	for v := 0; v < n; v++ {
 		if cfg.ctx != nil && v&0xff == 0 {
 			if err := cfg.ctx.Err(); err != nil {
@@ -83,6 +105,48 @@ func (r *Runner) Run(g graph.Graph, a ids.Assignment, alg ViewAlgorithm, opts ..
 		r.res.Radii[v] = rad
 	}
 	return &r.res, nil
+}
+
+// runKernel executes alg's flat kernel over the attached atlas and reruns
+// any vertices the kernel marked unserved (memory-capped atlas) on the
+// ball-builder path — the same per-vertex degradation the view path
+// applies. served=false means the kernel declined the graph entirely and
+// the caller must run the view path.
+func (r *Runner) runKernel(g graph.Graph, a ids.Assignment, alg ViewAlgorithm, k Kernel, cfg config) (served bool, err error) {
+	// The pass context lives on the Runner: passing a stack-local struct
+	// through the interface call would force one heap escape per trial.
+	// The kernel's scratch survives the reset so it is grown once per
+	// Runner, not once per trial.
+	r.krun = KernelRun{
+		Atlas:     r.atlas,
+		Assign:    a,
+		Outs:      r.res.Outputs,
+		Radii:     r.res.Radii,
+		MaxRadius: cfg.maxRadius,
+		Ctx:       cfg.ctx,
+		Scratch:   r.krun.Scratch,
+	}
+	ok, err := k.DecideAll(&r.krun)
+	if !ok || err != nil {
+		return ok, err
+	}
+	for v, rad := range r.res.Radii {
+		if cfg.ctx != nil && v&0xff == 0 {
+			if err := cfg.ctx.Err(); err != nil {
+				return true, err
+			}
+		}
+		if rad != KernelUnserved {
+			continue
+		}
+		out, rad, err := r.runVertex(g, a, alg, v, cfg)
+		if err != nil {
+			return true, err
+		}
+		r.res.Outputs[v] = out
+		r.res.Radii[v] = rad
+	}
+	return true, nil
 }
 
 // runVertexAtlas is runVertex served from the shared atlas: the ball's

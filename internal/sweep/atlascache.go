@@ -47,9 +47,12 @@ func atlasFor(g graph.Graph, memLimit int64) *graph.BallAtlas {
 	defer c.mu.Unlock()
 	a, ok := c.entries[g]
 	if ok {
+		// Bump to most-recently-used in place; cache hits sit on the sweep
+		// setup path and must not allocate.
 		for i, k := range c.order {
 			if k == g {
-				c.order = append(append(c.order[:i:i], c.order[i+1:]...), g)
+				copy(c.order[i:], c.order[i+1:])
+				c.order[len(c.order)-1] = g
 				break
 			}
 		}

@@ -78,9 +78,7 @@ func (s *SizeStats) addTrial(trial int, sum measure.Summary, hist []int64, verif
 	}
 	s.TotalSum += int64(sum.Sum)
 	s.TotalMax += int64(sum.Max)
-	if len(hist) > len(s.Hist) {
-		s.Hist = append(s.Hist, make([]int64, len(hist)-len(s.Hist))...)
-	}
+	s.Hist = growHist(s.Hist, len(hist))
 	for r, c := range hist {
 		s.Hist[r] += c
 	}
@@ -116,9 +114,7 @@ func (s *SizeStats) merge(o *SizeStats) {
 	s.Failures += o.Failures
 	s.TotalSum += o.TotalSum
 	s.TotalMax += o.TotalMax
-	if len(o.Hist) > len(s.Hist) {
-		s.Hist = append(s.Hist, make([]int64, len(o.Hist)-len(s.Hist))...)
-	}
+	s.Hist = growHist(s.Hist, len(o.Hist))
 	for r, c := range o.Hist {
 		s.Hist[r] += c
 	}
@@ -146,6 +142,31 @@ func worseMax(sa measure.Summary, a int, sb measure.Summary, b int) bool {
 		return sa.Max > sb.Max
 	}
 	return a < b
+}
+
+// growHist returns h zero-extended to length need, doubling capacity on
+// reallocation: radius histograms grow every time a trial sets a new
+// record-high radius, and exact-fit appends would pay two allocations per
+// record instead of an amortised O(1).
+func growHist(h []int64, need int) []int64 {
+	if need <= len(h) {
+		return h
+	}
+	if need <= cap(h) {
+		old := len(h)
+		h = h[:need]
+		for i := old; i < need; i++ {
+			h[i] = 0
+		}
+		return h
+	}
+	c := 2 * cap(h)
+	if c < need {
+		c = need
+	}
+	nh := make([]int64, need, c)
+	copy(nh, h)
+	return nh
 }
 
 // summarizeHist computes the measure.Summary of one trial from its radius

@@ -67,7 +67,9 @@ type Spec struct {
 	// Strict promotes a Verify failure into a sweep-aborting error.
 	Strict bool
 	// Observe, when set, sees every trial's raw execution from inside the
-	// worker (res and its slices are only valid during the call). Must be
+	// worker (res, its slices, and a are only valid during the call — the
+	// worker reuses the assignment buffer across the trials of a batch).
+	// Must be
 	// safe for concurrent use: trials run on different workers, so writes
 	// must be keyed by the full (sizeIdx, trial) coordinate — or guarded by
 	// a trial check, or the sweep restricted to Trials = 1. A slot keyed by
@@ -79,6 +81,12 @@ type Spec struct {
 	// rebuild into relabel + decide; ball structure is permutation-
 	// invariant, so results are byte-identical either way.
 	NoAtlas bool
+	// NoKernels pins atlas-backed runs to the per-vertex view path even for
+	// algorithms implementing local.Kernel. By default a kernel-capable
+	// algorithm decides every vertex in one flat pass over the atlas
+	// skeleton; results are byte-identical either way, so the toggle exists
+	// for A/B profiling and perf bisection.
+	NoKernels bool
 	// AtlasMemLimit caps each size's atlas memory in bytes: 0 applies
 	// graph.DefaultAtlasMemLimit, negative disables the cap. A capped
 	// atlas transparently degrades to the ball-builder path.
@@ -98,12 +106,23 @@ type job struct {
 }
 
 // worker is the per-worker reusable state: the execution scratch, the trial
-// histogram buffer, and this shard's partial aggregates.
+// histogram buffer, the reseedable trial rng, the permutation buffer, and
+// this shard's partial aggregates. Everything a trial needs is drawn from
+// here, so steady-state batches allocate nothing.
 type worker struct {
 	runner *local.Runner
 	hist   []int64
 	shard  []SizeStats
 	opts   []local.Option
+	// rng is one reusable generator: each trial reseeds it with its
+	// (size, trial)-derived seed, which reproduces a fresh
+	// rand.New(rand.NewSource(seed)) bit for bit — including the Read
+	// buffer, which Rand.Seed resets — without the two allocations per
+	// trial.
+	rng *rand.Rand
+	// assign is the caller-owned permutation storage ids.RandomInto fills
+	// when Spec.Assign is unset.
+	assign []int
 }
 
 // Run executes the sweep. On cancellation it returns the partial aggregates
@@ -135,11 +154,13 @@ func Run(ctx context.Context, spec Spec) (*Result, error) {
 	}
 
 	// Build every size's graph once, up front: Graph implementations are
-	// immutable, so all workers share them.
+	// immutable, so all workers share them. One reseeded generator serves
+	// every build; Rand.Seed reproduces a fresh generator bit for bit.
 	graphs := make([]graph.Graph, len(spec.Sizes))
+	grng := rand.New(rand.NewSource(0))
 	for i, n := range spec.Sizes {
-		rng := rand.New(rand.NewSource(graphSeed(spec.Seed, i)))
-		g, err := spec.Graph(n, rng)
+		grng.Seed(graphSeed(spec.Seed, i))
+		g, err := spec.Graph(n, grng)
 		if err != nil {
 			return nil, fmt.Errorf("sweep: build size %d: %w", n, err)
 		}
@@ -163,8 +184,22 @@ func Run(ctx context.Context, spec Spec) (*Result, error) {
 	if chunk < 1 {
 		chunk = 1
 	}
-	var jobs []job
-	for i := range spec.Sizes {
+	// Jobs are emitted largest instance first: the first job a worker
+	// executes then grows every reusable buffer (result slices, histogram,
+	// permutation scratch) to its final size, and smaller sizes reuse them.
+	// Aggregation is commutative and trials are seeded by coordinates, so
+	// the order is unobservable in the results.
+	order := make([]int, len(spec.Sizes))
+	for i := range order {
+		order[i] = i
+	}
+	for i := 1; i < len(order); i++ { // insertion sort: sizes lists are short
+		for k := i; k > 0 && graphs[order[k]].N() > graphs[order[k-1]].N(); k-- {
+			order[k], order[k-1] = order[k-1], order[k]
+		}
+	}
+	jobs := make([]job, 0, len(spec.Sizes)*((trials+chunk-1)/chunk))
+	for _, i := range order {
 		for t0 := 0; t0 < trials; t0 += chunk {
 			t1 := t0 + chunk
 			if t1 > trials {
@@ -174,7 +209,12 @@ func Run(ctx context.Context, spec Spec) (*Result, error) {
 		}
 	}
 
-	runCtx, cancel := context.WithCancel(ctx)
+	// The sequential path needs no cancel broadcast — its loop checks
+	// firstErr directly — so it skips the WithCancel context entirely.
+	runCtx, cancel := ctx, func() {}
+	if workers > 1 {
+		runCtx, cancel = context.WithCancel(ctx)
+	}
 	defer cancel()
 	var (
 		mu       sync.Mutex
@@ -189,28 +229,56 @@ func Run(ctx context.Context, spec Spec) (*Result, error) {
 		mu.Unlock()
 	}
 
+	// The worker's permutation buffer is sized for the largest instance up
+	// front, so batches at growing sizes never regrow it.
+	maxN := 0
+	for _, g := range graphs {
+		if n := g.N(); n > maxN {
+			maxN = n
+		}
+	}
+
+	// All workers share one option slice (read-only), one backing array for
+	// their per-size shards, and one worker array: worker setup cost stays a
+	// handful of allocations per worker, not a dozen.
+	opts := append(make([]local.Option, 0, 4), local.WithContext(runCtx))
+	if spec.MaxRadius > 0 {
+		opts = append(opts, local.WithMaxRadius(spec.MaxRadius))
+	}
+	if spec.NoKernels {
+		opts = append(opts, local.WithoutKernels())
+	}
+	if spec.Assign == nil {
+		// Workers draw their own permutations with ids.RandomInto — valid
+		// by construction, so the engine's per-trial Validate is redundant.
+		opts = append(opts, local.WithValidatedIDs())
+	}
+	ws := make([]worker, workers)
+	shardBacking := make([]SizeStats, workers*len(spec.Sizes))
+	for wi := range ws {
+		initWorker(&ws[wi], spec, opts, shardBacking[wi*len(spec.Sizes):(wi+1)*len(spec.Sizes)], maxN)
+	}
+
 	if workers == 1 {
 		// True sequential path: no goroutines, no channels — the baseline
 		// the sharded path is benchmarked against, and the cheapest way to
 		// run tiny sweeps.
-		w := newWorker(spec, runCtx, len(spec.Sizes))
+		w := &ws[0]
 		for _, j := range jobs {
-			for t := j.t0; t < j.t1; t++ {
-				if runCtx.Err() != nil {
-					break
-				}
-				if err := w.runTrial(spec, graphs[j.sizeIdx], atlases[j.sizeIdx], j.sizeIdx, t); err != nil {
-					if runCtx.Err() == nil {
-						fail(err)
-					}
-					break
-				}
+			if runCtx.Err() != nil {
+				break
 			}
-			if firstErr != nil || runCtx.Err() != nil {
+			if err := w.runJob(runCtx, spec, graphs[j.sizeIdx], atlases[j.sizeIdx], j); err != nil {
+				if runCtx.Err() == nil {
+					fail(err)
+				}
+				break
+			}
+			if firstErr != nil {
 				break
 			}
 		}
-		return finish(ctx, spec, trials, []*worker{w}, firstErr)
+		return finish(ctx, spec, trials, ws, firstErr)
 	}
 
 	jobCh := make(chan job)
@@ -225,25 +293,21 @@ func Run(ctx context.Context, spec Spec) (*Result, error) {
 		}
 	}()
 
-	shards := make([]*worker, workers)
 	var wg sync.WaitGroup
 	for wi := 0; wi < workers; wi++ {
-		w := newWorker(spec, runCtx, len(spec.Sizes))
-		shards[wi] = w
+		w := &ws[wi]
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for j := range jobCh {
-				for t := j.t0; t < j.t1; t++ {
-					if runCtx.Err() != nil {
-						return
+				if runCtx.Err() != nil {
+					return
+				}
+				if err := w.runJob(runCtx, spec, graphs[j.sizeIdx], atlases[j.sizeIdx], j); err != nil {
+					if runCtx.Err() == nil {
+						fail(err)
 					}
-					if err := w.runTrial(spec, graphs[j.sizeIdx], atlases[j.sizeIdx], j.sizeIdx, t); err != nil {
-						if runCtx.Err() == nil {
-							fail(err)
-						}
-						return
-					}
+					return
 				}
 			}
 		}()
@@ -252,31 +316,32 @@ func Run(ctx context.Context, spec Spec) (*Result, error) {
 	mu.Lock()
 	err := firstErr
 	mu.Unlock()
-	return finish(ctx, spec, trials, shards, err)
+	return finish(ctx, spec, trials, ws, err)
 }
 
-// newWorker builds one worker's reusable state.
-func newWorker(spec Spec, runCtx context.Context, sizes int) *worker {
-	w := &worker{
-		runner: local.NewRunner(),
-		shard:  make([]SizeStats, sizes),
-		opts:   []local.Option{local.WithContext(runCtx)},
+// initWorker populates one worker's reusable state. opts is shared
+// (read-only) across workers; shard is the worker's slice of the shared
+// backing array; maxN is the largest instance size the worker may draw
+// permutations for.
+func initWorker(w *worker, spec Spec, opts []local.Option, shard []SizeStats, maxN int) {
+	w.runner = local.NewRunner()
+	w.shard = shard
+	w.opts = opts
+	w.rng = rand.New(rand.NewSource(0)) // reseeded per trial from (size, trial)
+	if spec.Assign == nil {
+		w.assign = make([]int, maxN)
 	}
-	if spec.MaxRadius > 0 {
-		w.opts = append(w.opts, local.WithMaxRadius(spec.MaxRadius))
-	}
-	return w
 }
 
 // finish merges the worker shards into the final Result and classifies how
 // the sweep ended: clean, failed, or cancelled with partial aggregates.
-func finish(ctx context.Context, spec Spec, trials int, shards []*worker, firstErr error) (*Result, error) {
+func finish(ctx context.Context, spec Spec, trials int, ws []worker, firstErr error) (*Result, error) {
 	res := &Result{Sizes: make([]SizeStats, len(spec.Sizes))}
 	done := 0
 	for i, n := range spec.Sizes {
 		res.Sizes[i].N = n
-		for _, w := range shards {
-			res.Sizes[i].merge(&w.shard[i])
+		for wi := range ws {
+			res.Sizes[i].merge(&ws[wi].shard[i])
 		}
 		done += res.Sizes[i].Trials
 	}
@@ -292,58 +357,78 @@ func finish(ctx context.Context, spec Spec, trials int, shards []*worker, firstE
 	return res, nil
 }
 
-// runTrial executes one (size, trial) unit and folds it into the worker's
-// shard. atlas (nil when disabled) is the size's shared ball store.
-func (w *worker) runTrial(spec Spec, g graph.Graph, atlas *graph.BallAtlas, sizeIdx, trial int) error {
+// runJob executes one batch of consecutive trials at a single size and
+// folds each into the worker's shard. Batching is what amortises the
+// per-trial harness overhead: the atlas is attached once, the histogram
+// buffer is cleared once, the trial rng is reseeded instead of reallocated,
+// and (when the spec draws its own permutations) one worker-owned buffer is
+// refilled in place by ids.RandomInto. atlas (nil when disabled) is the
+// size's shared ball store. A context cancellation mid-batch returns nil;
+// the caller observes the context itself.
+func (w *worker) runJob(ctx context.Context, spec Spec, g graph.Graph, atlas *graph.BallAtlas, j job) error {
 	w.runner.SetAtlas(atlas)
 	n := g.N()
-	rng := rand.New(rand.NewSource(trialSeed(spec.Seed, sizeIdx, trial)))
-	var (
-		a   ids.Assignment
-		err error
-	)
-	if spec.Assign != nil {
-		a, err = spec.Assign(sizeIdx, n, trial, rng)
-	} else {
-		a = ids.Random(n, rng)
+	if spec.Assign == nil && cap(w.assign) < n {
+		w.assign = make([]int, n)
 	}
-	if err != nil {
-		return fmt.Errorf("sweep: assign size %d trial %d: %w", n, trial, err)
+	// One clear per batch establishes the all-zeros invariant; each trial
+	// restores it below by zeroing only the entries it incremented.
+	for r := range w.hist {
+		w.hist[r] = 0
 	}
-	res, err := w.runner.Run(g, a, spec.Alg(n, a), w.opts...)
-	if err != nil {
-		return err
-	}
-
-	maxR := 0
-	for _, r := range res.Radii {
-		if r > maxR {
-			maxR = r
+	for trial := j.t0; trial < j.t1; trial++ {
+		if ctx.Err() != nil {
+			return nil
 		}
-	}
-	if need := maxR + 1; need > len(w.hist) {
-		w.hist = append(w.hist, make([]int64, need-len(w.hist))...)
-	}
-	hist := w.hist[:maxR+1]
-	for r := range hist {
-		hist[r] = 0
-	}
-	for _, r := range res.Radii {
-		hist[r]++
-	}
-
-	verifyFailed := false
-	if spec.Verify != nil {
-		if verr := spec.Verify(g, a, res); verr != nil {
-			if spec.Strict {
-				return fmt.Errorf("sweep: verify size %d trial %d: %w", n, trial, verr)
+		w.rng.Seed(trialSeed(spec.Seed, j.sizeIdx, trial))
+		var (
+			a   ids.Assignment
+			err error
+		)
+		if spec.Assign != nil {
+			a, err = spec.Assign(j.sizeIdx, n, trial, w.rng)
+			if err != nil {
+				return fmt.Errorf("sweep: assign size %d trial %d: %w", n, trial, err)
 			}
-			verifyFailed = true
+		} else {
+			a = ids.RandomInto(w.assign[:n], w.rng)
+		}
+		res, err := w.runner.Run(g, a, spec.Alg(n, a), w.opts...)
+		if err != nil {
+			return err
+		}
+
+		// Fill the trial's histogram in one pass over the radii, growing
+		// the buffer and tracking the maximum as we go — no separate scan,
+		// no full reset between trials.
+		maxR := 0
+		for _, r := range res.Radii {
+			if r >= len(w.hist) {
+				w.hist = growHist(w.hist, r+1)
+			}
+			w.hist[r]++
+			if r > maxR {
+				maxR = r
+			}
+		}
+		hist := w.hist[:maxR+1]
+
+		verifyFailed := false
+		if spec.Verify != nil {
+			if verr := spec.Verify(g, a, res); verr != nil {
+				if spec.Strict {
+					return fmt.Errorf("sweep: verify size %d trial %d: %w", n, trial, verr)
+				}
+				verifyFailed = true
+			}
+		}
+		if spec.Observe != nil {
+			spec.Observe(j.sizeIdx, trial, g, a, res)
+		}
+		w.shard[j.sizeIdx].addTrial(trial, summarizeHist(hist), hist, verifyFailed)
+		for _, r := range res.Radii {
+			hist[r] = 0
 		}
 	}
-	if spec.Observe != nil {
-		spec.Observe(sizeIdx, trial, g, a, res)
-	}
-	w.shard[sizeIdx].addTrial(trial, summarizeHist(hist), hist, verifyFailed)
 	return nil
 }

@@ -210,7 +210,9 @@ func TestCancellationAfterCompletionIsClean(t *testing.T) {
 	defer cancel()
 	spec := cycleSpec(2, []int{8, 12}, 3, 1)
 	spec.Observe = func(sizeIdx, trial int, _ graph.Graph, _ ids.Assignment, _ *local.Result) {
-		if sizeIdx == 1 && trial == 2 { // the sequential path's last trial
+		// The sequential path executes sizes largest-first, so n=8 (sizeIdx
+		// 0) runs last and its final trial is the sweep's last.
+		if sizeIdx == 0 && trial == 2 {
 			cancel()
 		}
 	}
