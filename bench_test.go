@@ -19,6 +19,7 @@ import (
 	"repro/internal/algorithms/largestid"
 	"repro/internal/algorithms/mis"
 	"repro/internal/analytic"
+	"repro/internal/exact"
 	"repro/internal/experiments"
 	"repro/internal/graph"
 	"repro/internal/ids"
@@ -193,6 +194,46 @@ func BenchmarkSweepRawSequential(b *testing.B)      { benchSweepRaw(b, 1, true) 
 func BenchmarkSweepRawSharded(b *testing.B)         { benchSweepRaw(b, 0, true) }
 func BenchmarkSweepRawAtlasSequential(b *testing.B) { benchSweepRaw(b, 1, false) }
 func BenchmarkSweepRawAtlasSharded(b *testing.B)    { benchSweepRaw(b, 0, false) }
+
+// --- exact exhaustive enumeration: Heap baseline vs the sharded engine ---
+
+// exactBenchN is the enumeration benchmark size: 10! = 3 628 800
+// permutations, the old MaxEnumerationN ceiling.
+const exactBenchN = 10
+
+// BenchmarkExactCycleSequential is the pre-engine exact loop: Heap's
+// algorithm over all n! permutations on one core, folding the closed-form
+// pruning radii — the baseline the sharded engine is measured against.
+func BenchmarkExactCycleSequential(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		st, err := exact.CycleStatsSequential(exactBenchN)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if st.Perms != 3628800 {
+			b.Fatalf("visited %d permutations", st.Perms)
+		}
+	}
+}
+
+// BenchmarkExactCycleSharded runs the same enumeration through the sweep
+// engine — rank-block sharding over all cores, shared atlas, flat pruning
+// kernel — including the closed-form cross-check. Single-core the engine
+// costs ~1.5× the closed-form fold per permutation, so the speedup is
+// ~cores/1.5 (≳3× from 5 cores up; run on a multicore machine to see it).
+func BenchmarkExactCycleSharded(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		st, err := exact.CycleStats(context.Background(), exactBenchN, exact.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if st.Perms != 3628800 {
+			b.Fatalf("visited %d permutations", st.Perms)
+		}
+	}
+}
 
 // --- simulator hot paths ---
 

@@ -1,4 +1,4 @@
-// Command avgbench regenerates the paper's experiment tables (E1..E9, see
+// Command avgbench regenerates the paper's experiment tables (E1..E10, see
 // EXPERIMENTS.md for the index). Every experiment runs on the sharded sweep
 // engine (internal/sweep), so full-size tables use all cores; equal seeds
 // emit identical tables at any worker count.
@@ -8,6 +8,7 @@
 //	avgbench -e E2                  # one experiment, default sweep
 //	avgbench -e all -seed 7         # everything, reproducibly
 //	avgbench -e E4 -sizes 64,1024,65536 -trials 3
+//	avgbench -e E10 -sizes 8,9,10   # exact n! enumeration vs sampling
 //	avgbench -e E6 -workers 4       # bound the worker pool
 //	avgbench -e all -timeout 30s    # give up (with an error) after 30s
 //	avgbench -e E3 -csv             # machine-readable output
@@ -41,7 +42,7 @@ func main() {
 
 func run(args []string) error {
 	fs := flag.NewFlagSet("avgbench", flag.ContinueOnError)
-	expID := fs.String("e", "all", "experiment ID (E1..E9) or 'all'")
+	expID := fs.String("e", "all", "experiment ID (E1..E10) or 'all'")
 	seed := fs.Int64("seed", 1, "random seed (equal seeds reproduce tables)")
 	sizesFlag := fs.String("sizes", "", "comma-separated n sweep override")
 	trials := fs.Int("trials", 0, "permutations sampled per size (0 = default)")

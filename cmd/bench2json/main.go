@@ -6,9 +6,11 @@
 // With -baseline it additionally acts as a regression guard: every parsed
 // benchmark present in the baseline JSON (a previous bench2json output,
 // committed in-repo) is compared by name, and the command exits non-zero
-// when ns/op or allocs/op exceed baseline × -tolerance. Faster-than-
-// baseline runs always pass; improvements are adopted by re-committing the
-// baseline file.
+// when ns/op or allocs/op exceed baseline × -tolerance. A baseline entry
+// with no counterpart in the input also fails — a renamed or de-patterned
+// benchmark must force a baseline regeneration, not silently drop out of
+// the guard. Faster-than-baseline runs always pass; improvements are
+// adopted by re-committing the baseline file.
 //
 // Usage:
 //
@@ -85,6 +87,13 @@ func run(in io.Reader, out, errOut io.Writer, baseline string, tolerance, timeTo
 		// or a drifted baseline must fail loudly, not pass silently.
 		return fmt.Errorf("no benchmark in the input matches a name in %s; regenerate the baseline", baseline)
 	}
+	if missing := Missing(base, results); len(missing) > 0 {
+		// The same applies per entry: a baseline benchmark the input no
+		// longer runs (renamed, or dropped from the -bench pattern) would
+		// otherwise stop being guarded without anyone noticing.
+		return fmt.Errorf("baseline benchmark(s) missing from the input: %s; regenerate %s or widen the -bench pattern",
+			strings.Join(missing, ", "), baseline)
+	}
 	regressions := Compare(base, results, timeTolerance, tolerance)
 	for _, r := range regressions {
 		fmt.Fprintln(errOut, "bench2json: REGRESSION:", r)
@@ -125,6 +134,22 @@ func Compare(base, cur []Result, timeTol, allocTol float64) []string {
 		}
 	}
 	return regressions
+}
+
+// Missing returns the baseline names with no counterpart in the current
+// results, in baseline order.
+func Missing(base, cur []Result) []string {
+	byName := make(map[string]bool, len(cur))
+	for _, c := range cur {
+		byName[c.Name] = true
+	}
+	var missing []string
+	for _, b := range base {
+		if !byName[b.Name] {
+			missing = append(missing, b.Name)
+		}
+	}
+	return missing
 }
 
 // compared counts the benchmark pairs the guard actually judged.

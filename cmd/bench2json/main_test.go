@@ -120,6 +120,24 @@ func TestRunBaselineGuard(t *testing.T) {
 	}
 }
 
+// TestRunBaselineMissingEntryFails pins the per-entry self-check: a
+// baseline benchmark absent from the input (renamed, or dropped from the
+// -bench pattern) must fail the guard even when other entries still match.
+func TestRunBaselineMissingEntryFails(t *testing.T) {
+	dir := t.TempDir()
+	baseline := filepath.Join(dir, "base.json")
+	base := `[{"name":"BenchmarkX","iterations":3,"ns_per_op":100,"allocs_per_op":5},
+	          {"name":"BenchmarkGone","iterations":3,"ns_per_op":100,"allocs_per_op":5}]`
+	if err := os.WriteFile(baseline, []byte(base), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out, errOut strings.Builder
+	err := run(strings.NewReader("BenchmarkX   3   100 ns/op   80 B/op   5 allocs/op\n"), &out, &errOut, baseline, 1.3, 0)
+	if err == nil || !strings.Contains(err.Error(), "BenchmarkGone") {
+		t.Fatalf("missing baseline entry not reported: %v", err)
+	}
+}
+
 // TestRunBaselineNoMatchFails pins the guard's self-check: a baseline that
 // matches none of the parsed benchmarks must fail instead of silently
 // guarding nothing, and a looser -time-tolerance must apply to ns/op only.

@@ -7,9 +7,11 @@
 //	localsim -n 32 -alg pruning -ids random -seed 3
 //	localsim -n 64 -alg cv -ids worst
 //	localsim -n 24 -alg mis -engine message
+//	localsim -n 9 -alg pruning -exact   # place the run in the exact n! distribution
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"math/rand"
@@ -19,6 +21,7 @@ import (
 	"repro/internal/algorithms/largestid"
 	"repro/internal/algorithms/mis"
 	"repro/internal/analytic"
+	"repro/internal/exact"
 	"repro/internal/graph"
 	"repro/internal/ids"
 	"repro/internal/local"
@@ -41,6 +44,7 @@ func run(args []string) error {
 	seed := fs.Int64("seed", 1, "random seed")
 	engine := fs.String("engine", "view", "engine: view|message (message uses the gather adapter)")
 	quiet := fs.Bool("q", false, "suppress the per-vertex table")
+	exactFlag := fs.Bool("exact", false, "also enumerate ALL n! permutations through the sharded engine and place this run in the exact distribution (view algorithms, n <= 12)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -94,7 +98,53 @@ func run(args []string) error {
 		}
 		fmt.Printf("output verified against %s\n", problem.Name())
 	}
+	if *exactFlag {
+		if err := printExact(c, *algName, s); err != nil {
+			return err
+		}
+	}
 	return nil
+}
+
+// printExact enumerates every identifier permutation of c through the
+// sharded engine and reports where the observed radius sum sits in the
+// exact distribution — the microscope view of what E10 tabulates.
+func printExact(c graph.Cycle, algName string, s measure.Summary) error {
+	builder, ok := exactBuilder(algName)
+	if !ok {
+		return fmt.Errorf("-exact needs a view algorithm, not %q", algName)
+	}
+	st, err := exact.Distribution(context.Background(), c, builder, exact.Options{})
+	if err != nil {
+		return fmt.Errorf("-exact: %w", err)
+	}
+	fmt.Printf("exact over %d permutations: bestAvg=%.3f meanAvg=%.3f worstAvg=%.3f radiusMedian=%.1f radiusP90=%.1f\n",
+		st.Perms, st.BestAvg(), st.MeanAvg(), st.WorstAvg(), st.Quantile(0.5), st.Quantile(0.9))
+	fmt.Printf("this run's radius sum %d sits in [best %d, worst %d]\n", s.Sum, st.BestSum, st.WorstSum)
+	return nil
+}
+
+// exactBuilder maps a view-algorithm name to the per-permutation
+// constructor exact.Distribution enumerates with.
+func exactBuilder(name string) (exact.Algorithm, bool) {
+	switch name {
+	case "pruning":
+		return func(int, ids.Assignment) local.ViewAlgorithm { return largestid.Pruning{} }, true
+	case "fullview":
+		return func(int, ids.Assignment) local.ViewAlgorithm { return largestid.FullView{} }, true
+	case "cv":
+		return func(_ int, a ids.Assignment) local.ViewAlgorithm { return coloring.ForMaxID(a.MaxID()) }, true
+	case "uniform":
+		return func(int, ids.Assignment) local.ViewAlgorithm { return coloring.Uniform{} }, true
+	case "greedy":
+		return func(int, ids.Assignment) local.ViewAlgorithm { return coloring.FullViewGreedy{} }, true
+	case "mis":
+		return func(_ int, a ids.Assignment) local.ViewAlgorithm {
+			return mis.FromColoring{Base: coloring.ForMaxID(a.MaxID())}
+		}, true
+	default:
+		return nil, false
+	}
 }
 
 func buildIDs(name string, n int, seed int64) (ids.Assignment, error) {

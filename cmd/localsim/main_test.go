@@ -21,6 +21,21 @@ func TestRunAllIDSchemes(t *testing.T) {
 	}
 }
 
+func TestRunExact(t *testing.T) {
+	for _, alg := range []string{"pruning", "uniform", "mis"} {
+		if err := run([]string{"-n", "6", "-alg", alg, "-exact", "-q"}); err != nil {
+			t.Errorf("exact %s: %v", alg, err)
+		}
+	}
+	// Message algorithms and oversized instances must fail cleanly.
+	if err := run([]string{"-n", "6", "-alg", "changroberts", "-exact", "-q"}); err == nil {
+		t.Error("-exact with a message algorithm accepted")
+	}
+	if err := run([]string{"-n", "16", "-alg", "pruning", "-exact", "-q"}); err == nil {
+		t.Error("-exact beyond the enumeration cap accepted")
+	}
+}
+
 func TestRunMessageEngine(t *testing.T) {
 	if err := run([]string{"-n", "8", "-alg", "pruning", "-engine", "message", "-q"}); err != nil {
 		t.Errorf("message engine: %v", err)

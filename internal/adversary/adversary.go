@@ -16,14 +16,18 @@
 package adversary
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
+	"runtime"
+	"sync"
 
 	"repro/internal/analytic"
 	"repro/internal/graph"
 	"repro/internal/ids"
 	"repro/internal/local"
+	"repro/internal/sweep"
 )
 
 // Builder constructs Theorem-1 adversarial permutations against a concrete
@@ -36,6 +40,12 @@ type Builder struct {
 	TargetRadius int
 	// MaxTries bounds the arrangements sampled per slice (default 32).
 	MaxTries int
+	// Workers bounds the pool scoring a slice's candidate arrangements
+	// (0 = GOMAXPROCS). All candidates are drawn from the rng up front and
+	// the first reaching the target is selected regardless of which worker
+	// scored it, so the built permutation depends only on the rng stream,
+	// never on the worker count.
+	Workers int
 }
 
 // Report describes how the permutation was assembled.
@@ -110,46 +120,90 @@ func (b Builder) Build(n int, rng *rand.Rand) (ids.Assignment, *Report, error) {
 
 // carve finds an arrangement of pool on a len(pool)-cycle forcing some
 // vertex to the target radius and cuts out that vertex's ball.
+//
+// All maxTries candidate arrangements are drawn from the rng up front —
+// the stream's consumption is then a pure function of (pool, maxTries) —
+// and scored in parallel waves over sweep.Map, each execution served from
+// one shared ball atlas of the slice's cycle instead of re-running BFS per
+// try. The first candidate (in draw order) reaching the target wins, so
+// the selection is byte-identical to a serial scan at any worker count.
 func (b Builder) carve(pool []int, target, maxTries int, rng *rand.Rand) (window, rest []int, err error) {
 	m := len(pool)
 	c, err := graph.NewCycle(m)
 	if err != nil {
 		return nil, nil, err
 	}
-	for try := 0; try < maxTries; try++ {
+	arrangements := make([]ids.Assignment, maxTries)
+	for t := range arrangements {
 		arrangement := make(ids.Assignment, m)
 		for i, j := range rng.Perm(m) {
 			arrangement[i] = pool[j]
 		}
-		res, err := local.RunView(c, arrangement, b.Alg)
-		if err != nil {
+		arrangements[t] = arrangement
+	}
+	workers := b.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+
+	// One atlas per slice: every candidate shares the cycle's BFS layers,
+	// and kernel-capable algorithms take the flat path. Runners are pooled
+	// because sweep.Map hands out indices, not worker slots.
+	atlas := graph.NewBallAtlas(c, 0)
+	runners := sync.Pool{New: func() any {
+		r := local.NewRunner()
+		r.SetAtlas(atlas)
+		return r
+	}}
+	// hits[t] is the first vertex candidate t forces to the target radius,
+	// or -1. Waves keep the typical case cheap: the first wave usually
+	// contains a hit, so later candidates are never executed at all.
+	hits := make([]int, maxTries)
+	for wave := 0; wave < maxTries; wave += workers {
+		end := wave + workers
+		if end > maxTries {
+			end = maxTries
+		}
+		if err := sweep.Map(context.Background(), workers, end-wave, func(i int) error {
+			t := wave + i
+			r := runners.Get().(*local.Runner)
+			defer runners.Put(r)
+			res, err := r.Run(c, arrangements[t], b.Alg)
+			if err != nil {
+				return err
+			}
+			hits[t] = -1
+			for u, rad := range res.Radii {
+				if rad >= target {
+					hits[t] = u
+					break
+				}
+			}
+			return nil
+		}); err != nil {
 			return nil, nil, err
 		}
-		v := -1
-		for u, r := range res.Radii {
-			if r >= target {
-				v = u
-				break
+		for t := wave; t < end; t++ {
+			v := hits[t]
+			if v < 0 {
+				continue
 			}
-		}
-		if v == -1 {
-			continue
-		}
-		w, err := arrangement.Window(v, target)
-		if err != nil {
-			return nil, nil, err
-		}
-		used := make(map[int]bool, len(w))
-		for _, id := range w {
-			used[id] = true
-		}
-		rest = make([]int, 0, m-len(w))
-		for _, id := range pool {
-			if !used[id] {
-				rest = append(rest, id)
+			w, err := arrangements[t].Window(v, target)
+			if err != nil {
+				return nil, nil, err
 			}
+			used := make(map[int]bool, len(w))
+			for _, id := range w {
+				used[id] = true
+			}
+			rest = make([]int, 0, m-len(w))
+			for _, id := range pool {
+				if !used[id] {
+					rest = append(rest, id)
+				}
+			}
+			return w, rest, nil
 		}
-		return w, rest, nil
 	}
 	return nil, nil, fmt.Errorf("%w (target %d, m=%d)", ErrNoHardInstance, target, m)
 }

@@ -3,6 +3,7 @@ package adversary
 import (
 	"errors"
 	"math/rand"
+	"reflect"
 	"testing"
 
 	"repro/internal/algorithms/coloring"
@@ -110,6 +111,31 @@ func TestAdversaryKeepsAverageUp(t *testing.T) {
 	if advRes.AvgRadius() < rndRes.AvgRadius()/3 {
 		t.Errorf("adversarial avg %v far below random avg %v",
 			advRes.AvgRadius(), rndRes.AvgRadius())
+	}
+}
+
+// TestBuildDeterministicAcrossWorkers pins the parallel-scoring refactor:
+// the built permutation depends only on the rng stream, so any worker
+// count (and the serial path) produces byte-identical results.
+func TestBuildDeterministicAcrossWorkers(t *testing.T) {
+	const n = 128
+	build := func(workers int) (ids.Assignment, *Report) {
+		b := Builder{Alg: coloring.ForMaxID(n - 1), Workers: workers}
+		pi, report, err := b.Build(n, rand.New(rand.NewSource(33)))
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		return pi, report
+	}
+	basePi, baseReport := build(1)
+	for _, workers := range []int{2, 4, 8} {
+		pi, report := build(workers)
+		if !reflect.DeepEqual(pi, basePi) {
+			t.Errorf("workers=%d: permutation differs from serial build", workers)
+		}
+		if !reflect.DeepEqual(report, baseReport) {
+			t.Errorf("workers=%d: report differs: %+v vs %+v", workers, report, baseReport)
+		}
 	}
 }
 

@@ -20,7 +20,11 @@ var (
 // DecideAll implements local.Kernel: per centre, scan each freshly revealed
 // layer for an identifier beating the centre's (No at that radius), or stop
 // at the first provably complete radius (Yes). Works on any graph family —
-// the skeleton is all it reads.
+// the skeleton is all it reads. The layer window [lo, hi) is carried
+// incrementally — the last step's end is the next step's start, exactly
+// FrontierStartAt/SizeAt unrolled — because this loop is the innermost of
+// exhaustive enumeration, where two accessor calls per radius step are
+// measurable.
 func (Pruning) DecideAll(run *local.KernelRun) (bool, error) {
 	atlas, assign := run.Atlas, run.Assign
 	for v := range run.Radii {
@@ -33,10 +37,15 @@ func (Pruning) DecideAll(run *local.KernelRun) (bool, error) {
 			continue
 		}
 		center := assign[v]
-		r := 0
+		verts, layerEnd, maxR := st.Verts, st.LayerEnd, st.MaxRadius
+		r, lo := 0, 0
 		for {
+			hi := lo // empty window past MaxRadius (complete balls only)
+			if r <= maxR {
+				hi = layerEnd[r]
+			}
 			larger := false
-			for _, w := range st.Verts[st.FrontierStartAt(r):st.SizeAt(r)] {
+			for _, w := range verts[lo:hi] {
 				if assign[w] > center {
 					larger = true
 					break
@@ -54,11 +63,13 @@ func (Pruning) DecideAll(run *local.KernelRun) (bool, error) {
 				return true, run.Undecided(Pruning{}.Name(), v)
 			}
 			r++
-			if !st.Complete && r > st.MaxRadius {
+			lo = hi
+			if !st.Complete && r > maxR {
 				if st = atlas.Ensure(v, r); st == nil {
 					run.Radii[v] = local.KernelUnserved
 					break
 				}
+				verts, layerEnd, maxR = st.Verts, st.LayerEnd, st.MaxRadius
 			}
 		}
 	}

@@ -1,24 +1,67 @@
-// Package exact provides exhaustive-enumeration ground truth for small
-// cycles: the §2 pruning radii computed in closed form and their exact
-// statistics over ALL identifier permutations. It is the strongest
-// validation layer of the reproduction — the recurrence, the engine and
-// the Monte-Carlo estimates must all agree with it.
+// Package exact provides exhaustive-enumeration ground truth: the
+// statistics of an algorithm's radius distribution over ALL n! identifier
+// assignments of a small instance — the §2 worst-case average and the §4
+// further-work expectation, computed exactly rather than sampled. It is the
+// strongest validation layer of the reproduction: the analytic recurrence,
+// the engine and the Monte-Carlo estimates must all agree with it.
+//
+// Enumeration runs through the sharded sweep engine (sweep.Spec.Exhaustive)
+// — the same atlas, flat-kernel and streaming-aggregation substrate the
+// Monte-Carlo sweeps use — so it works for any algorithm and graph family
+// and parallelises across all cores with byte-identical results at any
+// worker count. The pre-engine sequential Heap's-algorithm loop over the
+// closed-form cycle radii is kept (CycleStatsSequential) as the independent
+// cross-check and the benchmark baseline.
 package exact
 
 import (
+	"context"
+	"errors"
 	"fmt"
+	"math/rand"
 
+	"repro/internal/algorithms/largestid"
+	"repro/internal/analytic"
+	"repro/internal/graph"
 	"repro/internal/ids"
+	"repro/internal/local"
+	"repro/internal/sweep"
 )
 
-// MaxEnumerationN bounds full permutation enumeration (n! growth).
-const MaxEnumerationN = 10
+// MaxEnumerationN bounds full permutation enumeration (n! growth): 12! ≈
+// 4.8e8 executions, feasible under parallel enumeration on a multicore
+// machine. There is no internal wall-clock guard beyond the cap — bound
+// long runs with the context handed to Distribution.
+const MaxEnumerationN = 12
+
+// ErrTooLarge marks instances beyond MaxEnumerationN. Callers distinguish
+// it (errors.Is) from execution failures: "fall back to sampling" is the
+// right response to ErrTooLarge only.
+var ErrTooLarge = errors.New("exact: instance exceeds the enumeration cap")
+
+// Algorithm instantiates the view algorithm for one enumerated assignment,
+// matching sweep.Spec.Alg (assignment-dependent algorithms like
+// Cole-Vishkin's ForMaxID need the assignment).
+type Algorithm func(n int, a ids.Assignment) local.ViewAlgorithm
+
+// Options tunes an enumeration run; the zero value uses all cores with the
+// atlas and kernel fast paths on.
+type Options struct {
+	// Workers bounds the sweep worker pool (0 = GOMAXPROCS).
+	Workers int
+	// NoAtlas / NoKernels pin the enumeration to the slower execution
+	// paths — results are byte-identical; the toggles exist for A/B
+	// profiling, exactly as in sweep.Spec.
+	NoAtlas   bool
+	NoKernels bool
+}
 
 // PruningRadii computes the pruning algorithm's decision radii on a cycle
 // directly from the assignment: a non-maximum vertex stops at its ring
 // distance to the nearest strictly larger identifier; the maximum vertex
 // needs the closure radius floor(n/2). This closed form is validated
-// against the simulator in tests and lets enumeration skip the engine.
+// against the simulator in tests and lets sequential enumeration skip the
+// engine.
 func PruningRadii(a ids.Assignment) []int {
 	n := len(a)
 	radii := make([]int, n)
@@ -45,55 +88,141 @@ func PruningRadii(a ids.Assignment) []int {
 	return radii
 }
 
-// Stats are exact statistics of the pruning radius sum over every
-// identifier permutation of an n-cycle.
+// Stats are exact statistics of an algorithm's radius distribution over
+// every identifier permutation of one instance.
 type Stats struct {
 	N     int
 	Perms int64
-	// WorstSum is max over permutations of Σ r(v) — the paper's measure
-	// times n; it must equal a(n-1) + floor(n/2).
+	// WorstSum is max over permutations of Σ r(v) — the paper's average
+	// measure times n; for the pruning algorithm on a cycle it must equal
+	// a(n-1) + floor(n/2).
 	WorstSum int
 	// BestSum is the minimum achievable radius sum.
 	BestSum int
 	// MeanSum is the expectation of the radius sum under a uniformly
 	// random permutation (§4's further-work quantity, exactly).
 	MeanSum float64
+	// Hist pools the radius histogram over every vertex of every
+	// permutation: Hist[r] = #(vertex, permutation) pairs decided at
+	// radius exactly r. Quantiles of it describe the distribution's shape
+	// beyond the sum extremes.
+	Hist []int64
 }
 
 // WorstAvg is the paper's average measure: WorstSum / n.
 func (s Stats) WorstAvg() float64 { return float64(s.WorstSum) / float64(s.N) }
 
+// BestAvg is the most favourable permutation's average radius.
+func (s Stats) BestAvg() float64 { return float64(s.BestSum) / float64(s.N) }
+
 // MeanAvg is the exact expected average radius.
 func (s Stats) MeanAvg() float64 { return s.MeanSum / float64(s.N) }
 
-// CycleStats enumerates all n! permutations (n <= MaxEnumerationN) with
-// Heap's algorithm and folds the radius sums.
-func CycleStats(n int) (Stats, error) {
+// Quantile returns the q-quantile of the pooled per-vertex radius
+// distribution, with the same interpolation as measure.Quantile.
+func (s Stats) Quantile(q float64) float64 { return sweep.HistQuantile(s.Hist, q) }
+
+// Distribution enumerates ALL n! identifier permutations of g through the
+// sharded sweep engine and returns the exact radius-sum statistics of alg.
+// The enumeration reuses the engine's shared ball atlas and flat decision
+// kernels, so it parallelises across all cores and the result is
+// byte-identical at any worker count. n is capped at MaxEnumerationN
+// (ErrTooLarge beyond); a cancelled context aborts with the sweep's
+// partial-results error.
+func Distribution(ctx context.Context, g graph.Graph, alg Algorithm, opt Options) (Stats, error) {
+	n := g.N()
+	if n < 1 {
+		return Stats{}, fmt.Errorf("exact: empty graph")
+	}
+	if n > MaxEnumerationN {
+		return Stats{}, fmt.Errorf("exact: n=%d beyond %d: %w", n, MaxEnumerationN, ErrTooLarge)
+	}
+	res, err := sweep.Run(ctx, sweep.Spec{
+		Sizes:      []int{n},
+		Exhaustive: true,
+		Workers:    opt.Workers,
+		NoAtlas:    opt.NoAtlas,
+		NoKernels:  opt.NoKernels,
+		Graph:      func(int, *rand.Rand) (graph.Graph, error) { return g, nil },
+		Alg:        alg,
+	})
+	if err != nil {
+		return Stats{}, err
+	}
+	s := res.Sizes[0]
+	return Stats{
+		N:        n,
+		Perms:    int64(s.Trials),
+		WorstSum: s.WorstAvg.Sum,
+		BestSum:  s.BestAvg.Sum,
+		MeanSum:  float64(s.TotalSum) / float64(s.Trials),
+		Hist:     s.Hist,
+	}, nil
+}
+
+// CycleStats enumerates the pruning algorithm over all n! permutations of
+// an n-cycle through the engine AND cross-checks the result against the §2
+// closed form: the worst sum must equal a(n-1) + floor(n/2) from the
+// recurrence, or an error is returned. It is the flagship identity between
+// the analytic, exact and engine layers.
+func CycleStats(ctx context.Context, n int, opt Options) (Stats, error) {
+	if n < 3 {
+		return Stats{}, fmt.Errorf("exact: need n >= 3, got %d", n)
+	}
+	c, err := graph.NewCycle(n)
+	if err != nil {
+		return Stats{}, err
+	}
+	st, err := Distribution(ctx, c, func(int, ids.Assignment) local.ViewAlgorithm { return largestid.Pruning{} }, opt)
+	if err != nil {
+		return Stats{}, err
+	}
+	want, err := analytic.WorstCycleSum(n)
+	if err != nil {
+		return Stats{}, err
+	}
+	if int64(st.WorstSum) != want {
+		return st, fmt.Errorf("exact: enumerated worst sum %d disagrees with recurrence %d at n=%d", st.WorstSum, want, n)
+	}
+	return st, nil
+}
+
+// CycleStatsSequential enumerates all n! permutations with Heap's algorithm
+// on one core, folding the closed-form PruningRadii — no engine, no atlas,
+// no sharding. It is the independent baseline CycleStats is validated (and
+// benchmarked) against.
+func CycleStatsSequential(n int) (Stats, error) {
 	if n < 3 {
 		return Stats{}, fmt.Errorf("exact: need n >= 3, got %d", n)
 	}
 	if n > MaxEnumerationN {
-		return Stats{}, fmt.Errorf("exact: n=%d exceeds enumeration cap %d", n, MaxEnumerationN)
+		return Stats{}, fmt.Errorf("exact: n=%d beyond %d: %w", n, MaxEnumerationN, ErrTooLarge)
 	}
 	perm := make(ids.Assignment, n)
 	for i := range perm {
 		perm[i] = i
 	}
-	st := Stats{N: n, WorstSum: -1, BestSum: -1}
-	var totalSum float64
+	st := Stats{N: n}
+	var totalSum int64
 
 	visit := func() {
 		sum := 0
 		for _, r := range PruningRadii(perm) {
+			for len(st.Hist) <= r {
+				st.Hist = append(st.Hist, 0)
+			}
+			st.Hist[r]++
 			sum += r
 		}
-		if st.WorstSum < 0 || sum > st.WorstSum {
+		// Extremes initialise from the first visit, so the -1 sentinels the
+		// zero Stats used to carry can never leak into a result.
+		if st.Perms == 0 || sum > st.WorstSum {
 			st.WorstSum = sum
 		}
-		if st.BestSum < 0 || sum < st.BestSum {
+		if st.Perms == 0 || sum < st.BestSum {
 			st.BestSum = sum
 		}
-		totalSum += float64(sum)
+		totalSum += int64(sum)
 		st.Perms++
 	}
 
@@ -116,6 +245,6 @@ func CycleStats(n int) (Stats, error) {
 			i++
 		}
 	}
-	st.MeanSum = totalSum / float64(st.Perms)
+	st.MeanSum = float64(totalSum) / float64(st.Perms)
 	return st, nil
 }

@@ -1,10 +1,15 @@
 package exact
 
 import (
+	"context"
+	"errors"
 	"math/rand"
+	"reflect"
 	"testing"
 
+	"repro/internal/algorithms/coloring"
 	"repro/internal/algorithms/largestid"
+	"repro/internal/algorithms/mis"
 	"repro/internal/analytic"
 	"repro/internal/graph"
 	"repro/internal/ids"
@@ -37,10 +42,12 @@ func TestPruningRadiiMatchEngine(t *testing.T) {
 // TestCycleStatsWorstMatchesRecurrence is the flagship exact validation:
 // the enumerated maximum over ALL permutations equals the recurrence
 // prediction a(n-1) + floor(n/2) — no sampling, no reconstruction, the
-// whole space.
+// whole space. CycleStats performs the check internally; this asserts it
+// and the permutation count through both the engine and the sequential
+// baseline.
 func TestCycleStatsWorstMatchesRecurrence(t *testing.T) {
 	for n := 3; n <= 8; n++ {
-		st, err := CycleStats(n)
+		st, err := CycleStats(context.Background(), n, Options{})
 		if err != nil {
 			t.Fatalf("CycleStats(%d): %v", n, err)
 		}
@@ -51,12 +58,40 @@ func TestCycleStatsWorstMatchesRecurrence(t *testing.T) {
 		if int64(st.WorstSum) != want {
 			t.Errorf("n=%d: enumerated worst sum %d, recurrence %d", n, st.WorstSum, want)
 		}
-		wantPerms := int64(1)
-		for i := 2; i <= n; i++ {
-			wantPerms *= int64(i)
+		wantPerms, err := ids.Factorial(n)
+		if err != nil {
+			t.Fatal(err)
 		}
-		if st.Perms != wantPerms {
+		if st.Perms != int64(wantPerms) {
 			t.Errorf("n=%d: visited %d permutations, want %d", n, st.Perms, wantPerms)
+		}
+	}
+}
+
+// TestDistributionMatchesClosedFormFold is the engine-vs-closed-form
+// property: for every 3 <= n <= 8 (and n=10 when not -short) the
+// engine-computed exact distribution — extremes, mean, pooled histogram —
+// equals the sequential Heap's-algorithm fold of PruningRadii, at several
+// worker counts.
+func TestDistributionMatchesClosedFormFold(t *testing.T) {
+	sizes := []int{3, 4, 5, 6, 7, 8}
+	if !testing.Short() {
+		sizes = append(sizes, 9, 10)
+	}
+	for _, n := range sizes {
+		want, err := CycleStatsSequential(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range []int{1, 4} {
+			got, err := CycleStats(context.Background(), n, Options{Workers: workers})
+			if err != nil {
+				t.Fatalf("CycleStats(%d, workers=%d): %v", n, workers, err)
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Errorf("n=%d workers=%d: engine distribution diverges from closed-form fold\ngot:  %+v\nwant: %+v",
+					n, workers, got, want)
+			}
 		}
 	}
 }
@@ -65,7 +100,7 @@ func TestCycleStatsWorstMatchesRecurrence(t *testing.T) {
 // larger identifier: sum = (n-1) + floor(n/2).
 func TestCycleStatsBestSum(t *testing.T) {
 	for n := 3; n <= 8; n++ {
-		st, err := CycleStats(n)
+		st, err := CycleStats(context.Background(), n, Options{})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -79,7 +114,7 @@ func TestCycleStatsBestSum(t *testing.T) {
 // TestCycleStatsMeanBounds: the exact expectation sits strictly between
 // the best and worst cases and the average orderings are consistent.
 func TestCycleStatsMeanBounds(t *testing.T) {
-	st, err := CycleStats(7)
+	st, err := CycleStats(context.Background(), 7, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -89,13 +124,19 @@ func TestCycleStatsMeanBounds(t *testing.T) {
 	if st.MeanAvg() >= st.WorstAvg() {
 		t.Errorf("MeanAvg %v >= WorstAvg %v", st.MeanAvg(), st.WorstAvg())
 	}
+	if st.BestAvg() >= st.MeanAvg() {
+		t.Errorf("BestAvg %v >= MeanAvg %v", st.BestAvg(), st.MeanAvg())
+	}
+	if med, p90 := st.Quantile(0.5), st.Quantile(0.9); med > p90 {
+		t.Errorf("median %v above p90 %v", med, p90)
+	}
 }
 
 // TestCycleStatsMatchesMonteCarlo cross-checks the exact expectation
 // against a direct sample mean.
 func TestCycleStatsMatchesMonteCarlo(t *testing.T) {
 	const n = 7
-	st, err := CycleStats(n)
+	st, err := CycleStats(context.Background(), n, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -113,12 +154,65 @@ func TestCycleStatsMatchesMonteCarlo(t *testing.T) {
 	}
 }
 
+// TestDistributionOtherAlgorithms exercises the generic API beyond pruning
+// cycles: FullView on a path, uniform ring colouring, and colouring-derived
+// MIS all enumerate cleanly, and constant-radius algorithms report
+// degenerate (worst == best) distributions.
+func TestDistributionOtherAlgorithms(t *testing.T) {
+	ctx := context.Background()
+	path, err := graph.NewPath(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fv, err := Distribution(ctx, path, func(int, ids.Assignment) local.ViewAlgorithm { return largestid.FullView{} }, Options{})
+	if err != nil {
+		t.Fatalf("FullView on path: %v", err)
+	}
+	// FullView always grows to the whole graph: the radius vector is
+	// permutation-independent, so the sum distribution is a point mass.
+	if fv.WorstSum != fv.BestSum {
+		t.Errorf("FullView sums vary: worst %d, best %d", fv.WorstSum, fv.BestSum)
+	}
+
+	c := graph.MustCycle(6)
+	uni, err := Distribution(ctx, c, func(int, ids.Assignment) local.ViewAlgorithm { return coloring.Uniform{} }, Options{})
+	if err != nil {
+		t.Fatalf("Uniform on cycle: %v", err)
+	}
+	if uni.Perms != 720 || uni.WorstSum < uni.BestSum {
+		t.Errorf("Uniform stats inconsistent: %+v", uni)
+	}
+
+	m, err := Distribution(ctx, c, func(_ int, a ids.Assignment) local.ViewAlgorithm {
+		return mis.FromColoring{Base: coloring.ForMaxID(a.MaxID())}
+	}, Options{Workers: 4})
+	if err != nil {
+		t.Fatalf("MIS on cycle: %v", err)
+	}
+	if m.Perms != 720 || m.MeanSum < float64(m.BestSum) || m.MeanSum > float64(m.WorstSum) {
+		t.Errorf("MIS stats inconsistent: %+v", m)
+	}
+}
+
 func TestCycleStatsErrors(t *testing.T) {
-	if _, err := CycleStats(2); err == nil {
+	ctx := context.Background()
+	if _, err := CycleStats(ctx, 2, Options{}); err != nil {
+		if errors.Is(err, ErrTooLarge) {
+			t.Error("n=2 misreported as too large")
+		}
+	} else {
 		t.Error("n=2 accepted")
 	}
-	if _, err := CycleStats(MaxEnumerationN + 1); err == nil {
-		t.Error("oversized n accepted")
+	if _, err := CycleStats(ctx, MaxEnumerationN+1, Options{}); !errors.Is(err, ErrTooLarge) {
+		t.Errorf("oversized n: err = %v, want ErrTooLarge", err)
+	}
+	if _, err := CycleStatsSequential(MaxEnumerationN + 1); !errors.Is(err, ErrTooLarge) {
+		t.Errorf("sequential oversized n: err = %v, want ErrTooLarge", err)
+	}
+	cancelled, cancel := context.WithCancel(ctx)
+	cancel()
+	if _, err := CycleStats(cancelled, 7, Options{}); err == nil {
+		t.Error("cancelled context accepted")
 	}
 }
 

@@ -53,7 +53,7 @@ var registry = buildRegistry()
 
 func buildRegistry() map[string]Experiment {
 	all := []Experiment{
-		e1(), e2(), e3(), e4(), e5(), e6(), e7(), e8(), e9(),
+		e1(), e2(), e3(), e4(), e5(), e6(), e7(), e8(), e9(), e10(),
 	}
 	m := make(map[string]Experiment, len(all))
 	for _, e := range all {
@@ -71,13 +71,20 @@ func Get(id string) (Experiment, error) {
 	return e, nil
 }
 
-// All returns every experiment sorted by ID.
+// All returns every experiment in natural ID order (E2 before E10 — plain
+// string order would interleave them).
 func All() []Experiment {
 	out := make([]Experiment, 0, len(registry))
 	for _, e := range registry {
 		out = append(out, e)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i].ID, out[j].ID
+		if len(a) != len(b) {
+			return len(a) < len(b)
+		}
+		return a < b
+	})
 	return out
 }
 

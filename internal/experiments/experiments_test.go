@@ -14,7 +14,7 @@ func smallCfg() Config {
 }
 
 func TestRegistryComplete(t *testing.T) {
-	want := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9"}
+	want := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10"}
 	all := All()
 	if len(all) != len(want) {
 		t.Fatalf("registry has %d experiments, want %d", len(all), len(want))
@@ -170,6 +170,49 @@ func TestE2ExactIdentity(t *testing.T) {
 		if row[exactCol] != "true" {
 			t.Errorf("E2 row %v: engine/theory mismatch", row)
 		}
+	}
+}
+
+// TestE10ExactVsSampled is the CI smoke of the exact-vs-Monte-Carlo
+// agreement table: small sizes, reduced sampling, and the hard identities —
+// worstGap >= 0 everywhere, full coverage closing the gap to zero.
+func TestE10ExactVsSampled(t *testing.T) {
+	e, err := Get("E10")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab, err := e.Run(context.Background(), Config{Seed: 3, Sizes: []int{5, 6}, Trials: 120})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 2 {
+		t.Fatalf("got %d rows, want 2", len(tab.Rows))
+	}
+	col := func(name string) int {
+		for i, c := range tab.Columns {
+			if c == name {
+				return i
+			}
+		}
+		t.Fatalf("no %q column", name)
+		return -1
+	}
+	gap := col("worstGap")
+	for _, row := range tab.Rows {
+		if strings.HasPrefix(row[gap], "-") {
+			t.Errorf("negative worstGap in row %v", row)
+		}
+	}
+	// 120 sampled trials cover all 120 permutations of n=5 with high
+	// multiplicity... but not necessarily every one; the gap identity is
+	// what matters. With sizes beyond the cap the experiment must clamp,
+	// not fail.
+	tab2, err := e.Run(context.Background(), Config{Seed: 3, Sizes: []int{5, 4096}, Trials: 60})
+	if err != nil {
+		t.Fatalf("oversized size override: %v", err)
+	}
+	if len(tab2.Rows) != 1 {
+		t.Fatalf("clamped run has %d rows, want 1", len(tab2.Rows))
 	}
 }
 

@@ -1,0 +1,123 @@
+package ids
+
+import "fmt"
+
+// Factorial-number-system ranking. Permutations of {0..n-1} are totally
+// ordered lexicographically, and the Lehmer code gives a bijection between
+// a permutation and its rank in [0, n!). This is what lets exhaustive
+// enumeration shard: the rank space splits into contiguous per-worker
+// blocks, each worker unranks its block's first permutation once and walks
+// lexicographic successors in place — no coordination, every permutation
+// visited exactly once, independent of the worker count.
+
+// MaxRankN is the largest n whose n! fits the uint64 rank space (20! < 2^62;
+// 21! overflows int64 and is hopeless to enumerate anyway).
+const MaxRankN = 20
+
+// Factorial returns n! for 0 <= n <= MaxRankN.
+func Factorial(n int) (uint64, error) {
+	if n < 0 || n > MaxRankN {
+		return 0, fmt.Errorf("ids: factorial of %d outside [0,%d]", n, MaxRankN)
+	}
+	f := uint64(1)
+	for i := 2; i <= n; i++ {
+		f *= uint64(i)
+	}
+	return f, nil
+}
+
+// Rank returns the lexicographic index of a among all permutations of
+// {0..n-1}: the Lehmer code Σ_i L_i·(n-1-i)!, where L_i counts the entries
+// right of position i smaller than a[i]. The assignment must be a
+// permutation of {0..n-1} with n <= MaxRankN. Rank is the inverse of
+// Unrank: a.Rank() == r ⇔ Unrank(r, len(a)) equals a.
+func (a Assignment) Rank() (uint64, error) {
+	n := len(a)
+	if n > MaxRankN {
+		return 0, fmt.Errorf("ids: rank of %d-permutation exceeds MaxRankN=%d", n, MaxRankN)
+	}
+	var seen [MaxRankN]bool
+	for v, id := range a {
+		if id < 0 || id >= n || seen[id] {
+			return 0, fmt.Errorf("ids: vertex %d: identifier %d is not part of a {0..%d} permutation", v, id, n-1)
+		}
+		seen[id] = true
+	}
+	f, _ := Factorial(n) // n <= MaxRankN checked above
+	rank := uint64(0)
+	for i := 0; i < n; i++ {
+		f /= uint64(n - i)
+		smaller := 0
+		for j := i + 1; j < n; j++ {
+			if a[j] < a[i] {
+				smaller++
+			}
+		}
+		rank += uint64(smaller) * f
+	}
+	return rank, nil
+}
+
+// Unrank returns the rank-th permutation of {0..n-1} in lexicographic
+// order: Unrank(0, n) is the identity, Unrank(n!-1, n) is the descending
+// assignment. rank must be below n! and n at most MaxRankN.
+func Unrank(rank uint64, n int) (Assignment, error) {
+	f, err := Factorial(n)
+	if err != nil {
+		return nil, err
+	}
+	if rank >= f {
+		return nil, fmt.Errorf("ids: rank %d out of range [0,%d!)", rank, n)
+	}
+	return UnrankInto(make([]int, n), rank), nil
+}
+
+// UnrankInto fills buf with the rank-th permutation of {0..len(buf)-1} in
+// lexicographic order and returns it as an Assignment. It is the alloc-free
+// form of Unrank for enumeration hot loops; the caller guarantees
+// len(buf) <= MaxRankN and rank < len(buf)!.
+func UnrankInto(buf []int, rank uint64) Assignment {
+	n := len(buf)
+	for i := range buf {
+		buf[i] = i
+	}
+	if n < 2 {
+		return Assignment(buf)
+	}
+	f, _ := Factorial(n - 1)
+	// buf[i:] holds the unused identifiers in ascending order; digit i of
+	// the factorial number system selects which of them comes next, and the
+	// skipped prefix shifts right to keep the remainder sorted.
+	for i := 0; i < n-1; i++ {
+		d := int(rank / f)
+		rank %= f
+		f /= uint64(n - 1 - i)
+		v := buf[i+d]
+		copy(buf[i+1:i+d+1], buf[i:i+d])
+		buf[i] = v
+	}
+	return Assignment(buf)
+}
+
+// NextInto advances buf to its lexicographic successor in place (the
+// classic next-permutation step), so a rank block is walked as one Unrank
+// plus length-1 successor steps. It reports false — leaving buf untouched,
+// in descending order — when buf is already the last permutation.
+func NextInto(buf []int) bool {
+	i := len(buf) - 2
+	for i >= 0 && buf[i] >= buf[i+1] {
+		i--
+	}
+	if i < 0 {
+		return false
+	}
+	j := len(buf) - 1
+	for buf[j] <= buf[i] {
+		j--
+	}
+	buf[i], buf[j] = buf[j], buf[i]
+	for l, r := i+1, len(buf)-1; l < r; l, r = l+1, r-1 {
+		buf[l], buf[r] = buf[r], buf[l]
+	}
+	return true
+}

@@ -1,0 +1,141 @@
+package ids
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestFactorial(t *testing.T) {
+	want := map[int]uint64{0: 1, 1: 1, 2: 2, 5: 120, 10: 3628800, 20: 2432902008176640000}
+	for n, w := range want {
+		got, err := Factorial(n)
+		if err != nil {
+			t.Fatalf("Factorial(%d): %v", n, err)
+		}
+		if got != w {
+			t.Errorf("Factorial(%d) = %d, want %d", n, got, w)
+		}
+	}
+	for _, n := range []int{-1, MaxRankN + 1} {
+		if _, err := Factorial(n); err == nil {
+			t.Errorf("Factorial(%d) accepted", n)
+		}
+	}
+}
+
+// TestUnrankEndpoints pins the lexicographic convention: rank 0 is the
+// identity, rank n!-1 the descending assignment.
+func TestUnrankEndpoints(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 6, 9} {
+		f, err := Factorial(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		first, err := Unrank(0, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(first, Identity(n)) {
+			t.Errorf("n=%d: Unrank(0) = %v, want identity", n, first)
+		}
+		last, err := Unrank(f-1, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(last, Reversed(n)) {
+			t.Errorf("n=%d: Unrank(n!-1) = %v, want descending", n, last)
+		}
+		if _, err := Unrank(f, n); err == nil {
+			t.Errorf("n=%d: out-of-range rank accepted", n)
+		}
+	}
+}
+
+// TestRankUnrankExhaustive round-trips every rank of small sizes in both
+// directions and checks NextInto walks ranks in order — the invariant the
+// sweep engine's block partition stands on.
+func TestRankUnrankExhaustive(t *testing.T) {
+	for n := 1; n <= 6; n++ {
+		f, err := Factorial(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf := make([]int, n)
+		walk := UnrankInto(make([]int, n), 0)
+		for r := uint64(0); r < f; r++ {
+			a := UnrankInto(buf, r)
+			if err := a.Validate(); err != nil {
+				t.Fatalf("n=%d rank %d: invalid permutation %v: %v", n, r, a, err)
+			}
+			got, err := a.Rank()
+			if err != nil {
+				t.Fatalf("n=%d rank %d: Rank(%v): %v", n, r, a, err)
+			}
+			if got != r {
+				t.Fatalf("n=%d: Rank(Unrank(%d)) = %d", n, r, got)
+			}
+			if !reflect.DeepEqual(a, walk) {
+				t.Fatalf("n=%d rank %d: successor walk diverged: unrank %v, walk %v", n, r, a, walk)
+			}
+			if advanced := NextInto(walk); advanced != (r+1 < f) {
+				t.Fatalf("n=%d rank %d: NextInto = %v", n, r, advanced)
+			}
+		}
+	}
+}
+
+func TestRankRejectsNonPermutations(t *testing.T) {
+	for _, a := range []Assignment{
+		{0, 0, 1},  // duplicate
+		{0, 1, 3},  // out of range
+		{-1, 1, 0}, // negative
+		make(Assignment, MaxRankN+1),
+	} {
+		if _, err := a.Rank(); err == nil {
+			t.Errorf("Rank(%v) accepted", a)
+		}
+	}
+}
+
+// FuzzRankUnrank drives the round trip from arbitrary coordinates: any
+// (rank mod n!) must unrank to a valid permutation that ranks back to
+// itself, and its lexicographic successor must carry rank+1.
+func FuzzRankUnrank(f *testing.F) {
+	f.Add(uint64(0), uint8(1))
+	f.Add(uint64(5), uint8(3))
+	f.Add(uint64(3628799), uint8(10))
+	f.Add(uint64(1<<60), uint8(12))
+	f.Fuzz(func(t *testing.T, rank uint64, size uint8) {
+		n := int(size%12) + 1
+		fact, err := Factorial(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := rank % fact
+		a, err := Unrank(r, n)
+		if err != nil {
+			t.Fatalf("Unrank(%d, %d): %v", r, n, err)
+		}
+		if err := a.Validate(); err != nil {
+			t.Fatalf("Unrank(%d, %d) = %v invalid: %v", r, n, a, err)
+		}
+		got, err := a.Rank()
+		if err != nil {
+			t.Fatalf("Rank(%v): %v", a, err)
+		}
+		if got != r {
+			t.Fatalf("Rank(Unrank(%d, %d)) = %d", r, n, got)
+		}
+		if NextInto(a) {
+			next, err := a.Rank()
+			if err != nil {
+				t.Fatalf("Rank(successor): %v", err)
+			}
+			if next != r+1 {
+				t.Fatalf("successor of rank %d ranks %d", r, next)
+			}
+		} else if r != fact-1 {
+			t.Fatalf("NextInto refused to advance rank %d of %d!", r, n)
+		}
+	})
+}

@@ -29,14 +29,27 @@ import (
 // Kernel; WithoutKernels pins the view path). Results are byte-identical
 // to the builder path either way.
 type Runner struct {
-	bb      *graph.BallBuilder
-	atlas   *graph.BallAtlas
+	bb    *graph.BallBuilder
+	atlas *graph.BallAtlas
+	// atlasG is the atlas's graph when that graph is comparable, nil
+	// otherwise — precomputed by SetAtlas so the per-run atlas check is a
+	// single interface comparison (always safe: atlasG's dynamic type is
+	// comparable, and comparing against a value of any other type answers
+	// false without inspecting the data).
+	atlasG  graph.Graph
 	aball   graph.Ball // scratch ball whose slices window the atlas
 	av      atlasView  // scratch atlas context referenced by served views
 	ids     []int
 	degrees []int
 	res     Result
-	cfg     config    // per-run options, resolved into Runner-owned storage
+	cfg     config // per-run options, resolved into Runner-owned storage
+	// cfgOpts/cfgN key the resolved cfg: batched sweeps hand the same
+	// option slice to every trial, so the per-run resolution collapses to
+	// an identity check. Callers must not mutate an Option slice in place
+	// between Run calls (append-and-pass, the idiomatic form, is fine —
+	// appending allocates a new backing array).
+	cfgOpts []Option
+	cfgN    int
 	krun    KernelRun // scratch pass context handed to Kernel.DecideAll
 }
 
@@ -46,17 +59,36 @@ func NewRunner() *Runner { return &Runner{} }
 // SetAtlas attaches a shared ball atlas (nil detaches). The atlas is used
 // only when its graph is the one passed to Run; vertices the atlas cannot
 // serve (memory cap) transparently fall back to the ball-builder path.
-func (r *Runner) SetAtlas(a *graph.BallAtlas) { r.atlas = a }
+func (r *Runner) SetAtlas(a *graph.BallAtlas) {
+	r.atlas = a
+	r.atlasG = nil
+	if a != nil {
+		// Interface equality panics for non-comparable dynamic graph
+		// types, so those conservatively never match (and fall back to
+		// the builder path).
+		if ag := a.Graph(); ag != nil && reflect.TypeOf(ag).Comparable() {
+			r.atlasG = ag
+		}
+	}
+}
 
 // Run executes alg at every vertex of g under the identifier assignment a,
 // exactly like RunView, but recycles the Runner's scratch and Result
-// buffers. The returned Result is overwritten by the next Run.
+// buffers. The returned Result is overwritten by the next Run. Options are
+// resolved once per distinct (slice, n) pair and cached by slice identity:
+// do not mutate an Option slice in place between Run calls — build a new
+// one (or append, which reallocates) instead.
 func (r *Runner) Run(g graph.Graph, a ids.Assignment, alg ViewAlgorithm, opts ...Option) (*Result, error) {
 	n := g.N()
 	if len(a) != n {
 		return nil, fmt.Errorf("local: assignment covers %d vertices, graph has %d", len(a), n)
 	}
-	newConfigInto(&r.cfg, n, opts)
+	// Batched sweeps pass the identical option slice every trial; resolving
+	// it once per (slice, n) pair keeps the per-run cost to two compares.
+	if r.cfgN != n || !sameOpts(r.cfgOpts, opts) {
+		newConfigInto(&r.cfg, n, opts)
+		r.cfgOpts, r.cfgN = opts, n
+	}
 	cfg := r.cfg
 	if !cfg.validated {
 		if err := a.Validate(); err != nil {
@@ -66,7 +98,7 @@ func (r *Runner) Run(g graph.Graph, a ids.Assignment, alg ViewAlgorithm, opts ..
 	r.res.Algorithm = alg.Name()
 	r.res.Outputs = resizeInts(r.res.Outputs, n)
 	r.res.Radii = resizeInts(r.res.Radii, n)
-	useAtlas := r.atlas != nil && atlasMatches(r.atlas, g)
+	useAtlas := g == r.atlasG
 	if useAtlas && !cfg.noKernels && cfg.observer == nil {
 		// Kernel fast path: one flat pass over the atlas skeleton. Progress
 		// observers need the per-radius callbacks only the view path makes,
@@ -115,17 +147,14 @@ func (r *Runner) Run(g graph.Graph, a ids.Assignment, alg ViewAlgorithm, opts ..
 func (r *Runner) runKernel(g graph.Graph, a ids.Assignment, alg ViewAlgorithm, k Kernel, cfg config) (served bool, err error) {
 	// The pass context lives on the Runner: passing a stack-local struct
 	// through the interface call would force one heap escape per trial.
-	// The kernel's scratch survives the reset so it is grown once per
-	// Runner, not once per trial.
-	r.krun = KernelRun{
-		Atlas:     r.atlas,
-		Assign:    a,
-		Outs:      r.res.Outputs,
-		Radii:     r.res.Radii,
-		MaxRadius: cfg.maxRadius,
-		Ctx:       cfg.ctx,
-		Scratch:   r.krun.Scratch,
-	}
+	// Fields are reset individually — the kernel's scratch survives (grown
+	// once per Runner, not once per trial), and no struct temp is copied.
+	r.krun.Atlas = r.atlas
+	r.krun.Assign = a
+	r.krun.Outs = r.res.Outputs
+	r.krun.Radii = r.res.Radii
+	r.krun.MaxRadius = cfg.maxRadius
+	r.krun.Ctx = cfg.ctx
 	ok, err := k.DecideAll(&r.krun)
 	if !ok || err != nil {
 		return ok, err
@@ -230,15 +259,14 @@ func (r *Runner) runVertex(g graph.Graph, a ids.Assignment, alg ViewAlgorithm, v
 	}
 }
 
-// atlasMatches reports whether the attached atlas was built over g.
-// Interface equality panics for non-comparable dynamic graph types, so
-// those conservatively never match (and fall back to the builder path).
-func atlasMatches(atlas *graph.BallAtlas, g graph.Graph) bool {
-	ag := atlas.Graph()
-	if ag == nil || g == nil || !reflect.TypeOf(g).Comparable() {
+// sameOpts reports whether two option slices are the identical slice —
+// same backing array, same length — which is how batched callers reuse one
+// resolved config across trials.
+func sameOpts(a, b []Option) bool {
+	if len(a) != len(b) {
 		return false
 	}
-	return ag == g
+	return len(a) == 0 || &a[0] == &b[0]
 }
 
 // resizeInts returns s with length exactly n, reusing capacity.

@@ -35,6 +35,12 @@ type SizeStats struct {
 	WorstMax measure.Summary
 	// WorstMaxTrial is the index of that trial (lowest index on ties).
 	WorstMaxTrial int
+	// BestAvg summarises the trial minimising the per-trial radius sum —
+	// the most favourable permutation seen. Exhaustive sweeps turn it into
+	// the exact best case over ALL assignments.
+	BestAvg measure.Summary
+	// BestAvgTrial is the index of that trial (lowest index on ties).
+	BestAvgTrial int
 	// Hist pools the radius histogram over all vertices of all trials:
 	// Hist[r] executions decided at radius exactly r.
 	Hist []int64
@@ -61,12 +67,19 @@ func (s *SizeStats) Verified() bool { return s.Failures == 0 }
 
 // Quantile returns the q-quantile of the pooled radius distribution, with
 // the same order-statistic interpolation as measure.Quantile.
-func (s *SizeStats) Quantile(q float64) float64 {
+func (s *SizeStats) Quantile(q float64) float64 { return HistQuantile(s.Hist, q) }
+
+// HistQuantile returns the q-quantile of the multiset encoded by hist
+// (hist[r] = number of values equal to r), interpolating between order
+// statistics exactly like measure.Quantile. It is shared by the sweep
+// aggregates and the exact-enumeration statistics so the two layers report
+// comparable shapes.
+func HistQuantile(hist []int64, q float64) float64 {
 	var count int64
-	for _, c := range s.Hist {
+	for _, c := range hist {
 		count += c
 	}
-	return quantileHist(s.Hist, count, q)
+	return quantileHist(hist, count, q)
 }
 
 // addTrial folds one completed trial into the aggregate. hist is the
@@ -85,6 +98,7 @@ func (s *SizeStats) addTrial(trial int, sum measure.Summary, hist []int64, verif
 	if s.Trials == 1 {
 		s.WorstAvg, s.WorstAvgTrial = sum, trial
 		s.WorstMax, s.WorstMaxTrial = sum, trial
+		s.BestAvg, s.BestAvgTrial = sum, trial
 		return
 	}
 	if worseSum(sum, trial, s.WorstAvg, s.WorstAvgTrial) {
@@ -92,6 +106,9 @@ func (s *SizeStats) addTrial(trial int, sum measure.Summary, hist []int64, verif
 	}
 	if worseMax(sum, trial, s.WorstMax, s.WorstMaxTrial) {
 		s.WorstMax, s.WorstMaxTrial = sum, trial
+	}
+	if betterSum(sum, trial, s.BestAvg, s.BestAvgTrial) {
+		s.BestAvg, s.BestAvgTrial = sum, trial
 	}
 }
 
@@ -124,6 +141,9 @@ func (s *SizeStats) merge(o *SizeStats) {
 	if worseMax(o.WorstMax, o.WorstMaxTrial, s.WorstMax, s.WorstMaxTrial) {
 		s.WorstMax, s.WorstMaxTrial = o.WorstMax, o.WorstMaxTrial
 	}
+	if betterSum(o.BestAvg, o.BestAvgTrial, s.BestAvg, s.BestAvgTrial) {
+		s.BestAvg, s.BestAvgTrial = o.BestAvg, o.BestAvgTrial
+	}
 }
 
 // worseSum reports whether trial a (summary sa) beats trial b as the
@@ -140,6 +160,15 @@ func worseSum(sa measure.Summary, a int, sb measure.Summary, b int) bool {
 func worseMax(sa measure.Summary, a int, sb measure.Summary, b int) bool {
 	if sa.Max != sb.Max {
 		return sa.Max > sb.Max
+	}
+	return a < b
+}
+
+// betterSum is worseSum mirrored: the best-by-radius-sum trial, lowest
+// index on ties.
+func betterSum(sa measure.Summary, a int, sb measure.Summary, b int) bool {
+	if sa.Sum != sb.Sum {
+		return sa.Sum < sb.Sum
 	}
 	return a < b
 }
@@ -188,8 +217,8 @@ func summarizeHist(hist []int64) measure.Summary {
 		return s
 	}
 	s.Avg = float64(s.Sum) / float64(count)
-	s.Median = quantileHist(hist, count, 0.5)
-	s.P90 = quantileHist(hist, count, 0.9)
+	s.Median = interpHist(hist, count, 0.5)
+	s.P90 = interpHist(hist, count, 0.9)
 	return s
 }
 
@@ -206,16 +235,37 @@ func quantileHist(hist []int64, count int64, q float64) float64 {
 	if q >= 1 {
 		return float64(kthHist(hist, count-1))
 	}
+	return interpHist(hist, count, q)
+}
+
+// interpHist is quantileHist's interior case (0 < q < 1), fetching both
+// bracketing order statistics in a single histogram scan — summarizeHist
+// calls it twice per trial, so the scan count matters on the sweep hot
+// path.
+func interpHist(hist []int64, count int64, q float64) float64 {
 	pos := q * float64(count-1)
 	lo := int64(math.Floor(pos))
 	hi := int64(math.Ceil(pos))
 	frac := pos - float64(lo)
-	vlo := kthHist(hist, lo)
-	vhi := vlo
-	if hi != lo {
-		vhi = kthHist(hist, hi)
-	}
+	vlo, vhi := kthHist2(hist, lo, hi)
 	return float64(vlo)*(1-frac) + float64(vhi)*frac
+}
+
+// kthHist2 returns the klo-th and khi-th (klo <= khi) 0-based order
+// statistics of the histogram's multiset in one pass.
+func kthHist2(hist []int64, klo, khi int64) (int, int) {
+	var c int64
+	vlo, found := len(hist)-1, false
+	for r, cnt := range hist {
+		c += cnt
+		if !found && c > klo {
+			vlo, found = r, true
+		}
+		if c > khi {
+			return vlo, r
+		}
+	}
+	return vlo, len(hist) - 1
 }
 
 // kthHist returns the 0-based k-th order statistic of the histogram's

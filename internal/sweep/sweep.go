@@ -44,7 +44,20 @@ type Spec struct {
 	// Sizes is the n sweep; one SizeStats is produced per entry.
 	Sizes []int
 	// Trials is the number of sampled permutations per size (default 1).
+	// Ignored under Exhaustive.
 	Trials int
+	// Exhaustive replaces sampling with full enumeration: every size runs
+	// ALL n! identifier permutations exactly once, trial t executing the
+	// rank-t permutation in lexicographic factorial-number-system order
+	// (ids.Rank/Unrank). The rank space splits into the same contiguous
+	// job blocks sampled trials use — each worker unranks its block's
+	// first permutation and walks lexicographic successors in place — so
+	// the atlas, the kernel fast path and the streaming aggregation all
+	// apply unchanged and results stay byte-identical at any worker
+	// count. Seed then only affects Graph construction; Trials and Assign
+	// must be unset. Sizes are capped at ids.MaxRankN, and wall-clock is
+	// the caller's business: bound enormous enumerations with the context.
+	Exhaustive bool
 	// Workers bounds the worker pool (default GOMAXPROCS).
 	Workers int
 	// MaxRadius overrides the engine's safety cap when positive.
@@ -142,12 +155,17 @@ func Run(ctx context.Context, spec Spec) (*Result, error) {
 	if trials <= 0 {
 		trials = 1
 	}
+	if spec.Exhaustive {
+		if spec.Assign != nil {
+			return nil, fmt.Errorf("sweep: Exhaustive enumerates permutations itself; Assign must be nil")
+		}
+		if spec.Trials > 0 {
+			return nil, fmt.Errorf("sweep: Exhaustive ignores Trials; leave it zero")
+		}
+	}
 	workers := spec.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
-	}
-	if max := len(spec.Sizes) * trials; workers > max {
-		workers = max
 	}
 	if ctx == nil {
 		ctx = context.Background()
@@ -167,6 +185,27 @@ func Run(ctx context.Context, spec Spec) (*Result, error) {
 		graphs[i] = g
 	}
 
+	// Per-size trial counts: the sampled count everywhere, or the full
+	// n! rank space under Exhaustive.
+	counts := make([]int, len(spec.Sizes))
+	total := 0
+	for i, g := range graphs {
+		counts[i] = trials
+		if spec.Exhaustive {
+			f, err := ids.Factorial(g.N())
+			if err != nil {
+				return nil, fmt.Errorf("sweep: exhaustive size %d: %w", g.N(), err)
+			}
+			counts[i] = int(f)
+		}
+		if total += counts[i]; total < 0 {
+			return nil, fmt.Errorf("sweep: exhaustive trial count overflows across sizes %v", spec.Sizes)
+		}
+	}
+	if workers > total {
+		workers = total
+	}
+
 	// One shared ball atlas per size: BFS layers depend only on the graph,
 	// so all trials and workers reuse them; layers grow lazily inside the
 	// atlas under its own synchronisation, and atlases for comparable
@@ -178,17 +217,11 @@ func Run(ctx context.Context, spec Spec) (*Result, error) {
 		}
 	}
 
-	// Chunk trials into jobs: a few batches per worker balances load
-	// without serialising on the channel.
-	chunk := trials / (workers * 4)
-	if chunk < 1 {
-		chunk = 1
-	}
 	// Jobs are emitted largest instance first: the first job a worker
 	// executes then grows every reusable buffer (result slices, histogram,
 	// permutation scratch) to its final size, and smaller sizes reuse them.
-	// Aggregation is commutative and trials are seeded by coordinates, so
-	// the order is unobservable in the results.
+	// Aggregation is commutative and trials are seeded (or, exhaustively,
+	// ranked) by coordinates, so the order is unobservable in the results.
 	order := make([]int, len(spec.Sizes))
 	for i := range order {
 		order[i] = i
@@ -198,12 +231,18 @@ func Run(ctx context.Context, spec Spec) (*Result, error) {
 			order[k], order[k-1] = order[k-1], order[k]
 		}
 	}
-	jobs := make([]job, 0, len(spec.Sizes)*((trials+chunk-1)/chunk))
+	// Chunk each size's trials into jobs: a few batches per worker
+	// balances load without serialising on the channel.
+	jobs := make([]job, 0, len(spec.Sizes)*(4*workers+1))
 	for _, i := range order {
-		for t0 := 0; t0 < trials; t0 += chunk {
+		chunk := counts[i] / (workers * 4)
+		if chunk < 1 {
+			chunk = 1
+		}
+		for t0 := 0; t0 < counts[i]; t0 += chunk {
 			t1 := t0 + chunk
-			if t1 > trials {
-				t1 = trials
+			if t1 > counts[i] {
+				t1 = counts[i]
 			}
 			jobs = append(jobs, job{sizeIdx: i, t0: t0, t1: t1})
 		}
@@ -278,7 +317,7 @@ func Run(ctx context.Context, spec Spec) (*Result, error) {
 				break
 			}
 		}
-		return finish(ctx, spec, trials, ws, firstErr)
+		return finish(ctx, spec, total, ws, firstErr)
 	}
 
 	jobCh := make(chan job)
@@ -316,7 +355,7 @@ func Run(ctx context.Context, spec Spec) (*Result, error) {
 	mu.Lock()
 	err := firstErr
 	mu.Unlock()
-	return finish(ctx, spec, trials, ws, err)
+	return finish(ctx, spec, total, ws, err)
 }
 
 // initWorker populates one worker's reusable state. opts is shared
@@ -335,7 +374,8 @@ func initWorker(w *worker, spec Spec, opts []local.Option, shard []SizeStats, ma
 
 // finish merges the worker shards into the final Result and classifies how
 // the sweep ended: clean, failed, or cancelled with partial aggregates.
-func finish(ctx context.Context, spec Spec, trials int, ws []worker, firstErr error) (*Result, error) {
+// total is the number of trials the spec asked for across all sizes.
+func finish(ctx context.Context, spec Spec, total int, ws []worker, firstErr error) (*Result, error) {
 	res := &Result{Sizes: make([]SizeStats, len(spec.Sizes))}
 	done := 0
 	for i, n := range spec.Sizes {
@@ -350,9 +390,9 @@ func finish(ctx context.Context, spec Spec, trials int, ws []worker, firstErr er
 	}
 	// A context that fires after the final trial completed did not cost any
 	// results; only report cancellation when work was actually skipped.
-	if cerr := ctx.Err(); cerr != nil && done < len(spec.Sizes)*trials {
+	if cerr := ctx.Err(); cerr != nil && done < total {
 		return res, fmt.Errorf("sweep: cancelled with partial results (%d/%d trials): %w",
-			done, len(spec.Sizes)*trials, cerr)
+			done, total, cerr)
 	}
 	return res, nil
 }
@@ -376,21 +416,35 @@ func (w *worker) runJob(ctx context.Context, spec Spec, g graph.Graph, atlas *gr
 	for r := range w.hist {
 		w.hist[r] = 0
 	}
+	if spec.Exhaustive {
+		// The batch is a contiguous rank block: unrank its first
+		// permutation once, then each later trial is one successor step.
+		ids.UnrankInto(w.assign[:n], uint64(j.t0))
+	}
 	for trial := j.t0; trial < j.t1; trial++ {
 		if ctx.Err() != nil {
 			return nil
 		}
-		w.rng.Seed(trialSeed(spec.Seed, j.sizeIdx, trial))
 		var (
 			a   ids.Assignment
 			err error
 		)
-		if spec.Assign != nil {
+		switch {
+		case spec.Exhaustive:
+			// No per-trial randomness: the permutation IS the trial
+			// coordinate, so the (expensive) rng reseed is skipped too.
+			if trial > j.t0 {
+				ids.NextInto(w.assign[:n])
+			}
+			a = ids.Assignment(w.assign[:n])
+		case spec.Assign != nil:
+			w.rng.Seed(trialSeed(spec.Seed, j.sizeIdx, trial))
 			a, err = spec.Assign(j.sizeIdx, n, trial, w.rng)
 			if err != nil {
 				return fmt.Errorf("sweep: assign size %d trial %d: %w", n, trial, err)
 			}
-		} else {
+		default:
+			w.rng.Seed(trialSeed(spec.Seed, j.sizeIdx, trial))
 			a = ids.RandomInto(w.assign[:n], w.rng)
 		}
 		res, err := w.runner.Run(g, a, spec.Alg(n, a), w.opts...)
