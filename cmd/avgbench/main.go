@@ -16,6 +16,13 @@
 //	avgbench -e E6 -noatlas         # force the ball-builder path (perf bisection)
 //	avgbench -e E6 -nokernels       # keep the atlas, skip the flat decision kernels
 //	avgbench -e E6 -cpuprofile cpu.pb.gz -memprofile mem.pb.gz
+//
+// Distributed runs (shardable experiments — those exposing their sweeps):
+//
+//	avgbench -e E6 -shard 0/2 -out s0.json   # process 1 of 2
+//	avgbench -e E6 -shard 1/2 -out s1.json   # process 2 of 2
+//	sweepmerge s0.json s1.json               # byte-identical final table
+//	avgbench -e E6 -checkpoint e6.ckpt       # restartable: kill, rerun, resume
 package main
 
 import (
@@ -31,6 +38,7 @@ import (
 	"strings"
 
 	"repro/internal/experiments"
+	"repro/internal/sweep"
 )
 
 func main() {
@@ -55,6 +63,9 @@ func run(args []string) error {
 	noKernels := fs.Bool("nokernels", false, "disable the flat decision kernels over the atlas (identical tables, view-path timing)")
 	cpuProfile := fs.String("cpuprofile", "", "write a pprof CPU profile of the runs to this file")
 	memProfile := fs.String("memprofile", "", "write a pprof heap profile to this file after the runs")
+	shardFlag := fs.String("shard", "", "run only shard I/M (0-based, e.g. 0/2) of one shardable experiment; requires -out")
+	outFlag := fs.String("out", "", "file the shard's partial aggregates are written to (merge with sweepmerge)")
+	checkpoint := fs.String("checkpoint", "", "checkpoint file: progress is committed after every block and an interrupted run resumes from it (one shardable experiment)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -83,11 +94,35 @@ func run(args []string) error {
 	if strings.EqualFold(*expID, "all") {
 		selected = experiments.All()
 	} else {
+		// Unknown IDs fail here, before any sweep starts, with the typed
+		// error listing every registered experiment.
 		e, err := experiments.Get(strings.ToUpper(*expID))
 		if err != nil {
 			return err
 		}
 		selected = []experiments.Experiment{e}
+	}
+
+	// Distributed-mode flag discipline: sharding writes aggregates, not
+	// tables, and both sharding and checkpointing are per-experiment.
+	if *shardFlag == "" && *outFlag != "" {
+		return fmt.Errorf("-out only makes sense with -shard")
+	}
+	if *shardFlag != "" || *checkpoint != "" {
+		if len(selected) != 1 {
+			return fmt.Errorf("-shard/-checkpoint need a single -e experiment, not %q", *expID)
+		}
+		if !selected[0].Shardable() {
+			return fmt.Errorf("%s does not expose its sweeps; it cannot run sharded or checkpointed", selected[0].ID)
+		}
+	}
+	if *shardFlag != "" {
+		if *outFlag == "" {
+			return fmt.Errorf("-shard needs -out to store the partial aggregates")
+		}
+		if *asCSV || *asJSON {
+			return fmt.Errorf("-shard writes aggregates, not tables; drop -csv/-json and render via sweepmerge")
+		}
 	}
 
 	ctx := context.Background()
@@ -126,6 +161,24 @@ func run(args []string) error {
 		}()
 	}
 
+	// Shard mode: execute this process's slice of the trial space and
+	// write the partial aggregates; sweepmerge renders the final table
+	// once every shard file exists. RunShardToFile opens -out before the
+	// run (bad paths fail fast) and keeps any -checkpoint until the shard
+	// file is durably written, so a crash never strands completed work.
+	if *shardFlag != "" {
+		shard, err := parseShard(*shardFlag)
+		if err != nil {
+			return err
+		}
+		if err := experiments.RunShardToFile(ctx, selected[0], cfg, shard, *checkpoint, *outFlag); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "avgbench: %s shard %d/%d aggregates written to %s\n",
+			selected[0].ID, shard.Index, shard.Count, *outFlag)
+		return nil
+	}
+
 	// jsonTable pairs an experiment's metadata with its rendered table for
 	// the machine-readable output mode.
 	type jsonTable struct {
@@ -140,7 +193,18 @@ func run(args []string) error {
 		if !*asJSON {
 			fmt.Printf("== %s: %s\n   claim: %s\n", e.ID, e.Title, e.Claim)
 		}
-		tab, err := e.Run(ctx, cfg)
+		var tab *experiments.Table
+		var err error
+		if *checkpoint != "" {
+			// The restartable path: identical bytes to e.Run, with progress
+			// committed after every block.
+			var results []*sweep.Result
+			if results, err = experiments.RunSweeps(ctx, e, cfg, sweep.Shard{}, *checkpoint); err == nil {
+				tab, err = e.Tabulate(cfg, results)
+			}
+		} else {
+			tab, err = e.Run(ctx, cfg)
+		}
 		if err != nil {
 			return fmt.Errorf("%s: %w", e.ID, err)
 		}
@@ -161,4 +225,24 @@ func run(args []string) error {
 		return enc.Encode(jsonOut)
 	}
 	return nil
+}
+
+// parseShard parses an "I/M" flag value (0-based index I of M shards).
+func parseShard(s string) (sweep.Shard, error) {
+	is, ms, ok := strings.Cut(s, "/")
+	if !ok {
+		return sweep.Shard{}, fmt.Errorf("parse -shard %q: want I/M, e.g. 0/2", s)
+	}
+	idx, err := strconv.Atoi(strings.TrimSpace(is))
+	if err != nil {
+		return sweep.Shard{}, fmt.Errorf("parse -shard index: %w", err)
+	}
+	count, err := strconv.Atoi(strings.TrimSpace(ms))
+	if err != nil {
+		return sweep.Shard{}, fmt.Errorf("parse -shard count: %w", err)
+	}
+	if count < 1 || idx < 0 || idx >= count {
+		return sweep.Shard{}, fmt.Errorf("-shard %q out of range: need 0 <= I < M", s)
+	}
+	return sweep.Shard{Index: idx, Count: count}, nil
 }

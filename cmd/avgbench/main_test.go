@@ -1,9 +1,14 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
+
+	"repro/internal/experiments"
 )
 
 func TestRunSingleExperiment(t *testing.T) {
@@ -42,6 +47,101 @@ func TestRunErrors(t *testing.T) {
 	}
 	if err := run([]string{"-csv", "-json"}); err == nil {
 		t.Error("-csv together with -json accepted")
+	}
+}
+
+// TestRunUnknownIDFailsFastWithMenu: an unknown -e must fail before any
+// sweep starts, with the typed error listing every registered experiment.
+func TestRunUnknownIDFailsFastWithMenu(t *testing.T) {
+	err := run([]string{"-e", "E99"})
+	if err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+	var ue *experiments.UnknownExperimentError
+	if !errors.As(err, &ue) {
+		t.Fatalf("error %T is not *experiments.UnknownExperimentError", err)
+	}
+	for _, id := range []string{"E1", "E2", "E9", "E10"} {
+		if !strings.Contains(err.Error(), id) {
+			t.Errorf("error %q does not list %s", err, id)
+		}
+	}
+}
+
+// TestShardFlagValidation pins the distributed-mode flag discipline.
+func TestShardFlagValidation(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "s.json")
+	cases := [][]string{
+		{"-e", "E6", "-shard", "0/2"},                                 // no -out
+		{"-e", "E6", "-out", out},                                     // -out without -shard
+		{"-e", "E6", "-shard", "2/2", "-out", out},                    // index out of range
+		{"-e", "E6", "-shard", "0", "-out", out},                      // malformed
+		{"-e", "E6", "-shard", "x/2", "-out", out},                    // malformed
+		{"-e", "all", "-shard", "0/2", "-out", out},                   // needs one experiment
+		{"-e", "E3", "-shard", "0/2", "-out", out},                    // E3 not shardable
+		{"-e", "E6", "-shard", "0/2", "-out", out, "-csv"},            // tables come from sweepmerge
+		{"-e", "all", "-checkpoint", filepath.Join(t.TempDir(), "c")}, // checkpoint per experiment
+	}
+	for _, args := range cases {
+		if err := run(args); err == nil {
+			t.Errorf("args %v accepted", args)
+		}
+	}
+}
+
+// TestShardRunWritesMergeableFile: the full CLI path — two shard runs, one
+// merge — produces an experiment table from the partial files.
+func TestShardRunWritesMergeableFile(t *testing.T) {
+	dir := t.TempDir()
+	s0, s1 := filepath.Join(dir, "s0.json"), filepath.Join(dir, "s1.json")
+	common := []string{"-e", "E6", "-sizes", "16,24", "-trials", "6", "-seed", "9"}
+	if err := run(append(common, "-shard", "0/2", "-out", s0)); err != nil {
+		t.Fatalf("shard 0/2: %v", err)
+	}
+	if err := run(append(common, "-shard", "1/2", "-out", s1, "-workers", "3")); err != nil {
+		t.Fatalf("shard 1/2: %v", err)
+	}
+	var files []*experiments.ShardFile
+	for _, p := range []string{s0, s1} {
+		f, err := os.Open(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sf, err := experiments.ReadShardFile(f)
+		f.Close()
+		if err != nil {
+			t.Fatalf("%s: %v", p, err)
+		}
+		files = append(files, sf)
+	}
+	e, tab, err := experiments.MergeShards(files...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.ID != "E6" || len(tab.Rows) != 2 {
+		t.Errorf("merged %s table with %d rows, want E6 with 2", e.ID, len(tab.Rows))
+	}
+
+	// And the merged table equals the single-process one byte for byte.
+	want, err := e.Run(context.Background(),
+		experiments.Config{Seed: 9, Sizes: []int{16, 24}, Trials: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want.Render() != tab.Render() {
+		t.Errorf("shard+merge table differs from single process\nwant:\n%s\ngot:\n%s", want.Render(), tab.Render())
+	}
+}
+
+// TestCheckpointFlag: a checkpointed run completes, prints, and removes
+// its checkpoint file.
+func TestCheckpointFlag(t *testing.T) {
+	ck := filepath.Join(t.TempDir(), "e6.ckpt")
+	if err := run([]string{"-e", "E6", "-sizes", "16", "-trials", "4", "-checkpoint", ck}); err != nil {
+		t.Fatalf("checkpointed run: %v", err)
+	}
+	if _, err := os.Stat(ck); !os.IsNotExist(err) {
+		t.Errorf("finished run left checkpoint behind (stat err=%v)", err)
 	}
 }
 

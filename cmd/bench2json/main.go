@@ -94,6 +94,11 @@ func run(in io.Reader, out, errOut io.Writer, baseline string, tolerance, timeTo
 		return fmt.Errorf("baseline benchmark(s) missing from the input: %s; regenerate %s or widen the -bench pattern",
 			strings.Join(missing, ", "), baseline)
 	}
+	// Every compared benchmark reports its measured-vs-baseline ratios,
+	// pass or fail: the guard's verdict is binary, but the trajectory —
+	// how close each metric drifts toward the tolerance — is what the CI
+	// log is for.
+	Report(errOut, base, results)
 	regressions := Compare(base, results, timeTolerance, tolerance)
 	for _, r := range regressions {
 		fmt.Fprintln(errOut, "bench2json: REGRESSION:", r)
@@ -104,6 +109,30 @@ func run(in io.Reader, out, errOut io.Writer, baseline string, tolerance, timeTo
 	fmt.Fprintf(errOut, "bench2json: %d benchmark(s) within %.2fx time / %.2fx allocs of %s\n",
 		compared(base, results), timeTolerance, tolerance, baseline)
 	return nil
+}
+
+// Report writes one line per compared benchmark with the measured-vs-
+// baseline ratio of every guarded metric (ns/op and allocs/op), in input
+// order: "1.00x" is flat, above 1 is slower/fatter than the baseline.
+func Report(w io.Writer, base, cur []Result) {
+	byName := make(map[string]Result, len(base))
+	for _, b := range base {
+		byName[b.Name] = b
+	}
+	for _, c := range cur {
+		b, ok := byName[c.Name]
+		if !ok {
+			continue
+		}
+		line := fmt.Sprintf("bench2json: %s:", c.Name)
+		if b.NsPerOp > 0 {
+			line += fmt.Sprintf(" time %.2fx (%.0f vs %.0f ns/op)", c.NsPerOp/b.NsPerOp, c.NsPerOp, b.NsPerOp)
+		}
+		if b.AllocsOp > 0 {
+			line += fmt.Sprintf(" allocs %.2fx (%.0f vs %.0f allocs/op)", c.AllocsOp/b.AllocsOp, c.AllocsOp, b.AllocsOp)
+		}
+		fmt.Fprintln(w, line)
+	}
 }
 
 // Compare matches new results against baseline results by benchmark name

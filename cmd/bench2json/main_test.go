@@ -108,6 +108,12 @@ func TestRunBaselineGuard(t *testing.T) {
 	if !strings.Contains(out.String(), "BenchmarkX") {
 		t.Fatalf("stdout JSON missing result: %q", out.String())
 	}
+	// A passing run still reports how close every metric sits to the
+	// tolerance: 110 vs 100 ns/op is 1.10x, 5 vs 5 allocs is 1.00x.
+	if !strings.Contains(errOut.String(), "time 1.10x (110 vs 100 ns/op)") ||
+		!strings.Contains(errOut.String(), "allocs 1.00x (5 vs 5 allocs/op)") {
+		t.Fatalf("stderr missing per-benchmark ratios: %q", errOut.String())
+	}
 	bench = "BenchmarkX   3   500 ns/op   80 B/op   5 allocs/op\n"
 	out.Reset()
 	errOut.Reset()
@@ -117,6 +123,28 @@ func TestRunBaselineGuard(t *testing.T) {
 	}
 	if !strings.Contains(errOut.String(), "REGRESSION") {
 		t.Fatalf("stderr missing regression report: %q", errOut.String())
+	}
+	// The ratio line accompanies the failure too — the log shows 5.00x,
+	// not just a verdict.
+	if !strings.Contains(errOut.String(), "time 5.00x (500 vs 100 ns/op)") {
+		t.Fatalf("stderr missing failing ratio: %q", errOut.String())
+	}
+}
+
+// TestReportSkipsUnmatched: ratio lines only cover pairs the guard judges.
+func TestReportSkipsUnmatched(t *testing.T) {
+	base := []Result{{Name: "BenchmarkA", NsPerOp: 100, AllocsOp: 4}}
+	cur := []Result{
+		{Name: "BenchmarkA", NsPerOp: 90, AllocsOp: 4},
+		{Name: "BenchmarkNew", NsPerOp: 50},
+	}
+	var sb strings.Builder
+	Report(&sb, base, cur)
+	if !strings.Contains(sb.String(), "BenchmarkA: time 0.90x (90 vs 100 ns/op) allocs 1.00x (4 vs 4 allocs/op)") {
+		t.Errorf("report missing matched ratios: %q", sb.String())
+	}
+	if strings.Contains(sb.String(), "BenchmarkNew") {
+		t.Errorf("report covered a benchmark absent from the baseline: %q", sb.String())
 	}
 }
 

@@ -1,0 +1,92 @@
+// Command sweepmerge folds the partial aggregates written by
+// `avgbench -e <ID> -shard i/m -out shard.json` into the experiment's
+// final table. Given the complete shard set of one (experiment, config)
+// run — every index 0..m-1 exactly once — the merged table is byte-
+// identical to the one a single `avgbench -e <ID>` process prints: the
+// engine's aggregate merge is deterministic and tie-broken by trial index
+// exactly like the in-process fold.
+//
+// Usage:
+//
+//	avgbench -e E6 -shard 0/2 -out s0.json
+//	avgbench -e E6 -shard 1/2 -out s1.json
+//	sweepmerge s0.json s1.json          # == avgbench -e E6
+//	sweepmerge -csv s0.json s1.json     # machine-readable, like avgbench -csv
+//	sweepmerge -json s0.json s1.json    # metadata + table, like avgbench -json
+//
+// Mismatched inputs — different experiments, seeds, sizes or shard counts,
+// duplicate or missing indices, corrupted or mis-versioned files — are
+// rejected with a descriptive error before anything is merged.
+package main
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "sweepmerge:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("sweepmerge", flag.ContinueOnError)
+	asCSV := fs.Bool("csv", false, "emit CSV instead of aligned text")
+	asJSON := fs.Bool("json", false, "emit JSON (table plus metadata)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *asCSV && *asJSON {
+		return fmt.Errorf("-csv and -json are mutually exclusive")
+	}
+	paths := fs.Args()
+	if len(paths) == 0 {
+		return fmt.Errorf("no shard files given")
+	}
+
+	files := make([]*experiments.ShardFile, len(paths))
+	for i, p := range paths {
+		f, err := os.Open(p)
+		if err != nil {
+			return err
+		}
+		sf, rerr := experiments.ReadShardFile(f)
+		f.Close()
+		if rerr != nil {
+			return fmt.Errorf("%s: %w", p, rerr)
+		}
+		files[i] = sf
+	}
+	e, tab, err := experiments.MergeShards(files...)
+	if err != nil {
+		return err
+	}
+
+	// Mirror avgbench's output formats exactly, so `diff` against a
+	// single-process run is the equivalence check.
+	switch {
+	case *asJSON:
+		out := []struct {
+			ID    string             `json:"id"`
+			Title string             `json:"title"`
+			Claim string             `json:"claim"`
+			Table *experiments.Table `json:"table"`
+		}{{ID: e.ID, Title: e.Title, Claim: e.Claim, Table: tab}}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(out)
+	case *asCSV:
+		return tab.WriteCSV(csv.NewWriter(os.Stdout))
+	default:
+		fmt.Printf("== %s: %s\n   claim: %s\n", e.ID, e.Title, e.Claim)
+		fmt.Println(tab.Render())
+	}
+	return nil
+}

@@ -1,0 +1,86 @@
+package main
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/experiments"
+	"repro/internal/sweep"
+)
+
+// runAvgbenchShard produces one shard file exactly the way
+// `avgbench -e E6 -shard i/m -out path` does.
+func runAvgbenchShard(t *testing.T, i, m int, path string) error {
+	t.Helper()
+	e, err := experiments.Get("E6")
+	if err != nil {
+		return err
+	}
+	cfg := experiments.Config{Seed: 4, Sizes: []int{16, 24}, Trials: 6}
+	sf, err := experiments.RunShard(context.Background(), e, cfg, sweep.Shard{Index: i, Count: m}, "")
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return experiments.WriteShardFile(f, sf)
+}
+
+// writeShards runs an experiment as m avgbench-style shard processes by
+// calling the experiments layer the way cmd/avgbench does, returning the
+// shard file paths. (The avgbench binary itself is exercised by its own
+// tests; here the files are what matters.)
+func writeShards(t *testing.T, dir string, m int) []string {
+	t.Helper()
+	paths := make([]string, m)
+	for i := 0; i < m; i++ {
+		paths[i] = filepath.Join(dir, "shard"+string(rune('0'+i))+".json")
+		if err := runAvgbenchShard(t, i, m, paths[i]); err != nil {
+			t.Fatalf("shard %d/%d: %v", i, m, err)
+		}
+	}
+	return paths
+}
+
+func TestMergeRejectsMissingAndBadInput(t *testing.T) {
+	if err := run(nil); err == nil {
+		t.Error("no inputs accepted")
+	}
+	if err := run([]string{"-csv", "-json", "x.json"}); err == nil {
+		t.Error("-csv with -json accepted")
+	}
+	if err := run([]string{filepath.Join(t.TempDir(), "absent.json")}); err == nil {
+		t.Error("missing file accepted")
+	}
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(bad, []byte("{corrupted"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{bad}); err == nil {
+		t.Error("corrupted file accepted")
+	}
+}
+
+func TestMergeShardSet(t *testing.T) {
+	paths := writeShards(t, t.TempDir(), 2)
+	if err := run(paths); err != nil {
+		t.Fatalf("merge: %v", err)
+	}
+	if err := run([]string{"-csv", paths[0], paths[1]}); err != nil {
+		t.Fatalf("csv merge: %v", err)
+	}
+	if err := run([]string{"-json", paths[0], paths[1]}); err != nil {
+		t.Fatalf("json merge: %v", err)
+	}
+	if err := run([]string{paths[0]}); err == nil {
+		t.Error("incomplete shard set accepted")
+	}
+	if err := run([]string{paths[0], paths[0]}); err == nil {
+		t.Error("duplicate shard accepted")
+	}
+}

@@ -49,6 +49,13 @@ type Algorithm func(n int, a ids.Assignment) local.ViewAlgorithm
 type Options struct {
 	// Workers bounds the sweep worker pool (0 = GOMAXPROCS).
 	Workers int
+	// Shard restricts Distribution to the contiguous rank-block slice
+	// Shard.Index of Shard.Count of the n! space — the engine's plan shards
+	// applied to exhaustive enumeration, so exact ground truth can be split
+	// across processes. The partial Stats of all Shard.Count runs combine
+	// with Stats.Merge to bytes identical to an unsharded run. CycleStats
+	// rejects shards: its recurrence identity needs the full space.
+	Shard sweep.Shard
 	// NoAtlas / NoKernels pin the enumeration to the slower execution
 	// paths — results are byte-identical; the toggles exist for A/B
 	// profiling, exactly as in sweep.Spec.
@@ -89,7 +96,8 @@ func PruningRadii(a ids.Assignment) []int {
 }
 
 // Stats are exact statistics of an algorithm's radius distribution over
-// every identifier permutation of one instance.
+// every identifier permutation of one instance (or, under Options.Shard,
+// over one contiguous rank block of them — Merge recombines the blocks).
 type Stats struct {
 	N     int
 	Perms int64
@@ -99,8 +107,13 @@ type Stats struct {
 	WorstSum int
 	// BestSum is the minimum achievable radius sum.
 	BestSum int
+	// TotalSum is Σ over permutations of Σ r(v): the integer MeanSum
+	// derives from, carried explicitly so sharded partials merge to the
+	// exact division an unsharded run performs.
+	TotalSum int64
 	// MeanSum is the expectation of the radius sum under a uniformly
-	// random permutation (§4's further-work quantity, exactly).
+	// random permutation (§4's further-work quantity, exactly). Always
+	// TotalSum / Perms.
 	MeanSum float64
 	// Hist pools the radius histogram over every vertex of every
 	// permutation: Hist[r] = #(vertex, permutation) pairs decided at
@@ -122,6 +135,40 @@ func (s Stats) MeanAvg() float64 { return s.MeanSum / float64(s.N) }
 // distribution, with the same interpolation as measure.Quantile.
 func (s Stats) Quantile(q float64) float64 { return sweep.HistQuantile(s.Hist, q) }
 
+// Merge combines two shard partials (Options.Shard) covering disjoint rank
+// blocks of the SAME instance into the statistics of their union: extremes
+// take the max/min, integer totals and histograms add, and MeanSum is
+// re-derived from the merged integers — so merging all Shard.Count
+// partials reproduces an unsharded run's Stats byte for byte, in any merge
+// order. Neither input is modified.
+func (s Stats) Merge(o Stats) (Stats, error) {
+	if s.N != o.N {
+		return Stats{}, fmt.Errorf("exact: merging stats of different instances (n=%d vs n=%d)", s.N, o.N)
+	}
+	if o.Perms == 0 {
+		return s, nil
+	}
+	if s.Perms == 0 {
+		return o, nil
+	}
+	out := s
+	out.Perms += o.Perms
+	out.TotalSum += o.TotalSum
+	if o.WorstSum > out.WorstSum {
+		out.WorstSum = o.WorstSum
+	}
+	if o.BestSum < out.BestSum {
+		out.BestSum = o.BestSum
+	}
+	out.MeanSum = float64(out.TotalSum) / float64(out.Perms)
+	out.Hist = make([]int64, max(len(s.Hist), len(o.Hist)))
+	copy(out.Hist, s.Hist)
+	for r, c := range o.Hist {
+		out.Hist[r] += c
+	}
+	return out, nil
+}
+
 // Distribution enumerates ALL n! identifier permutations of g through the
 // sharded sweep engine and returns the exact radius-sum statistics of alg.
 // The enumeration reuses the engine's shared ball atlas and flat decision
@@ -140,6 +187,7 @@ func Distribution(ctx context.Context, g graph.Graph, alg Algorithm, opt Options
 	res, err := sweep.Run(ctx, sweep.Spec{
 		Sizes:      []int{n},
 		Exhaustive: true,
+		Shard:      opt.Shard,
 		Workers:    opt.Workers,
 		NoAtlas:    opt.NoAtlas,
 		NoKernels:  opt.NoKernels,
@@ -150,14 +198,20 @@ func Distribution(ctx context.Context, g graph.Graph, alg Algorithm, opt Options
 		return Stats{}, err
 	}
 	s := res.Sizes[0]
-	return Stats{
+	st := Stats{
 		N:        n,
 		Perms:    int64(s.Trials),
 		WorstSum: s.WorstAvg.Sum,
 		BestSum:  s.BestAvg.Sum,
-		MeanSum:  float64(s.TotalSum) / float64(s.Trials),
+		TotalSum: s.TotalSum,
 		Hist:     s.Hist,
-	}, nil
+	}
+	// A shard sliced thinner than the rank space can be empty; 0/0 must not
+	// leak a NaN into a later Merge.
+	if s.Trials > 0 {
+		st.MeanSum = float64(s.TotalSum) / float64(s.Trials)
+	}
+	return st, nil
 }
 
 // CycleStats enumerates the pruning algorithm over all n! permutations of
@@ -168,6 +222,9 @@ func Distribution(ctx context.Context, g graph.Graph, alg Algorithm, opt Options
 func CycleStats(ctx context.Context, n int, opt Options) (Stats, error) {
 	if n < 3 {
 		return Stats{}, fmt.Errorf("exact: need n >= 3, got %d", n)
+	}
+	if !opt.Shard.IsZero() {
+		return Stats{}, fmt.Errorf("exact: CycleStats needs the full rank space for the recurrence identity; shard via Distribution and Merge instead")
 	}
 	c, err := graph.NewCycle(n)
 	if err != nil {
@@ -245,6 +302,7 @@ func CycleStatsSequential(n int) (Stats, error) {
 			i++
 		}
 	}
+	st.TotalSum = totalSum
 	st.MeanSum = float64(totalSum) / float64(st.Perms)
 	return st, nil
 }

@@ -14,6 +14,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/ids"
 	"repro/internal/local"
+	"repro/internal/sweep"
 )
 
 // TestPruningRadiiMatchEngine pins the closed form to the simulator: both
@@ -219,5 +220,42 @@ func TestCycleStatsErrors(t *testing.T) {
 func TestPruningRadiiEmpty(t *testing.T) {
 	if got := PruningRadii(nil); len(got) != 0 {
 		t.Errorf("empty assignment produced radii %v", got)
+	}
+}
+
+// TestDistributionShardedMergeIdentical: splitting the n! rank space into
+// m plan shards and merging the partial Stats reproduces the unsharded
+// enumeration byte for byte — exact ground truth can cross processes.
+func TestDistributionShardedMergeIdentical(t *testing.T) {
+	const n = 6
+	c := graph.MustCycle(n)
+	alg := func(int, ids.Assignment) local.ViewAlgorithm { return largestid.Pruning{} }
+	want, err := Distribution(context.Background(), c, alg, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range []int{2, 3, 4} {
+		merged := Stats{N: n}
+		for i := 0; i < m; i++ {
+			part, err := Distribution(context.Background(), c, alg,
+				Options{Shard: sweep.Shard{Index: i, Count: m}, Workers: 1 + i})
+			if err != nil {
+				t.Fatalf("shard %d/%d: %v", i, m, err)
+			}
+			if merged, err = merged.Merge(part); err != nil {
+				t.Fatalf("merge shard %d/%d: %v", i, m, err)
+			}
+		}
+		if !reflect.DeepEqual(want, merged) {
+			t.Errorf("m=%d: sharded enumeration diverges\nwant %+v\ngot  %+v", m, want, merged)
+		}
+	}
+	// Mismatched instances must refuse to merge; sharded CycleStats must
+	// refuse to run at all.
+	if _, err := want.Merge(Stats{N: n + 1, Perms: 1}); err == nil {
+		t.Error("cross-instance merge accepted")
+	}
+	if _, err := CycleStats(context.Background(), n, Options{Shard: sweep.Shard{Index: 0, Count: 2}}); err == nil {
+		t.Error("sharded CycleStats accepted")
 	}
 }

@@ -1,0 +1,477 @@
+package experiments
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/ids"
+	"repro/internal/local"
+	"repro/internal/sweep"
+)
+
+// shardAndMerge runs the experiment as m shard "processes" — each round-
+// tripped through the shard-file codec — and merges them back into the
+// final table.
+func shardAndMerge(t *testing.T, e Experiment, cfg Config, m int) *Table {
+	t.Helper()
+	files := make([]*ShardFile, m)
+	for i := 0; i < m; i++ {
+		shardCfg := cfg
+		shardCfg.Workers = 1 + i%3 // shard-local parallelism must not matter
+		sf, err := RunShard(context.Background(), e, shardCfg, sweep.Shard{Index: i, Count: m}, "")
+		if err != nil {
+			t.Fatalf("%s shard %d/%d: %v", e.ID, i, m, err)
+		}
+		var buf bytes.Buffer
+		if err := WriteShardFile(&buf, sf); err != nil {
+			t.Fatalf("write shard %d/%d: %v", i, m, err)
+		}
+		decoded, err := ReadShardFile(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("read shard %d/%d: %v", i, m, err)
+		}
+		files[i] = decoded
+	}
+	_, tab, err := MergeShards(files...)
+	if err != nil {
+		t.Fatalf("%s merge %d shards: %v", e.ID, m, err)
+	}
+	return tab
+}
+
+// TestShardMergeTablesByteIdentical is the tentpole acceptance at the
+// table level: for E2, E6 and the exhaustive E10, m shard processes +
+// merge render byte-identical tables to a single-process run, for
+// m in {1, 2, 4}.
+func TestShardMergeTablesByteIdentical(t *testing.T) {
+	cases := []struct {
+		id  string
+		cfg Config
+	}{
+		{"E2", Config{Seed: 7, Sizes: []int{16, 32, 64}, Trials: 6}},
+		{"E6", Config{Seed: 11, Sizes: []int{16, 33}, Trials: 9}},
+		{"E10", Config{Seed: 3, Sizes: []int{5, 6}, Trials: 60}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.id, func(t *testing.T) {
+			e, err := Get(tc.id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := e.Run(context.Background(), tc.cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, m := range []int{1, 2, 4} {
+				got := shardAndMerge(t, e, tc.cfg, m)
+				if want.Render() != got.Render() {
+					t.Errorf("m=%d: merged table differs from single process\nwant:\n%s\ngot:\n%s",
+						m, want.Render(), got.Render())
+				}
+			}
+		})
+	}
+}
+
+// TestCheckpointResumeTableIdentical is the kill+resume acceptance at the
+// table level: interrupt a checkpointed E6 run mid-sweep, resume from the
+// file with a fresh context, and demand the uninterrupted bytes — then
+// check the finished run removed its checkpoint.
+func TestCheckpointResumeTableIdentical(t *testing.T) {
+	base, err := Get("E6")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{Seed: 5, Sizes: []int{16, 24}, Trials: 400, Workers: 2}
+	want, err := base.Run(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Phase 1: a copy of E6 whose sweeps cancel the context after a few
+	// dozen trials — the "kill".
+	path := filepath.Join(t.TempDir(), "run.ckpt")
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var seen atomic.Int32
+	interrupted := base
+	interrupted.Sweeps = func(cfg Config) ([]sweep.Spec, error) {
+		specs, err := base.Sweeps(cfg)
+		if err != nil {
+			return nil, err
+		}
+		for k := range specs {
+			specs[k].Observe = func(int, int, graph.Graph, ids.Assignment, *local.Result) {
+				if seen.Add(1) == 150 {
+					cancel()
+				}
+			}
+		}
+		return specs, nil
+	}
+	if _, err := RunSweeps(ctx, interrupted, cfg, sweep.Shard{}, path); err == nil {
+		t.Log("phase 1 completed before the cancel fired; resume runs from scratch")
+	}
+
+	// Phase 2: resume with the unwrapped experiment and a fresh context.
+	results, err := RunSweeps(context.Background(), base, cfg, sweep.Shard{}, path)
+	if err != nil {
+		t.Fatalf("resume: %v", err)
+	}
+	got, err := base.Tabulate(cfg, results)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want.Render() != got.Render() {
+		t.Errorf("resumed table differs from uninterrupted run\nwant:\n%s\ngot:\n%s", want.Render(), got.Render())
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Errorf("finished run left its checkpoint behind (stat err=%v)", err)
+	}
+}
+
+// TestCheckpointRejectsForeignRun: a checkpoint written by one
+// (experiment, config, shard) must refuse to resume any other.
+func TestCheckpointRejectsForeignRun(t *testing.T) {
+	e6, err := Get("E6")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{Seed: 5, Sizes: []int{16}, Trials: 8}
+	path := filepath.Join(t.TempDir(), "run.ckpt")
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // never lets a block finish the whole run cleanly
+	if _, err := RunSweeps(ctx, e6, cfg, sweep.Shard{}, path); err == nil {
+		t.Fatal("pre-cancelled run succeeded")
+	}
+	// The cancelled run may not have written the file; force one.
+	specs, err := e6.Sweeps(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ck, err := loadOrInitCheckpoint(path, e6, cfg, sweep.Shard{}, specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sweep.SaveFile(path, formatCheckpoint, ck); err != nil {
+		t.Fatal(err)
+	}
+
+	otherCfg := cfg
+	otherCfg.Seed = 99
+	if _, err := RunSweeps(context.Background(), e6, otherCfg, sweep.Shard{}, path); err == nil {
+		t.Error("checkpoint accepted under a different seed")
+	}
+	if _, err := RunSweeps(context.Background(), e6, cfg, sweep.Shard{Index: 0, Count: 2}, path); err == nil {
+		t.Error("checkpoint accepted under a different shard")
+	}
+	e2, err := Get("E2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RunSweeps(context.Background(), e2, cfg, sweep.Shard{}, path); err == nil {
+		t.Error("checkpoint accepted by a different experiment")
+	}
+	// Workers and perf toggles are normalised away: they never change
+	// result bytes, so they must not invalidate a resume.
+	relaxed := cfg
+	relaxed.Workers = 7
+	relaxed.NoAtlas = true
+	if _, err := RunSweeps(context.Background(), e6, relaxed, sweep.Shard{}, path); err != nil {
+		t.Errorf("perf-only config drift rejected the checkpoint: %v", err)
+	}
+}
+
+// TestMergeShardsValidation pins the refusal cases: wrong counts, duplicate
+// indices, mixed experiments or configs, unshardable targets.
+func TestMergeShardsValidation(t *testing.T) {
+	e6, err := Get("E6")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{Seed: 2, Sizes: []int{16}, Trials: 4}
+	s0, err := RunShard(context.Background(), e6, cfg, sweep.Shard{Index: 0, Count: 2}, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1, err := RunShard(context.Background(), e6, cfg, sweep.Shard{Index: 1, Count: 2}, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := MergeShards(); err == nil {
+		t.Error("empty merge accepted")
+	}
+	if _, _, err := MergeShards(s0); err == nil {
+		t.Error("incomplete shard set accepted")
+	}
+	if _, _, err := MergeShards(s0, s0); err == nil {
+		t.Error("duplicate shard accepted")
+	}
+	other := *s1
+	other.Experiment = "E2"
+	if _, _, err := MergeShards(s0, &other); err == nil {
+		t.Error("mixed experiments accepted")
+	}
+	driftCfg := *s1
+	driftCfg.Config.Seed = 3
+	if _, _, err := MergeShards(s0, &driftCfg); err == nil {
+		t.Error("mixed configs accepted")
+	}
+	if _, _, err := MergeShards(s0, s1); err != nil {
+		t.Errorf("valid shard set rejected: %v", err)
+	}
+	forged := *s0
+	forged.Experiment = "E3" // E3 is not shardable
+	forged.Shard = sweep.Shard{}
+	if _, _, err := MergeShards(&forged); err == nil {
+		t.Error("shard file for an unshardable experiment accepted")
+	}
+}
+
+// TestRunSweepsRejectsUnshardable: experiments without the Sweeps/Tabulate
+// split fail fast instead of silently running unsharded.
+func TestRunSweepsRejectsUnshardable(t *testing.T) {
+	e3, err := Get("E3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RunSweeps(context.Background(), e3, Config{Seed: 1}, sweep.Shard{Index: 0, Count: 2}, ""); err == nil {
+		t.Error("unshardable experiment accepted a shard run")
+	}
+}
+
+// TestUnknownExperimentErrorListsIDs: the typed miss carries the whole
+// registered menu in natural order.
+func TestUnknownExperimentErrorListsIDs(t *testing.T) {
+	_, err := Get("E99")
+	if err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+	var ue *UnknownExperimentError
+	if !errors.As(err, &ue) {
+		t.Fatalf("error %T is not *UnknownExperimentError", err)
+	}
+	if ue.ID != "E99" {
+		t.Errorf("ID = %q", ue.ID)
+	}
+	for _, id := range []string{"E1", "E2", "E10"} {
+		if !strings.Contains(err.Error(), id) {
+			t.Errorf("error %q does not list %s", err, id)
+		}
+	}
+	if want := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10"}; len(ue.Known) != len(want) {
+		t.Errorf("Known = %v, want %v", ue.Known, want)
+	}
+}
+
+// TestReadShardFileRejectsForgedPayloads regresses the panic paths: nil
+// per-sweep aggregates and invariant-violating stats must fail with the
+// codec's typed error, never reach a merge.
+func TestReadShardFileRejectsForgedPayloads(t *testing.T) {
+	forged := []string{
+		`{"format":"experiments.shard","version":1,"payload":{"experiment":"E6","config":{"seed":1},"shard":{"index":0,"count":1},"results":[null]}}`,
+		`{"format":"experiments.shard","version":1,"payload":{"experiment":"E6","config":{"seed":1},"shard":{"index":0,"count":1},"results":[{"sizes":[{"n":16,"trials":-5}]}]}}`,
+	}
+	for i, input := range forged {
+		_, err := ReadShardFile(strings.NewReader(input))
+		if err == nil {
+			t.Errorf("forged payload %d accepted", i)
+			continue
+		}
+		var de *sweep.DecodeError
+		if !errors.As(err, &de) {
+			t.Errorf("forged payload %d: error %v is not a *sweep.DecodeError", i, err)
+		}
+	}
+}
+
+// TestMergeShardsRejectsWrongShape: files whose aggregates do not match
+// the experiment's own sweep plans (sweep count, sizes) are refused with
+// an error — previously they panicked in the merge or in Tabulate.
+func TestMergeShardsRejectsWrongShape(t *testing.T) {
+	e6, err := Get("E6")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{Seed: 2, Sizes: []int{16}, Trials: 4}
+	good, err := RunShard(context.Background(), e6, cfg, sweep.Shard{Index: 0, Count: 1}, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	truncated := *good
+	truncated.Results = nil
+	if _, _, err := MergeShards(&truncated); err == nil {
+		t.Error("file with no sweeps accepted")
+	}
+	nilled := *good
+	nilled.Results = []*sweep.Result{nil}
+	if _, _, err := MergeShards(&nilled); err == nil {
+		t.Error("file with nil aggregates accepted")
+	}
+	wrongSizes := *good
+	wrongSizes.Results = []*sweep.Result{{Sizes: []sweep.SizeStats{{N: 16, Trials: 1}, {N: 32, Trials: 1}}}}
+	if _, _, err := MergeShards(&wrongSizes); err == nil {
+		t.Error("file with extra sizes accepted")
+	}
+	wrongN := *good
+	wrongN.Results = []*sweep.Result{{Sizes: []sweep.SizeStats{{N: 99, Trials: 1}}}}
+	if _, _, err := MergeShards(&wrongN); err == nil {
+		t.Error("file with mismatched n accepted")
+	}
+}
+
+// TestCheckpointFailureAbortsPromptly: a run whose checkpoint cannot be
+// written must fail after the first completed block, not execute the
+// whole sweep first.
+func TestCheckpointFailureAbortsPromptly(t *testing.T) {
+	e6, err := Get("E6")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Enough trials that completing the sweep would be clearly slower than
+	// aborting at the first block.
+	cfg := Config{Seed: 8, Sizes: []int{64}, Trials: 50000, Workers: 2}
+	var observed atomic.Int32
+	counting := e6
+	counting.Sweeps = func(cfg Config) ([]sweep.Spec, error) {
+		specs, err := e6.Sweeps(cfg)
+		if err != nil {
+			return nil, err
+		}
+		for k := range specs {
+			specs[k].Observe = func(int, int, graph.Graph, ids.Assignment, *local.Result) {
+				observed.Add(1)
+			}
+		}
+		return specs, nil
+	}
+	_, err = RunSweeps(context.Background(), counting, cfg, sweep.Shard{}, "/nonexistent-dir/sub/ck")
+	if err == nil {
+		t.Fatal("unwritable checkpoint path accepted")
+	}
+	if !strings.Contains(err.Error(), "checkpoint") {
+		t.Errorf("error %v does not name the checkpoint", err)
+	}
+	if n := observed.Load(); n >= 50000 {
+		t.Errorf("sweep ran all %d trials despite a dead checkpoint", n)
+	}
+}
+
+// TestCheckpointRejectsForgedFile regresses the panic paths on resume: a
+// corrupted or hand-edited checkpoint must fail with the codec's typed
+// error before any work runs — not nil-deref at the plan comparison or
+// blow an index inside Fold mid-sweep.
+func TestCheckpointRejectsForgedFile(t *testing.T) {
+	e6, err := Get("E6")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{Seed: 5, Sizes: []int{16}, Trials: 8}
+	forged := []string{
+		// nil per-sweep record
+		`{"format":"experiments.checkpoint","version":1,"payload":{"experiment":"E6","config":{"seed":5,"sizes":[16],"trials":8},"shard":{"index":0,"count":0},"sweeps":[null]}}`,
+		// done/sizes arrays shorter than the plan's size list
+		`{"format":"experiments.checkpoint","version":1,"payload":{"experiment":"E6","config":{"seed":5,"sizes":[16],"trials":8},"shard":{"index":0,"count":0},"sweeps":[{"plan":{"seed":5,"sizes":[16],"trials":8,"shard":{"index":0,"count":0}},"done":[],"sizes":[]}]}}`,
+		// invariant-violating aggregates
+		`{"format":"experiments.checkpoint","version":1,"payload":{"experiment":"E6","config":{"seed":5,"sizes":[16],"trials":8},"shard":{"index":0,"count":0},"sweeps":[{"plan":{"seed":5,"sizes":[16],"trials":8,"shard":{"index":0,"count":0}},"done":[[]],"sizes":[{"n":16,"trials":-3}]}]}}`,
+	}
+	for i, input := range forged {
+		path := filepath.Join(t.TempDir(), "forged.ckpt")
+		if err := os.WriteFile(path, []byte(input), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		_, err := RunSweeps(context.Background(), e6, cfg, sweep.Shard{}, path)
+		if err == nil {
+			t.Errorf("forged checkpoint %d accepted", i)
+			continue
+		}
+		var de *sweep.DecodeError
+		if !errors.As(err, &de) {
+			t.Errorf("forged checkpoint %d: error %v is not a *sweep.DecodeError", i, err)
+		}
+	}
+}
+
+// TestRunShardToFileDurability: -out is opened before any sweep runs (bad
+// paths fail fast), the happy path leaves a readable shard file and no
+// checkpoint, and a failed run leaves no half-written shard file behind.
+func TestRunShardToFileDurability(t *testing.T) {
+	e6, err := Get("E6")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{Seed: 3, Sizes: []int{16}, Trials: 6}
+	shard := sweep.Shard{Index: 0, Count: 2}
+
+	if err := RunShardToFile(context.Background(), e6, cfg, shard, "", "/nonexistent-dir/out.json"); err == nil {
+		t.Error("unwritable -out accepted")
+	}
+
+	dir := t.TempDir()
+	out := filepath.Join(dir, "s0.json")
+	ckpt := filepath.Join(dir, "s0.ckpt")
+	if err := RunShardToFile(context.Background(), e6, cfg, shard, ckpt, out); err != nil {
+		t.Fatalf("shard run: %v", err)
+	}
+	f, err := os.Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sf, err := ReadShardFile(f)
+	f.Close()
+	if err != nil {
+		t.Fatalf("shard file unreadable: %v", err)
+	}
+	if sf.Shard != shard {
+		t.Errorf("shard file records %+v", sf.Shard)
+	}
+	if _, err := os.Stat(ckpt); !os.IsNotExist(err) {
+		t.Errorf("checkpoint survived a durably-written shard file (stat err=%v)", err)
+	}
+
+	// A cancelled run must not leave an empty shard file masquerading as
+	// real aggregates.
+	cancelled, cancel := context.WithCancel(context.Background())
+	cancel()
+	out2 := filepath.Join(dir, "s1.json")
+	if err := RunShardToFile(cancelled, e6, cfg, shard, "", out2); err == nil {
+		t.Fatal("cancelled shard run succeeded")
+	}
+	if _, err := os.Stat(out2); !os.IsNotExist(err) {
+		t.Errorf("failed run left a shard file behind (stat err=%v)", err)
+	}
+}
+
+// TestMergeShardsRejectsTruncatedTrials: an aggregate whose trial count
+// does not equal the span its shard slice owes — self-consistent but
+// truncated — must be refused, not averaged into a silently wrong table.
+func TestMergeShardsRejectsTruncatedTrials(t *testing.T) {
+	e6, err := Get("E6")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{Seed: 2, Sizes: []int{16}, Trials: 4}
+	s0, err := RunShard(context.Background(), e6, cfg, sweep.Shard{Index: 0, Count: 2}, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1, err := RunShard(context.Background(), e6, cfg, sweep.Shard{Index: 1, Count: 2}, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tampered := *s1
+	res := *s1.Results[0]
+	res.Sizes = append([]sweep.SizeStats(nil), s1.Results[0].Sizes...)
+	res.Sizes[0].Trials = 1 // still passes every aggregate invariant
+	tampered.Results = []*sweep.Result{&res}
+	if _, _, err := MergeShards(s0, &tampered); err == nil {
+		t.Error("truncated shard aggregate accepted")
+	}
+}

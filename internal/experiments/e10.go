@@ -1,11 +1,11 @@
 package experiments
 
 import (
-	"context"
 	"fmt"
 	"math/rand"
 
 	"repro/internal/algorithms/largestid"
+	"repro/internal/analytic"
 	"repro/internal/exact"
 	"repro/internal/graph"
 	"repro/internal/ids"
@@ -13,66 +13,77 @@ import (
 	"repro/internal/sweep"
 )
 
+// e10Sizes resolves the experiment's size sweep: enumeration is n!-bounded,
+// so oversized overrides keep only their feasible entries and fall back to
+// the defaults when none fit. Shared by Sweeps and Tabulate so the clamped
+// note renders identically in every process.
+func e10Sizes(cfg Config) (sizes []int, clamped bool) {
+	defSizes := []int{5, 6, 7, 8, 9}
+	sizes = make([]int, 0, len(cfg.Sizes))
+	for _, n := range cfg.Sizes {
+		if n >= 3 && n <= exact.MaxEnumerationN {
+			sizes = append(sizes, n)
+		} else {
+			clamped = true
+		}
+	}
+	if len(sizes) == 0 {
+		sizes, clamped = defSizes, clamped && len(cfg.Sizes) > 0
+	}
+	return sizes, clamped
+}
+
 // e10 closes the validation ladder: the EXACT ground truth — every one of
-// the n! identifier permutations enumerated through the sharded engine —
-// against the Monte-Carlo estimates the large-n experiments rely on. The
-// exact side is itself cross-checked against the §2 recurrence inside
-// exact.CycleStats, so one table ties all three layers (analytic, exact,
-// sampled) together: the sampled worst can only fall below the true worst
+// the n! identifier permutations, enumerated as plan shards of the sweep
+// engine — against the Monte-Carlo estimates the large-n experiments rely
+// on. The exact side is cross-checked against the §2 recurrence during
+// tabulation, so one table ties all three layers (analytic, exact, sampled)
+// together: the sampled worst can only fall below the true worst
 // (worstGap >= 0, a hard identity), and the sampled mean must land within
-// sampling error of the true §4 expectation.
+// sampling error of the true §4 expectation. Both sides are plain engine
+// sweeps, so E10 shards across processes like every other
+// Sweeps/Tabulate experiment — including the n! enumeration.
 func e10() Experiment {
 	return Experiment{
 		ID:    "E10",
 		Title: "Exact enumeration vs Monte-Carlo sampling: ground-truth agreement",
 		Claim: "§2 worst case and §4 expectation over ALL n! permutations, exactly",
-		Run: func(ctx context.Context, cfg Config) (*Table, error) {
-			// Enumeration is n!-bounded: oversized overrides keep only their
-			// feasible entries and fall back to the defaults when none fit.
-			defSizes := []int{5, 6, 7, 8, 9}
-			sizes := make([]int, 0, len(cfg.Sizes))
-			clamped := false
-			for _, n := range cfg.Sizes {
-				if n >= 3 && n <= exact.MaxEnumerationN {
-					sizes = append(sizes, n)
-				} else {
-					clamped = true
-				}
-			}
-			if len(sizes) == 0 {
-				sizes, clamped = defSizes, clamped && len(cfg.Sizes) > 0
-			}
-			trials := trialsOrDefault(cfg, 2000)
+		Sweeps: func(cfg Config) ([]sweep.Spec, error) {
+			sizes, _ := e10Sizes(cfg)
+			cycle := func(n int, _ *rand.Rand) (graph.Graph, error) { return graph.NewCycle(n) }
+			pruning := func(int, ids.Assignment) local.ViewAlgorithm { return largestid.Pruning{} }
 
-			// Exact side: one exhaustive engine enumeration per size, each
-			// internally sharded across the worker pool.
-			opt := exact.Options{Workers: cfg.Workers, NoAtlas: cfg.NoAtlas, NoKernels: cfg.NoKernels}
-			exacts := make([]exact.Stats, len(sizes))
-			for i, n := range sizes {
-				st, err := exact.CycleStats(ctx, n, opt)
-				if err != nil {
-					return nil, fmt.Errorf("E10 exact n=%d: %w", n, err)
-				}
-				exacts[i] = st
+			// Sweep 0: exhaustive engine enumeration — the n! rank space
+			// splits into the same contiguous blocks sampled trials use, so
+			// it shards and checkpoints like any other sweep.
+			ex := sweep.Spec{
+				Seed:       cfg.Seed,
+				Sizes:      sizes,
+				Exhaustive: true,
+				Workers:    cfg.Workers,
+				NoAtlas:    cfg.NoAtlas,
+				NoKernels:  cfg.NoKernels,
+				Graph:      cycle,
+				Alg:        pruning,
 			}
-
-			// Sampled side: the standard Monte-Carlo sweep. Built directly —
-			// not via cycleSpec, whose size resolution would resurrect the
-			// oversized cfg.Sizes entries clamped away above.
-			mcRes, err := sweep.Run(ctx, sweep.Spec{
+			// Sweep 1: the standard Monte-Carlo sweep.
+			mc := sweep.Spec{
 				Seed:      cfg.Seed,
 				Sizes:     sizes,
-				Trials:    trials,
+				Trials:    trialsOrDefault(cfg, 2000),
 				Workers:   cfg.Workers,
 				NoAtlas:   cfg.NoAtlas,
 				NoKernels: cfg.NoKernels,
-				Graph:     func(n int, _ *rand.Rand) (graph.Graph, error) { return graph.NewCycle(n) },
-				Alg:       func(int, ids.Assignment) local.ViewAlgorithm { return largestid.Pruning{} },
+				Graph:     cycle,
+				Alg:       pruning,
 				Verify:    verifyLargestID,
-			})
-			if err != nil {
-				return nil, fmt.Errorf("E10 sampled: %w", err)
 			}
+			return []sweep.Spec{ex, mc}, nil
+		},
+		Tabulate: func(cfg Config, results []*sweep.Result) (*Table, error) {
+			exRes, mcRes := results[0], results[1]
+			_, clamped := e10Sizes(cfg)
+			trials := trialsOrDefault(cfg, 2000)
 
 			t := &Table{
 				Title: fmt.Sprintf("E10: exact (all n! permutations) vs sampled (%d permutations)", trials),
@@ -80,18 +91,30 @@ func e10() Experiment {
 					"exMeanAvg", "mcMeanAvg", "meanErr", "exP90", "mcP90"},
 			}
 			worstOK := true
-			for i, ex := range exacts {
-				mc := mcRes.Sizes[i]
-				worstGap := ex.WorstAvg() - mc.WorstAvg.Avg
+			for i := range exRes.Sizes {
+				ex, mc := exRes.Sizes[i], mcRes.Sizes[i]
+				n := ex.N
+				// The §2 identity: the enumerated worst sum over ALL
+				// permutations must equal the recurrence a(n-1)+floor(n/2).
+				want, err := analytic.WorstCycleSum(n)
+				if err != nil {
+					return nil, err
+				}
+				if int64(ex.WorstAvg.Sum) != want {
+					return nil, fmt.Errorf("E10: enumerated worst sum %d disagrees with recurrence %d at n=%d",
+						ex.WorstAvg.Sum, want, n)
+				}
+				exWorstAvg := float64(ex.WorstAvg.Sum) / float64(n)
+				worstGap := exWorstAvg - mc.WorstAvg.Avg
 				if worstGap < 0 {
 					worstOK = false
 				}
-				t.AddRow(ci(ex.N), ci(ex.Perms), cf(float64(trials)/float64(ex.Perms)),
-					cf(ex.WorstAvg()), cf(mc.WorstAvg.Avg), cf(worstGap),
+				t.AddRow(ci(n), ci(ex.Trials), cf(float64(trials)/float64(ex.Trials)),
+					cf(exWorstAvg), cf(mc.WorstAvg.Avg), cf(worstGap),
 					cf(ex.MeanAvg()), cf(mc.MeanAvg()), cf(mc.MeanAvg()-ex.MeanAvg()),
 					cf(ex.Quantile(0.9)), cf(mc.Quantile(0.9)))
 			}
-			t.AddNote("exact worst sums equal the recurrence a(n-1)+floor(n/2) at every size (checked inside exact.CycleStats)")
+			t.AddNote("exact worst sums equal the recurrence a(n-1)+floor(n/2) at every size (cross-checked during tabulation)")
 			t.AddNote("worstGap = exact - sampled worst average; sampling (with replacement, sampled/n! is a ratio not a coverage) can only miss the worst, so it must never be negative")
 			t.AddNote("meanErr is the sampling error of the §4 expectation, O(1/sqrt(trials)) by the CLT")
 			if clamped {

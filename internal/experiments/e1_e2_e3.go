@@ -22,20 +22,22 @@ func verifyLargestID(g graph.Graph, a ids.Assignment, res *local.Result) error {
 
 // e1 reproduces the worst-case claim of §2: the largest-ID problem has
 // linear classic complexity — the maximum-ID vertex must see the whole
-// cycle, radius floor(n/2), under EVERY permutation.
+// cycle, radius floor(n/2), under EVERY permutation. Split into
+// Sweeps/Tabulate so the sweep can shard across processes; the registry
+// derives Run from the pair.
 func e1() Experiment {
 	return Experiment{
 		ID:    "E1",
 		Title: "Largest ID: worst-case radius is linear (floor(n/2))",
 		Claim: "§2: \"the vertex with the maximum ID needs n/2 rounds\"",
-		Run: func(ctx context.Context, cfg Config) (*Table, error) {
+		Sweeps: func(cfg Config) ([]sweep.Spec, error) {
 			spec := cycleSpec(cfg, []int{16, 32, 64, 128, 256, 512, 1024, 2048, 4096}, 5)
 			spec.Alg = func(int, ids.Assignment) local.ViewAlgorithm { return largestid.Pruning{} }
 			spec.Verify = verifyLargestID
-			res, err := sweep.Run(ctx, spec)
-			if err != nil {
-				return nil, err
-			}
+			return []sweep.Spec{spec}, nil
+		},
+		Tabulate: func(cfg Config, results []*sweep.Result) (*Table, error) {
+			res := results[0]
 			t := &Table{
 				Title:   "E1: pruning algorithm, classic measure max_v r(v)",
 				Columns: []string{"n", "maxRadius", "n/2", "avg/max", "verified"},
@@ -69,10 +71,10 @@ func e2() Experiment {
 		ID:    "E2",
 		Title: "Largest ID: worst-case average radius is Θ(log n)",
 		Claim: "§2: \"the average radius is logarithmic in n, exponentially smaller than the worst case\"",
-		Run: func(ctx context.Context, cfg Config) (*Table, error) {
+		Sweeps: func(cfg Config) ([]sweep.Spec, error) {
 			defSizes := []int{16, 32, 64, 128, 256, 512, 1024, 2048, 4096, 8192, 16384}
 
-			// Sweep 1: the reconstructed worst permutation, one exact trial
+			// Sweep 0: the reconstructed worst permutation, one exact trial
 			// per size.
 			exactSpec := cycleSpec(cfg, defSizes, 1)
 			exactSpec.Trials = 1
@@ -84,19 +86,14 @@ func e2() Experiment {
 				}
 				return ids.FromPerm(perm)
 			})
-			exactRes, err := sweep.Run(ctx, exactSpec)
-			if err != nil {
-				return nil, err
-			}
 
-			// Sweep 2: sampled random permutations for comparison.
+			// Sweep 1: sampled random permutations for comparison.
 			rndSpec := cycleSpec(cfg, defSizes, 5)
 			rndSpec.Alg = func(int, ids.Assignment) local.ViewAlgorithm { return largestid.Pruning{} }
-			rndRes, err := sweep.Run(ctx, rndSpec)
-			if err != nil {
-				return nil, err
-			}
-
+			return []sweep.Spec{exactSpec, rndSpec}, nil
+		},
+		Tabulate: func(cfg Config, results []*sweep.Result) (*Table, error) {
+			exactRes, rndRes := results[0], results[1]
 			t := &Table{
 				Title:   "E2: pruning algorithm, average measure (worst permutation, built exactly)",
 				Columns: []string{"n", "sumRadii", "a(n-1)+n/2", "exact", "worstAvg", "ln n", "median", "p90", "sampledAvg", "max/avg"},

@@ -25,13 +25,13 @@ func e6() Experiment {
 		ID:    "E6",
 		Title: "Largest ID: expectation over random permutations vs worst case",
 		Claim: "§4 further work: \"study the expectancy of the running time ... identifiers taken uniformly at random\"",
-		Run: func(ctx context.Context, cfg Config) (*Table, error) {
+		Sweeps: func(cfg Config) ([]sweep.Spec, error) {
 			spec := cycleSpec(cfg, []int{16, 64, 256, 1024, 4096}, 20)
 			spec.Alg = func(int, ids.Assignment) local.ViewAlgorithm { return largestid.Pruning{} }
-			res, err := sweep.Run(ctx, spec)
-			if err != nil {
-				return nil, err
-			}
+			return []sweep.Spec{spec}, nil
+		},
+		Tabulate: func(cfg Config, results []*sweep.Result) (*Table, error) {
+			res := results[0]
 			t := &Table{
 				Title:   "E6: pruning algorithm, E[avg radius] vs worst-case avg",
 				Columns: []string{"n", "meanAvg", "H(n)", "worstAvg", "mean/worst", "meanMax", "n/2"},

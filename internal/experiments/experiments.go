@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math/rand"
 	"sort"
+	"strings"
 
 	"repro/internal/graph"
 	"repro/internal/ids"
@@ -12,27 +13,31 @@ import (
 )
 
 // Config tunes an experiment run. The zero value plus a seed gives the
-// defaults used in EXPERIMENTS.md; benchmarks use reduced sizes.
+// defaults used in EXPERIMENTS.md; benchmarks use reduced sizes. The JSON
+// tags make a Config part of the shard/checkpoint file identity
+// (distributed.go): two processes cooperating on one table must present
+// equal result-affecting fields (Seed, Sizes, Trials — Workers and the
+// perf toggles never change bytes and are ignored by the comparison).
 type Config struct {
 	// Seed drives all randomness; equal seeds reproduce tables exactly,
 	// independent of Workers.
-	Seed int64
+	Seed int64 `json:"seed"`
 	// Sizes overrides the experiment's default n sweep when non-empty.
-	Sizes []int
+	Sizes []int `json:"sizes,omitempty"`
 	// Trials is the number of sampled permutations per size (default
 	// experiment-specific).
-	Trials int
+	Trials int `json:"trials,omitempty"`
 	// Workers bounds the sweep worker pool (0 = GOMAXPROCS).
-	Workers int
+	Workers int `json:"workers,omitempty"`
 	// NoAtlas disables the sweep engine's shared per-size ball atlas.
 	// Tables are byte-identical either way; the toggle exists for
 	// benchmarking the fast path against the builder baseline and for
 	// bisecting perf regressions.
-	NoAtlas bool
+	NoAtlas bool `json:"noAtlas,omitempty"`
 	// NoKernels pins atlas-backed runs to the per-vertex view path instead
 	// of the flat decision kernels. Tables are byte-identical either way;
 	// like NoAtlas it exists for A/B profiling (avgbench -nokernels).
-	NoKernels bool
+	NoKernels bool `json:"noKernels,omitempty"`
 }
 
 // Experiment is one reproducible claim of the paper.
@@ -45,8 +50,25 @@ type Experiment struct {
 	Claim string
 	// Run executes the experiment and renders its table. The context
 	// cancels the underlying sweeps; a cancelled run returns an error.
+	// Experiments defining the Sweeps/Tabulate split leave Run nil and the
+	// registry derives it, so the single-process path and the sharded
+	// cross-process path tabulate through the same code.
 	Run func(ctx context.Context, cfg Config) (*Table, error)
+	// Sweeps, when non-nil, exposes the experiment's sweeps as plain
+	// sweep.Specs — the PLAN an external process can shard or checkpoint
+	// (see RunSweeps). Building specs must be pure: no randomness, no
+	// execution.
+	Sweeps func(cfg Config) ([]sweep.Spec, error)
+	// Tabulate folds the merged per-sweep aggregates (one Result per
+	// Sweeps entry, same order) into the final table. It must depend on
+	// cfg and the aggregates alone, so m merged shard files render the
+	// bytes a single process prints.
+	Tabulate func(cfg Config, res []*sweep.Result) (*Table, error)
 }
+
+// Shardable reports whether the experiment exposes the Sweeps/Tabulate
+// split required for cross-process shard and checkpoint runs.
+func (e Experiment) Shardable() bool { return e.Sweeps != nil && e.Tabulate != nil }
 
 // registry holds all experiments keyed by ID.
 var registry = buildRegistry()
@@ -57,16 +79,52 @@ func buildRegistry() map[string]Experiment {
 	}
 	m := make(map[string]Experiment, len(all))
 	for _, e := range all {
+		if e.Run == nil && e.Shardable() {
+			e.Run = derivedRun(e)
+		}
 		m[e.ID] = e
 	}
 	return m
 }
 
-// Get returns the experiment with the given ID.
+// derivedRun is the single-process execution of a Sweeps/Tabulate
+// experiment: run every sweep unsharded, tabulate the results — the exact
+// pipeline shard+merge reproduces across processes.
+func derivedRun(e Experiment) func(context.Context, Config) (*Table, error) {
+	return func(ctx context.Context, cfg Config) (*Table, error) {
+		results, err := RunSweeps(ctx, e, cfg, sweep.Shard{}, "")
+		if err != nil {
+			return nil, err
+		}
+		return e.Tabulate(cfg, results)
+	}
+}
+
+// UnknownExperimentError reports a lookup of an unregistered experiment ID
+// and carries the registered IDs so callers (cmd/avgbench) can fail fast
+// with the full menu instead of an opaque message.
+type UnknownExperimentError struct {
+	// ID is the key that missed.
+	ID string
+	// Known lists the registered IDs in natural order.
+	Known []string
+}
+
+func (e *UnknownExperimentError) Error() string {
+	return fmt.Sprintf("experiments: unknown experiment %q (registered: %s)",
+		e.ID, strings.Join(e.Known, ", "))
+}
+
+// Get returns the experiment with the given ID; misses are typed
+// *UnknownExperimentError listing every registered ID.
 func Get(id string) (Experiment, error) {
 	e, ok := registry[id]
 	if !ok {
-		return Experiment{}, fmt.Errorf("experiments: unknown experiment %q", id)
+		known := make([]string, 0, len(registry))
+		for _, x := range All() {
+			known = append(known, x.ID)
+		}
+		return Experiment{}, &UnknownExperimentError{ID: id, Known: known}
 	}
 	return e, nil
 }

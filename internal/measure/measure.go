@@ -12,17 +12,19 @@ import (
 )
 
 // Summary condenses one radius vector into the statistics the experiments
-// report.
+// report. The JSON tags define the stable serialized shape the sweep
+// engine's versioned codec embeds in shard and checkpoint files; renaming
+// one is a format change there.
 type Summary struct {
-	N   int
-	Max int
-	Sum int
-	Avg float64
+	N   int     `json:"n"`
+	Max int     `json:"max"`
+	Sum int     `json:"sum"`
+	Avg float64 `json:"avg"`
 	// Median and P90 describe the distribution's shape: for largest-ID the
 	// paper predicts a heavily skewed distribution (most vertices stop
 	// early, few run long), for colouring a flat one.
-	Median float64
-	P90    float64
+	Median float64 `json:"median"`
+	P90    float64 `json:"p90"`
 }
 
 // Summarize computes a Summary of one radius vector.

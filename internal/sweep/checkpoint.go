@@ -1,0 +1,261 @@
+package sweep
+
+// Checkpointing rides the plan/execute/merge split: the PLAN layer makes
+// completed work describable (contiguous trial ranges), the execute layer
+// reports each finished block through Spec.OnBlock, and the MERGE layer
+// guarantees that "previously completed ranges + freshly run complement"
+// folds to the bytes of an uninterrupted run. A checkpoint file is just
+// that record — the plan identity, the coalesced done ranges, and their
+// aggregates — rewritten atomically after every block, so a killed sweep
+// resumes from its last completed block with nothing lost and nothing
+// double-counted.
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// Checkpoint is the serializable progress record of one plan's execution:
+// which trial ranges completed and what they folded to. Methods are not
+// safe for concurrent use — CheckpointWriter serialises access during a
+// run.
+type Checkpoint struct {
+	// Plan identifies the work; a resume must present an equal plan.
+	Plan Plan `json:"plan"`
+	// Done holds, per size index, the ascending coalesced trial ranges
+	// whose blocks completed.
+	Done [][]TrialRange `json:"done"`
+	// Sizes aggregates exactly the trials in Done, one entry per plan size.
+	Sizes []SizeStats `json:"sizes"`
+}
+
+// NewCheckpoint returns the empty progress record of a plan.
+func NewCheckpoint(p Plan) *Checkpoint {
+	c := &Checkpoint{
+		Plan:  p,
+		Done:  make([][]TrialRange, len(p.Sizes)),
+		Sizes: make([]SizeStats, len(p.Sizes)),
+	}
+	for i, n := range p.Sizes {
+		c.Sizes[i].N = n
+	}
+	return c
+}
+
+// Fold records one completed block: its range joins Done (coalescing with
+// neighbours) and its aggregate merges into the size's stats.
+func (c *Checkpoint) Fold(b Block, partial *SizeStats) {
+	c.Done[b.SizeIdx] = insertRange(c.Done[b.SizeIdx], TrialRange{T0: b.T0, T1: b.T1})
+	c.Sizes[b.SizeIdx].Merge(partial)
+}
+
+// Result returns the checkpoint's aggregates as a Result, ready to merge
+// with a resumed run's partial via MergeResults.
+func (c *Checkpoint) Result() *Result {
+	return &Result{Sizes: c.Sizes}
+}
+
+// insertRange adds r to an ascending non-overlapping range list, merging
+// with adjacent or overlapping neighbours. Blocks of one plan never
+// overlap, so in practice this only ever coalesces exact adjacency.
+func insertRange(ranges []TrialRange, r TrialRange) []TrialRange {
+	at := len(ranges)
+	for i, x := range ranges {
+		if r.T0 <= x.T1 {
+			at = i
+			break
+		}
+	}
+	// Absorb every range that touches [r.T0, r.T1).
+	end := at
+	for end < len(ranges) && ranges[end].T0 <= r.T1 {
+		if ranges[end].T0 < r.T0 {
+			r.T0 = ranges[end].T0
+		}
+		if ranges[end].T1 > r.T1 {
+			r.T1 = ranges[end].T1
+		}
+		end++
+	}
+	out := append(ranges[:at:at], r)
+	return append(out, ranges[end:]...)
+}
+
+// EncodeCheckpoint serializes the record with the shared versioned
+// envelope.
+func EncodeCheckpoint(w io.Writer, c *Checkpoint) error {
+	return EncodeFile(w, FormatCheckpoint, c)
+}
+
+// DecodeCheckpoint reads a checkpoint written by EncodeCheckpoint and
+// validates its internal consistency; failures are *DecodeError, never a
+// panic.
+func DecodeCheckpoint(r io.Reader) (*Checkpoint, error) {
+	c := &Checkpoint{}
+	if err := DecodeFile(r, FormatCheckpoint, c); err != nil {
+		return nil, err
+	}
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// Validate checks the record's internal structure the way DecodeCheckpoint
+// does: done/sizes aligned with the plan, aggregate invariants, ascending
+// disjoint ranges. Callers embedding Checkpoints inside their own
+// envelopes (the experiment run checkpoints) must run it on every decoded
+// record before folding into it; failures are *DecodeError.
+func (c *Checkpoint) Validate() error {
+	if len(c.Done) != len(c.Plan.Sizes) || len(c.Sizes) != len(c.Plan.Sizes) {
+		return &DecodeError{Format: FormatCheckpoint,
+			Reason: fmt.Sprintf("plan has %d sizes but done/sizes have %d/%d entries",
+				len(c.Plan.Sizes), len(c.Done), len(c.Sizes))}
+	}
+	if err := validateSizes(c.Sizes, FormatCheckpoint); err != nil {
+		return err
+	}
+	for i, ranges := range c.Done {
+		prev := -1
+		for _, r := range ranges {
+			if r.T0 < 0 || r.T0 >= r.T1 || r.T0 <= prev {
+				return &DecodeError{Format: FormatCheckpoint,
+					Reason: fmt.Sprintf("size %d: done ranges not ascending and disjoint", i)}
+			}
+			prev = r.T1
+		}
+	}
+	return nil
+}
+
+// SaveFile writes an enveloped payload atomically: a temp file in the
+// target directory, synced, then renamed over path — a kill mid-write
+// leaves the previous file intact, never a torn one. It serves the
+// engine's own checkpoints and any caller framing files with EncodeFile
+// (the experiment layer's run checkpoints).
+func SaveFile(path, format string, payload any) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".ckpt-*")
+	if err != nil {
+		return fmt.Errorf("sweep: %s temp file: %w", format, err)
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if err := EncodeFile(tmp, format, payload); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("sweep: sync %s: %w", format, err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("sweep: close %s: %w", format, err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("sweep: commit %s: %w", format, err)
+	}
+	return nil
+}
+
+// SaveCheckpoint writes the record atomically via SaveFile.
+func SaveCheckpoint(path string, c *Checkpoint) error {
+	return SaveFile(path, FormatCheckpoint, c)
+}
+
+// LoadCheckpoint reads a checkpoint file; a missing file is reported via
+// os.IsNotExist / errors.Is(err, fs.ErrNotExist) so callers can start
+// fresh.
+func LoadCheckpoint(path string) (*Checkpoint, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return DecodeCheckpoint(f)
+}
+
+// CheckpointWriter adapts Checkpoint records to Spec.OnBlock: every
+// completed block folds into its record under one mutex and the
+// persistence function rewrites the file atomically, so the on-disk state
+// always describes a complete, resumable prefix of the work. The first
+// write failure is retained (Err) and stops further writes — by default
+// the run itself continues and the caller decides whether a dead
+// checkpoint is fatal; arm FailFast to abort promptly instead.
+//
+// NewCheckpointWriter serves callers driving sweep.Run directly: one
+// record, one file. NewCheckpointWriterFunc generalises the same protocol
+// over any persistence shape — the experiment layer wraps several records
+// plus a run-identity header in its own envelope and supplies the save
+// function (internal/experiments).
+type CheckpointWriter struct {
+	mu      sync.Mutex
+	records []*Checkpoint
+	save    func() error
+	err     error
+	onFail  func()
+}
+
+// NewCheckpointWriter wraps an (empty or loaded) checkpoint record for
+// concurrent OnBlock folding into the file at path.
+func NewCheckpointWriter(path string, ck *Checkpoint) *CheckpointWriter {
+	return NewCheckpointWriterFunc([]*Checkpoint{ck},
+		func() error { return SaveCheckpoint(path, ck) })
+}
+
+// NewCheckpointWriterFunc wraps one record per concurrently-checkpointed
+// sweep, with save persisting them all (called under the writer's lock
+// after every fold). OnBlockFor(k) yields the hook folding into
+// records[k].
+func NewCheckpointWriterFunc(records []*Checkpoint, save func() error) *CheckpointWriter {
+	return &CheckpointWriter{records: records, save: save}
+}
+
+// FailFast arms hook to run once, under the writer's lock, when
+// persistence first fails — typically the sweep context's cancel, so a
+// run that can no longer checkpoint aborts instead of completing
+// unresumable work.
+func (w *CheckpointWriter) FailFast(hook func()) {
+	w.mu.Lock()
+	w.onFail = hook
+	w.mu.Unlock()
+}
+
+// OnBlock is the Spec.OnBlock hook for the single-record form.
+func (w *CheckpointWriter) OnBlock(b Block, partial *SizeStats) {
+	w.fold(0, b, partial)
+}
+
+// OnBlockFor returns the Spec.OnBlock hook folding into records[k].
+func (w *CheckpointWriter) OnBlockFor(k int) func(Block, *SizeStats) {
+	return func(b Block, partial *SizeStats) { w.fold(k, b, partial) }
+}
+
+func (w *CheckpointWriter) fold(k int, b Block, partial *SizeStats) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.records[k].Fold(b, partial)
+	if w.err == nil {
+		if w.err = w.save(); w.err != nil && w.onFail != nil {
+			w.onFail()
+		}
+	}
+}
+
+// Checkpoint returns the first wrapped record. Only call after the
+// sweep's Run returned — the writer mutates it from worker goroutines
+// during a run.
+func (w *CheckpointWriter) Checkpoint() *Checkpoint {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.records[0]
+}
+
+// Err reports the first persistence failure, if any.
+func (w *CheckpointWriter) Err() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.err
+}

@@ -1,0 +1,275 @@
+package sweep
+
+import (
+	"context"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/algorithms/largestid"
+	"repro/internal/graph"
+	"repro/internal/ids"
+	"repro/internal/local"
+)
+
+// TestInsertRangeCoalesces pins the done-range bookkeeping.
+func TestInsertRangeCoalesces(t *testing.T) {
+	var rs []TrialRange
+	for _, r := range []TrialRange{{4, 6}, {0, 2}, {6, 8}, {2, 4}} {
+		rs = insertRange(rs, r)
+	}
+	if want := []TrialRange{{0, 8}}; !reflect.DeepEqual(rs, want) {
+		t.Fatalf("coalesced ranges %v, want %v", rs, want)
+	}
+	rs = insertRange(nil, TrialRange{10, 12})
+	rs = insertRange(rs, TrialRange{0, 2})
+	rs = insertRange(rs, TrialRange{20, 22})
+	if want := []TrialRange{{0, 2}, {10, 12}, {20, 22}}; !reflect.DeepEqual(rs, want) {
+		t.Fatalf("disjoint ranges %v, want %v", rs, want)
+	}
+	rs = insertRange(rs, TrialRange{2, 10})
+	if want := []TrialRange{{0, 12}, {20, 22}}; !reflect.DeepEqual(rs, want) {
+		t.Fatalf("bridged ranges %v, want %v", rs, want)
+	}
+}
+
+// TestCheckpointFullRunMatches: a checkpointed run's final record holds
+// exactly the bytes of the run itself — Result() is the merged aggregate
+// and Done covers the whole trial space.
+func TestCheckpointFullRunMatches(t *testing.T) {
+	spec := cycleSpec(19, []int{16, 24}, 8, 3)
+	want, err := Run(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "ck.json")
+	w := NewCheckpointWriter(path, NewCheckpoint(PlanOf(spec)))
+	spec.OnBlock = w.OnBlock
+	got, err := Run(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Err() != nil {
+		t.Fatalf("checkpoint writes failed: %v", w.Err())
+	}
+	if !reflect.DeepEqual(want, got) {
+		t.Error("OnBlock changed the sweep's own aggregates")
+	}
+	ck := w.Checkpoint()
+	if !reflect.DeepEqual(want, ck.Result()) {
+		t.Errorf("checkpoint aggregates diverge from the run\nwant %+v\ngot  %+v", want, ck.Result())
+	}
+	for i, ranges := range ck.Done {
+		if want := []TrialRange{{0, 8}}; !reflect.DeepEqual(ranges, want) {
+			t.Errorf("size %d done ranges %v, want %v", i, ranges, want)
+		}
+	}
+	// And the file round-trips to the same record.
+	loaded, err := LoadCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(loaded, ck) {
+		t.Error("loaded checkpoint differs from the in-memory record")
+	}
+}
+
+// TestCheckpointResumeIdentical is the kill+resume acceptance: interrupt a
+// sweep mid-flight, reload the checkpoint file, run the complement, and
+// demand bytes identical to an uninterrupted run — for both sampled and
+// exhaustive sweeps.
+func TestCheckpointResumeIdentical(t *testing.T) {
+	cases := []struct {
+		name string
+		spec Spec
+	}{
+		{"sampled", cycleSpec(23, []int{12, 20}, 30, 2)},
+		{"exhaustive", exhaustiveSpec([]int{5, 6}, 2)},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			want, err := Run(context.Background(), tc.spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			// Phase 1: cancel after a few completed blocks — the "kill".
+			path := filepath.Join(t.TempDir(), "ck.json")
+			w := NewCheckpointWriter(path, NewCheckpoint(PlanOf(tc.spec)))
+			ctx, cancel := context.WithCancel(context.Background())
+			defer cancel()
+			var blocks atomic.Int32
+			spec := tc.spec
+			spec.OnBlock = func(b Block, partial *SizeStats) {
+				w.OnBlock(b, partial)
+				if blocks.Add(1) == 3 {
+					cancel()
+				}
+			}
+			if _, err := Run(ctx, spec); err == nil && blocks.Load() < 3 {
+				t.Fatal("phase 1 finished before any block completed; cannot exercise resume")
+			}
+			if w.Err() != nil {
+				t.Fatalf("phase 1 checkpoint writes failed: %v", w.Err())
+			}
+
+			// Phase 2: a fresh process — reload the file, verify the plan,
+			// run the complement, and read the final aggregates off the
+			// checkpoint.
+			ck, err := LoadCheckpoint(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !ck.Plan.Equal(PlanOf(tc.spec)) {
+				t.Fatalf("checkpoint plan %+v does not match the spec's %+v", ck.Plan, PlanOf(tc.spec))
+			}
+			resume := tc.spec
+			resume.Done = ck.Done
+			w2 := NewCheckpointWriter(path, ck)
+			resume.OnBlock = w2.OnBlock
+			if _, err := Run(context.Background(), resume); err != nil {
+				t.Fatalf("resume: %v", err)
+			}
+			if w2.Err() != nil {
+				t.Fatalf("resume checkpoint writes failed: %v", w2.Err())
+			}
+			if got := w2.Checkpoint().Result(); !reflect.DeepEqual(want, got) {
+				t.Errorf("resumed aggregates diverge from the uninterrupted run\nwant %+v\ngot  %+v", want, got)
+			}
+		})
+	}
+}
+
+// TestCheckpointWriterSurvivesBadPath: a write failure is retained in Err
+// without aborting the sweep.
+func TestCheckpointWriterSurvivesBadPath(t *testing.T) {
+	spec := cycleSpec(7, []int{10}, 4, 2)
+	w := NewCheckpointWriter("/nonexistent-dir/sub/ck.json", NewCheckpoint(PlanOf(spec)))
+	spec.OnBlock = w.OnBlock
+	if _, err := Run(context.Background(), spec); err != nil {
+		t.Fatalf("sweep failed: %v", err)
+	}
+	if w.Err() == nil {
+		t.Error("unwritable checkpoint path produced no error")
+	}
+}
+
+// TestLoadCheckpointMissing: a missing file is reported as not-exist so
+// callers start fresh.
+func TestLoadCheckpointMissing(t *testing.T) {
+	_, err := LoadCheckpoint(filepath.Join(t.TempDir(), "absent.json"))
+	if !os.IsNotExist(err) {
+		t.Errorf("missing checkpoint error = %v, want not-exist", err)
+	}
+}
+
+// TestCancelledFinishMergesExactly is the direct coverage of the cancelled
+// path through finish: the partial aggregates of a context-cancelled run
+// must equal — byte for byte — the fold of exactly the trials that
+// completed, and those trials must merge shard-style to the same bytes.
+func TestCancelledFinishMergesExactly(t *testing.T) {
+	const (
+		seed   = 31
+		n      = 16
+		trials = 5000
+	)
+	spec := cycleSpec(seed, []int{n}, trials, 4)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var completed [trials]atomic.Bool
+	var count atomic.Int32
+	spec.Observe = func(_, trial int, _ graph.Graph, _ ids.Assignment, _ *local.Result) {
+		completed[trial].Store(true)
+		if count.Add(1) == 40 {
+			cancel()
+		}
+	}
+	res, err := Run(ctx, spec)
+	if err == nil {
+		t.Fatal("cancelled sweep returned nil error; cannot exercise the partial path")
+	}
+	if res.Sizes[0].Trials >= trials {
+		t.Fatal("cancellation completed everything; nothing partial to check")
+	}
+
+	// Recompute every completed trial independently and fold it the way the
+	// engine does — Observe fires immediately before the engine's own fold,
+	// with no cancellation point between, so the recorded set IS the
+	// aggregated set.
+	c := graph.MustCycle(n)
+	want := SizeStats{N: n}
+	var firstHalf, secondHalf SizeStats
+	firstHalf.N, secondHalf.N = n, n
+	folded := 0
+	for trial := 0; trial < trials; trial++ {
+		if !completed[trial].Load() {
+			continue
+		}
+		rng := rand.New(rand.NewSource(trialSeed(seed, 0, trial)))
+		r, err := local.RunView(c, ids.Random(n, rng), largestid.Pruning{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		hist := histOf(r.Radii)
+		sum := summarizeHist(hist)
+		want.addTrial(trial, sum, hist, false)
+		if folded%2 == 0 {
+			firstHalf.addTrial(trial, sum, hist, false)
+		} else {
+			secondHalf.addTrial(trial, sum, hist, false)
+		}
+		folded++
+	}
+	if folded != res.Sizes[0].Trials {
+		t.Fatalf("observed %d completed trials, aggregate counted %d", folded, res.Sizes[0].Trials)
+	}
+	if !reflect.DeepEqual(res.Sizes[0], want) {
+		t.Errorf("cancelled partial aggregates diverge from the completed trials\ngot  %+v\nwant %+v", res.Sizes[0], want)
+	}
+
+	// The same trials split across two shard-style partials must merge to
+	// the identical bytes — the guarantee cross-process resume rests on.
+	merged := SizeStats{N: n}
+	merged.Merge(&secondHalf)
+	merged.Merge(&firstHalf)
+	if !reflect.DeepEqual(merged, want) {
+		t.Errorf("split-and-merge of the completed trials diverges\ngot  %+v\nwant %+v", merged, want)
+	}
+}
+
+// histOf builds one trial's radius histogram, trimmed to its max radius —
+// the exact shape the engine folds.
+func histOf(radii []int) []int64 {
+	var hist []int64
+	for _, r := range radii {
+		for len(hist) <= r {
+			hist = append(hist, 0)
+		}
+		hist[r]++
+	}
+	return hist
+}
+
+// TestCheckpointWriterFailFast: an armed writer aborts the sweep at the
+// first failed persistence instead of completing unresumable work.
+func TestCheckpointWriterFailFast(t *testing.T) {
+	spec := cycleSpec(7, []int{32}, 20000, 2)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	w := NewCheckpointWriter("/nonexistent-dir/sub/ck.json", NewCheckpoint(PlanOf(spec)))
+	w.FailFast(cancel)
+	spec.OnBlock = w.OnBlock
+	res, err := Run(ctx, spec)
+	if err == nil {
+		t.Fatal("sweep with a dead fail-fast checkpoint completed cleanly")
+	}
+	if w.Err() == nil {
+		t.Error("writer retained no persistence error")
+	}
+	if res.Sizes[0].Trials >= 20000 {
+		t.Error("sweep ran every trial despite the dead checkpoint")
+	}
+}

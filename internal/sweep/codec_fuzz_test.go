@@ -1,0 +1,87 @@
+package sweep
+
+import (
+	"bytes"
+	"context"
+	"reflect"
+	"testing"
+)
+
+// FuzzDecodeResult is the codec's robustness contract: arbitrary input
+// must either decode cleanly or fail with an error — never panic — and
+// anything that decodes must re-encode and re-decode to the identical
+// aggregate (including histogram and best-trial fields).
+func FuzzDecodeResult(f *testing.F) {
+	res, err := Run(context.Background(), cycleSpec(5, []int{8, 11}, 4, 1))
+	if err != nil {
+		f.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := EncodeResult(&buf, res); err != nil {
+		f.Fatal(err)
+	}
+	valid := buf.Bytes()
+	f.Add(valid)
+	f.Add([]byte(`{"format":"sweep.result","version":1,"payload":{"sizes":[]}}`))
+	f.Add([]byte(`{"format":"sweep.result","version":2,"payload":{}}`))
+	f.Add([]byte(`{"format":"sweep.checkpoint","version":1,"payload":{}}`))
+	f.Add([]byte(`{`))
+	f.Add(bytes.Replace(valid, []byte(`"trials"`), []byte(`"trails"`), 1))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		res, err := DecodeResult(bytes.NewReader(data))
+		if err != nil {
+			return // rejected is fine; panicking is not
+		}
+		var out bytes.Buffer
+		if err := EncodeResult(&out, res); err != nil {
+			t.Fatalf("decoded aggregate failed to re-encode: %v", err)
+		}
+		again, err := DecodeResult(bytes.NewReader(out.Bytes()))
+		if err != nil {
+			t.Fatalf("re-encoded aggregate failed to decode: %v", err)
+		}
+		if !reflect.DeepEqual(res, again) {
+			t.Fatalf("codec round trip not lossless\nfirst:  %+v\nsecond: %+v", res, again)
+		}
+	})
+}
+
+// FuzzDecodeCheckpoint: same contract for the checkpoint record, whose
+// payload additionally carries the plan and done-range bookkeeping.
+func FuzzDecodeCheckpoint(f *testing.F) {
+	spec := cycleSpec(5, []int{8}, 6, 2)
+	ck := NewCheckpoint(PlanOf(spec))
+	spec.OnBlock = func(b Block, partial *SizeStats) {
+		// Serialised by the sequential fold below (workers=2 may race, so
+		// run single-worker for the seed corpus).
+		ck.Fold(b, partial)
+	}
+	spec.Workers = 1
+	if _, err := Run(context.Background(), spec); err != nil {
+		f.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := EncodeCheckpoint(&buf, ck); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add([]byte(`{"format":"sweep.checkpoint","version":1,"payload":{"plan":{"sizes":[]},"done":[],"sizes":[]}}`))
+	f.Add([]byte(`{"format":"sweep.checkpoint","version":1,"payload":{"plan":{"sizes":[4]},"done":[[{"t0":1,"t1":0}]],"sizes":[{"n":4}]}}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		ck, err := DecodeCheckpoint(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var out bytes.Buffer
+		if err := EncodeCheckpoint(&out, ck); err != nil {
+			t.Fatalf("decoded checkpoint failed to re-encode: %v", err)
+		}
+		again, err := DecodeCheckpoint(bytes.NewReader(out.Bytes()))
+		if err != nil {
+			t.Fatalf("re-encoded checkpoint failed to decode: %v", err)
+		}
+		if !reflect.DeepEqual(ck, again) {
+			t.Fatalf("checkpoint round trip not lossless")
+		}
+	})
+}

@@ -1,0 +1,221 @@
+package sweep
+
+import "fmt"
+
+// This file is the PLAN layer of the engine: the serializable description
+// of what a sweep executes — seed, sizes, trial space, shard range — and
+// the deterministic chunking of that space into contiguous blocks. Plans
+// carry none of the Spec's functions (Graph, Alg, ...); they are the part
+// of a sweep that can cross a process boundary, be compared for a resume,
+// or be recorded in a checkpoint. The EXECUTE layer (execute.go) runs the
+// planned blocks through the worker pool; the MERGE layer (merge.go,
+// codec.go) folds the per-shard aggregates back together.
+
+// Shard selects the contiguous slice Index (0-based) of Count of every
+// size's trial space: sampled trial indices and exhaustive permutation
+// ranks partition identically, so m shard runs cover each (size, trial)
+// coordinate exactly once and their merged aggregates are byte-identical
+// to a single run. The zero value selects everything.
+type Shard struct {
+	Index int `json:"index"`
+	Count int `json:"count"`
+}
+
+// IsZero reports the unsharded zero value.
+func (s Shard) IsZero() bool { return s == Shard{} }
+
+// validate accepts the zero value or 0 <= Index < Count.
+func (s Shard) validate() error {
+	if s.IsZero() {
+		return nil
+	}
+	if s.Count < 1 || s.Index < 0 || s.Index >= s.Count {
+		return fmt.Errorf("sweep: invalid shard %d/%d: need 0 <= index < count", s.Index, s.Count)
+	}
+	return nil
+}
+
+// Range returns the half-open trial subrange [lo, hi) of a size with total
+// trials owned by this shard: contiguous, nearly equal, with the remainder
+// spread over the lowest shard indices. The zero-value shard owns [0, total).
+func (s Shard) Range(total int) (lo, hi int) {
+	if s.IsZero() {
+		return 0, total
+	}
+	base, rem := total/s.Count, total%s.Count
+	lo = s.Index*base + min(s.Index, rem)
+	hi = lo + base
+	if s.Index < rem {
+		hi++
+	}
+	return lo, hi
+}
+
+// TrialRange is a half-open range [T0, T1) of trial indices (or, under
+// Exhaustive, permutation ranks) at one size — the unit checkpoints record
+// completed work in.
+type TrialRange struct {
+	T0 int `json:"t0"`
+	T1 int `json:"t1"`
+}
+
+// Block is one schedulable unit of a plan: a contiguous trial range at one
+// size index. Blocks are what workers execute, what Spec.OnBlock observes,
+// and what checkpoints mark as done.
+type Block struct {
+	SizeIdx int `json:"size"`
+	T0      int `json:"t0"`
+	T1      int `json:"t1"`
+}
+
+// Plan is the serializable coordinate description of one sweep shard. Two
+// processes holding equal Plans (and equivalent Spec functions) execute
+// disjoint-or-identical work depending only on Shard, so a Plan is the
+// identity a checkpoint or a shard file validates against before merging.
+type Plan struct {
+	Seed int64 `json:"seed"`
+	// Sizes is the n sweep, in Spec order.
+	Sizes []int `json:"sizes"`
+	// Trials is the sampled-permutation count per size; 0 under Exhaustive.
+	Trials int `json:"trials,omitempty"`
+	// Exhaustive marks full n! rank enumeration instead of sampling.
+	Exhaustive bool `json:"exhaustive,omitempty"`
+	// Shard is the contiguous slice of every size's trial space this plan
+	// covers; the zero value covers everything.
+	Shard Shard `json:"shard"`
+}
+
+// PlanOf derives the plan a Spec executes, normalising the trial count the
+// way Run does (unset sampled Trials means 1; Exhaustive pins it to 0).
+func PlanOf(spec Spec) Plan {
+	trials := spec.Trials
+	if trials <= 0 {
+		trials = 1
+	}
+	if spec.Exhaustive {
+		trials = 0
+	}
+	return Plan{
+		Seed:       spec.Seed,
+		Sizes:      append([]int(nil), spec.Sizes...),
+		Trials:     trials,
+		Exhaustive: spec.Exhaustive,
+		Shard:      spec.Shard,
+	}
+}
+
+// Equal reports whether two plans describe the same work.
+func (p Plan) Equal(o Plan) bool {
+	if p.Seed != o.Seed || p.Trials != o.Trials || p.Exhaustive != o.Exhaustive ||
+		p.Shard != o.Shard || len(p.Sizes) != len(o.Sizes) {
+		return false
+	}
+	for i, n := range p.Sizes {
+		if o.Sizes[i] != n {
+			return false
+		}
+	}
+	return true
+}
+
+// validateDone checks a Spec.Done resume list against the per-size global
+// trial counts: ranges must be ascending, non-overlapping, and inside
+// [0, count). An empty list (or a nil inner slice) is always valid.
+func validateDone(done [][]TrialRange, counts []int) error {
+	if len(done) == 0 {
+		return nil
+	}
+	if len(done) != len(counts) {
+		return fmt.Errorf("sweep: Done has %d size entries, spec has %d sizes", len(done), len(counts))
+	}
+	for i, ranges := range done {
+		prev := 0
+		for k, r := range ranges {
+			if r.T0 < 0 || r.T1 > counts[i] || r.T0 >= r.T1 {
+				return fmt.Errorf("sweep: Done size %d range [%d,%d) outside [0,%d)", i, r.T0, r.T1, counts[i])
+			}
+			if k > 0 && r.T0 < prev {
+				return fmt.Errorf("sweep: Done size %d ranges out of order or overlapping at [%d,%d)", i, r.T0, r.T1)
+			}
+			prev = r.T1
+		}
+	}
+	return nil
+}
+
+// subtractRanges returns the ascending complement of done within [lo, hi).
+// done must be ascending and non-overlapping (validateDone enforces it).
+func subtractRanges(lo, hi int, done []TrialRange) []TrialRange {
+	var out []TrialRange
+	cur := lo
+	for _, d := range done {
+		if d.T1 <= cur {
+			continue
+		}
+		if d.T0 >= hi {
+			break
+		}
+		if d.T0 > cur {
+			out = append(out, TrialRange{T0: cur, T1: min(d.T0, hi)})
+		}
+		if d.T1 > cur {
+			cur = d.T1
+		}
+		if cur >= hi {
+			return out
+		}
+	}
+	if cur < hi {
+		out = append(out, TrialRange{T0: cur, T1: hi})
+	}
+	return out
+}
+
+// planBlocks chunks every size's runnable trial ranges — the shard's slice
+// of the global space minus the Done ranges — into worker-pool blocks.
+// order lists size indices largest instance first (the buffer-growth
+// heuristic of the execute layer); within a size, blocks stay in ascending
+// trial order. A few blocks per worker balances load without serialising
+// on the job channel, exactly like the pre-split engine's chunking.
+func planBlocks(order, counts []int, shard Shard, done [][]TrialRange, workers int) []Block {
+	blocks := make([]Block, 0, len(counts)*(4*workers+1))
+	// The common case — no resume — runs one whole range per size; a
+	// stack-backed singleton keeps that path allocation-free.
+	var whole [1]TrialRange
+	for _, i := range order {
+		lo, hi := shard.Range(counts[i])
+		whole[0] = TrialRange{T0: lo, T1: hi}
+		runnable := whole[:]
+		if len(done) > 0 {
+			runnable = subtractRanges(lo, hi, done[i])
+		}
+		planned := 0
+		for _, r := range runnable {
+			planned += r.T1 - r.T0
+		}
+		chunk := planned / (workers * 4)
+		if chunk < 1 {
+			chunk = 1
+		}
+		for _, r := range runnable {
+			for t0 := r.T0; t0 < r.T1; t0 += chunk {
+				t1 := t0 + chunk
+				if t1 > r.T1 {
+					t1 = r.T1
+				}
+				blocks = append(blocks, Block{SizeIdx: i, T0: t0, T1: t1})
+			}
+		}
+	}
+	return blocks
+}
+
+// plannedTrials sums the trial counts of a block list per size index and in
+// total — the execute layer's cancellation accounting.
+func plannedTrials(blocks []Block) int {
+	total := 0
+	for _, b := range blocks {
+		total += b.T1 - b.T0
+	}
+	return total
+}

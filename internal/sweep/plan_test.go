@@ -1,0 +1,185 @@
+package sweep
+
+import (
+	"context"
+	"reflect"
+	"testing"
+)
+
+// TestShardRangePartition is the plan layer's core invariant: for any
+// (total, count), the m shard ranges are contiguous, cover [0, total)
+// exactly once, and differ in size by at most one.
+func TestShardRangePartition(t *testing.T) {
+	for _, total := range []int{0, 1, 2, 7, 40, 719, 5040} {
+		for _, count := range []int{1, 2, 3, 4, 7, 16} {
+			next := 0
+			minLen, maxLen := total+1, -1
+			for i := 0; i < count; i++ {
+				lo, hi := Shard{Index: i, Count: count}.Range(total)
+				if lo != next {
+					t.Fatalf("total=%d count=%d: shard %d starts at %d, want %d", total, count, i, lo, next)
+				}
+				if hi < lo {
+					t.Fatalf("total=%d count=%d: shard %d inverted [%d,%d)", total, count, i, lo, hi)
+				}
+				if l := hi - lo; l < minLen {
+					minLen = l
+				} else if l > maxLen {
+					maxLen = l
+				}
+				if l := hi - lo; l > maxLen {
+					maxLen = l
+				}
+				next = hi
+			}
+			if next != total {
+				t.Fatalf("total=%d count=%d: shards end at %d", total, count, next)
+			}
+			if maxLen >= 0 && maxLen-minLen > 1 {
+				t.Fatalf("total=%d count=%d: shard lengths spread %d..%d", total, count, minLen, maxLen)
+			}
+		}
+	}
+	if lo, hi := (Shard{}).Range(42); lo != 0 || hi != 42 {
+		t.Fatalf("zero shard range [%d,%d), want [0,42)", lo, hi)
+	}
+}
+
+// TestShardValidation rejects malformed shards at Run time.
+func TestShardValidation(t *testing.T) {
+	for _, s := range []Shard{{Index: -1, Count: 2}, {Index: 2, Count: 2}, {Index: 0, Count: -1}, {Index: 1, Count: 0}} {
+		spec := cycleSpec(1, []int{8}, 2, 1)
+		spec.Shard = s
+		if _, err := Run(context.Background(), spec); err == nil {
+			t.Errorf("shard %+v accepted", s)
+		}
+	}
+}
+
+// TestSubtractRanges pins the complement computation resume is built on.
+func TestSubtractRanges(t *testing.T) {
+	cases := []struct {
+		lo, hi int
+		done   []TrialRange
+		want   []TrialRange
+	}{
+		{0, 10, nil, []TrialRange{{0, 10}}},
+		{0, 10, []TrialRange{{0, 10}}, nil},
+		{0, 10, []TrialRange{{3, 5}}, []TrialRange{{0, 3}, {5, 10}}},
+		{0, 10, []TrialRange{{0, 4}, {6, 8}}, []TrialRange{{4, 6}, {8, 10}}},
+		{2, 8, []TrialRange{{0, 3}, {7, 12}}, []TrialRange{{3, 7}}},
+		{5, 6, []TrialRange{{0, 2}}, []TrialRange{{5, 6}}},
+		{0, 6, []TrialRange{{5, 6}}, []TrialRange{{0, 5}}},
+	}
+	for _, c := range cases {
+		got := subtractRanges(c.lo, c.hi, c.done)
+		if !reflect.DeepEqual(got, c.want) {
+			t.Errorf("subtract [%d,%d) - %v = %v, want %v", c.lo, c.hi, c.done, got, c.want)
+		}
+	}
+}
+
+// TestPlanBlocksCoverage: for any shard/done carve-out, the planned blocks
+// cover exactly the runnable coordinates, each exactly once, in ascending
+// order within every size.
+func TestPlanBlocksCoverage(t *testing.T) {
+	counts := []int{40, 17, 100}
+	order := []int{2, 0, 1}
+	done := [][]TrialRange{{{3, 9}}, nil, {{0, 50}, {90, 95}}}
+	for _, count := range []int{1, 2, 3} {
+		for shardIdx := 0; shardIdx < count; shardIdx++ {
+			shard := Shard{Index: shardIdx, Count: count}
+			if count == 1 {
+				shard = Shard{}
+			}
+			blocks := planBlocks(order, counts, shard, done, 4)
+			seen := make([]map[int]bool, len(counts))
+			last := make([]int, len(counts))
+			for i := range seen {
+				seen[i] = make(map[int]bool)
+				last[i] = -1
+			}
+			for _, b := range blocks {
+				if b.T0 >= b.T1 {
+					t.Fatalf("empty block %+v", b)
+				}
+				if b.T0 < last[b.SizeIdx] {
+					t.Fatalf("blocks out of ascending order at %+v", b)
+				}
+				last[b.SizeIdx] = b.T1
+				for tr := b.T0; tr < b.T1; tr++ {
+					if seen[b.SizeIdx][tr] {
+						t.Fatalf("trial (%d,%d) planned twice", b.SizeIdx, tr)
+					}
+					seen[b.SizeIdx][tr] = true
+				}
+			}
+			for i, c := range counts {
+				lo, hi := shard.Range(c)
+				for tr := lo; tr < hi; tr++ {
+					inDone := false
+					for _, d := range done[i] {
+						if tr >= d.T0 && tr < d.T1 {
+							inDone = true
+						}
+					}
+					if seen[i][tr] == inDone {
+						t.Fatalf("shard %d/%d size %d trial %d: planned=%v done=%v", shardIdx, count, i, tr, seen[i][tr], inDone)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestPlanOfEqual: PlanOf normalises the trial count and Equal compares by
+// value including the size list.
+func TestPlanOfEqual(t *testing.T) {
+	spec := cycleSpec(9, []int{8, 16}, 0, 1)
+	p := PlanOf(spec)
+	if p.Trials != 1 {
+		t.Errorf("PlanOf left Trials=%d, want normalised 1", p.Trials)
+	}
+	ex := exhaustiveSpec([]int{5}, 1)
+	pe := PlanOf(ex)
+	if pe.Trials != 0 || !pe.Exhaustive {
+		t.Errorf("exhaustive PlanOf = %+v", pe)
+	}
+	q := PlanOf(spec)
+	if !p.Equal(q) {
+		t.Error("equal plans reported unequal")
+	}
+	q.Sizes = []int{8, 17}
+	if p.Equal(q) {
+		t.Error("plans with different sizes reported equal")
+	}
+	q = PlanOf(spec)
+	q.Shard = Shard{Index: 0, Count: 2}
+	if p.Equal(q) {
+		t.Error("plans with different shards reported equal")
+	}
+}
+
+// TestDoneValidation rejects malformed resume lists.
+func TestDoneValidation(t *testing.T) {
+	bad := [][][]TrialRange{
+		{{{T0: -1, T1: 2}}, nil},        // negative start
+		{{{T0: 0, T1: 10}}, nil},        // beyond count
+		{{{T0: 3, T1: 3}}, nil},         // empty range
+		{{{T0: 0, T1: 4}, {2, 6}}, nil}, // overlapping
+		{{{T0: 4, T1: 6}, {0, 2}}, nil}, // descending
+		{nil},                           // wrong length
+	}
+	for _, done := range bad {
+		spec := cycleSpec(1, []int{8, 12}, 5, 1)
+		spec.Done = done
+		if _, err := Run(context.Background(), spec); err == nil {
+			t.Errorf("Done %v accepted", done)
+		}
+	}
+	spec := cycleSpec(1, []int{8, 12}, 5, 1)
+	spec.Done = [][]TrialRange{{{T0: 0, T1: 2}}, nil}
+	if _, err := Run(context.Background(), spec); err != nil {
+		t.Errorf("valid Done rejected: %v", err)
+	}
+}

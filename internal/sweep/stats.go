@@ -12,38 +12,41 @@ import (
 // two extremal trials. All folds are commutative and tie-broken by trial
 // index, so merged shards produce bit-identical statistics at any worker
 // count.
+// The JSON tags define the stable serialized shape the versioned codec
+// (codec.go) writes into shard and checkpoint files; renaming one is a
+// format change and must bump the codec version.
 type SizeStats struct {
 	// N is the number of vertices at this sweep size.
-	N int
+	N int `json:"n"`
 	// Trials counts completed trials (smaller than requested after a
 	// cancellation).
-	Trials int
+	Trials int `json:"trials"`
 	// Failures counts trials whose Verify hook rejected the outputs.
-	Failures int
+	Failures int `json:"failures,omitempty"`
 	// TotalSum is Σ over trials of Σ_v r(v). Integer, hence
 	// order-independent; MeanAvg derives from it exactly.
-	TotalSum int64
+	TotalSum int64 `json:"totalSum"`
 	// TotalMax is Σ over trials of max_v r(v).
-	TotalMax int64
+	TotalMax int64 `json:"totalMax"`
 	// WorstAvg summarises the trial maximising the per-trial radius sum —
 	// the paper's worst-case average measure over the sampled permutations.
-	WorstAvg measure.Summary
+	WorstAvg measure.Summary `json:"worstAvg"`
 	// WorstAvgTrial is the index of that trial (lowest index on ties).
-	WorstAvgTrial int
+	WorstAvgTrial int `json:"worstAvgTrial"`
 	// WorstMax summarises the trial maximising the per-trial maximum radius
 	// — the classic measure over the sampled permutations.
-	WorstMax measure.Summary
+	WorstMax measure.Summary `json:"worstMax"`
 	// WorstMaxTrial is the index of that trial (lowest index on ties).
-	WorstMaxTrial int
+	WorstMaxTrial int `json:"worstMaxTrial"`
 	// BestAvg summarises the trial minimising the per-trial radius sum —
 	// the most favourable permutation seen. Exhaustive sweeps turn it into
 	// the exact best case over ALL assignments.
-	BestAvg measure.Summary
+	BestAvg measure.Summary `json:"bestAvg"`
 	// BestAvgTrial is the index of that trial (lowest index on ties).
-	BestAvgTrial int
+	BestAvgTrial int `json:"bestAvgTrial"`
 	// Hist pools the radius histogram over all vertices of all trials:
 	// Hist[r] executions decided at radius exactly r.
-	Hist []int64
+	Hist []int64 `json:"hist"`
 }
 
 // MeanAvg is the empirical expectation of the average radius over trials.
@@ -112,10 +115,13 @@ func (s *SizeStats) addTrial(trial int, sum measure.Summary, hist []int64, verif
 	}
 }
 
-// merge folds another shard's aggregate for the same size into s. Commutes
+// Merge folds another partial aggregate for the same size into s. Commutes
 // with addTrial in any interleaving: integer totals add, histograms add,
-// and the extremal-trial selection depends only on (value, trial index).
-func (s *SizeStats) merge(o *SizeStats) {
+// and the extremal-trial selection depends only on (value, trial index) —
+// so worker shards, cross-process shard files and checkpoint records all
+// merge to the bytes a single uninterrupted run produces. o is not
+// modified, and s shares no mutable state with it afterwards.
+func (s *SizeStats) Merge(o *SizeStats) {
 	if o.Trials == 0 {
 		return
 	}

@@ -6,22 +6,34 @@
 // Every experiment in the repository is a sweep over graph sizes × sampled
 // identifier permutations, measuring the two running-time measures under
 // comparison (max_v r(v) and (Σ_v r(v))/n). The package factors out the
-// loop all of them used to hand-roll, and adds what a full-size table needs:
+// loop all of them used to hand-roll, and adds what a full-size table needs.
+// It is organised as three explicit layers:
 //
-//   - sharding: trials are chunked into jobs and executed by a bounded
-//     worker pool (Spec.Workers, default GOMAXPROCS);
-//   - scratch reuse: each worker owns a local.Runner, so ball builders,
-//     label slices and result buffers are recycled across every trial the
-//     worker executes — steady-state sweeps allocate almost nothing;
-//   - streaming aggregation: trials fold into O(sizes)-memory SizeStats
-//     (integer totals, extremal-trial summaries, pooled radius histograms),
-//     never into per-trial slices;
-//   - determinism: each (size, trial) derives its own rng seed from the
-//     sweep seed and its coordinates alone, and all folds commute, so a
-//     given seed produces bit-identical results at any worker count;
-//   - cancellation: the context is polled between vertices, trials and
-//     jobs; a cancelled Run returns promptly with the partial aggregates
-//     and a wrapped context error.
+//   - PLAN (plan.go): a serializable description of the work — seed, sizes,
+//     trial space, and a contiguous shard range. Sampled trial indices and
+//     exhaustive permutation ranks partition identically, so a Plan means
+//     the same thing to every process that holds it.
+//   - EXECUTE (execute.go, this file's Run): the worker pool running one
+//     plan shard. Each worker owns a local.Runner, so ball builders, label
+//     slices and result buffers are recycled across every trial the worker
+//     executes — steady-state sweeps allocate almost nothing. Trials are
+//     chunked into contiguous blocks (Spec.Workers bounds the pool, default
+//     GOMAXPROCS) and fold into O(sizes)-memory SizeStats — integer totals,
+//     extremal-trial summaries, pooled radius histograms — never into
+//     per-trial slices.
+//   - MERGE (merge.go, codec.go, checkpoint.go): exported deterministic
+//     aggregate merging plus a stable versioned codec, so partial
+//     aggregates survive process boundaries: shard files from m processes
+//     merge to the bytes a single process produces, and a checkpoint file
+//     resumes an interrupted sweep from its last completed block.
+//
+// Determinism is the package contract: each (size, trial) derives its own
+// rng seed from the sweep seed and its coordinates alone, and all folds
+// commute (ties broken by trial index), so a given seed produces
+// bit-identical results at any worker count, across any shard partition,
+// and through any kill/resume sequence. Cancellation is prompt: the context
+// is polled between vertices, trials and blocks; a cancelled Run returns
+// the partial aggregates and a wrapped context error.
 package sweep
 
 import (
@@ -29,7 +41,6 @@ import (
 	"fmt"
 	"math/rand"
 	"runtime"
-	"sync"
 
 	"repro/internal/graph"
 	"repro/internal/ids"
@@ -50,7 +61,7 @@ type Spec struct {
 	// ALL n! identifier permutations exactly once, trial t executing the
 	// rank-t permutation in lexicographic factorial-number-system order
 	// (ids.Rank/Unrank). The rank space splits into the same contiguous
-	// job blocks sampled trials use — each worker unranks its block's
+	// blocks sampled trials use — each worker unranks its block's
 	// first permutation and walks lexicographic successors in place — so
 	// the atlas, the kernel fast path and the streaming aggregation all
 	// apply unchanged and results stay byte-identical at any worker
@@ -58,6 +69,25 @@ type Spec struct {
 	// must be unset. Sizes are capped at ids.MaxRankN, and wall-clock is
 	// the caller's business: bound enormous enumerations with the context.
 	Exhaustive bool
+	// Shard restricts the run to the contiguous slice Shard.Index of
+	// Shard.Count of every size's trial space (sampled indices or
+	// exhaustive ranks alike). The zero value runs everything. Partial
+	// aggregates from all Shard.Count processes merge (MergeResults) to
+	// bytes identical to an unsharded run.
+	Shard Shard
+	// Done lists, per size index, ascending non-overlapping trial ranges a
+	// previous run already executed (a checkpoint's record): planned blocks
+	// cover the shard's complement of Done, and the returned aggregates
+	// contain only the newly executed trials — merge them with the
+	// checkpoint's to recover the full shard. Empty means nothing is done.
+	Done [][]TrialRange
+	// OnBlock, when set, observes every fully completed block together with
+	// the block's own partial aggregate (checkpoint writers fold these).
+	// Called from worker goroutines — must be safe for concurrent use — and
+	// partial is only valid during the call. Blocks cut short by
+	// cancellation are not reported: their trials still appear in the
+	// returned partial Result, but a resume re-executes them.
+	OnBlock func(b Block, partial *SizeStats)
 	// Workers bounds the worker pool (default GOMAXPROCS).
 	Workers int
 	// MaxRadius overrides the engine's safety cap when positive.
@@ -109,33 +139,7 @@ type Spec struct {
 // Result is a completed (or cancelled) sweep: one aggregate per size, in
 // Spec.Sizes order.
 type Result struct {
-	Sizes []SizeStats
-}
-
-// job is a batch of consecutive trials at one size.
-type job struct {
-	sizeIdx int
-	t0, t1  int
-}
-
-// worker is the per-worker reusable state: the execution scratch, the trial
-// histogram buffer, the reseedable trial rng, the permutation buffer, and
-// this shard's partial aggregates. Everything a trial needs is drawn from
-// here, so steady-state batches allocate nothing.
-type worker struct {
-	runner *local.Runner
-	hist   []int64
-	shard  []SizeStats
-	opts   []local.Option
-	// rng is one reusable generator: each trial reseeds it with its
-	// (size, trial)-derived seed, which reproduces a fresh
-	// rand.New(rand.NewSource(seed)) bit for bit — including the Read
-	// buffer, which Rand.Seed resets — without the two allocations per
-	// trial.
-	rng *rand.Rand
-	// assign is the caller-owned permutation storage ids.RandomInto fills
-	// when Spec.Assign is unset.
-	assign []int
+	Sizes []SizeStats `json:"sizes"`
 }
 
 // Run executes the sweep. On cancellation it returns the partial aggregates
@@ -151,10 +155,6 @@ func Run(ctx context.Context, spec Spec) (*Result, error) {
 	if spec.Graph == nil {
 		return nil, fmt.Errorf("sweep: nil Graph")
 	}
-	trials := spec.Trials
-	if trials <= 0 {
-		trials = 1
-	}
 	if spec.Exhaustive {
 		if spec.Assign != nil {
 			return nil, fmt.Errorf("sweep: Exhaustive enumerates permutations itself; Assign must be nil")
@@ -162,6 +162,9 @@ func Run(ctx context.Context, spec Spec) (*Result, error) {
 		if spec.Trials > 0 {
 			return nil, fmt.Errorf("sweep: Exhaustive ignores Trials; leave it zero")
 		}
+	}
+	if err := spec.Shard.validate(); err != nil {
+		return nil, err
 	}
 	workers := spec.Workers
 	if workers <= 0 {
@@ -185,10 +188,15 @@ func Run(ctx context.Context, spec Spec) (*Result, error) {
 		graphs[i] = g
 	}
 
-	// Per-size trial counts: the sampled count everywhere, or the full
-	// n! rank space under Exhaustive.
+	// Per-size trial counts of the GLOBAL space: the sampled count
+	// everywhere, or the full n! rank space under Exhaustive. The shard
+	// range and the Done complement are carved out of these below.
+	trials := spec.Trials
+	if trials <= 0 {
+		trials = 1
+	}
 	counts := make([]int, len(spec.Sizes))
-	total := 0
+	globalTotal := 0
 	for i, g := range graphs {
 		counts[i] = trials
 		if spec.Exhaustive {
@@ -198,12 +206,12 @@ func Run(ctx context.Context, spec Spec) (*Result, error) {
 			}
 			counts[i] = int(f)
 		}
-		if total += counts[i]; total < 0 {
+		if globalTotal += counts[i]; globalTotal < 0 {
 			return nil, fmt.Errorf("sweep: exhaustive trial count overflows across sizes %v", spec.Sizes)
 		}
 	}
-	if workers > total {
-		workers = total
+	if err := validateDone(spec.Done, counts); err != nil {
+		return nil, err
 	}
 
 	// One shared ball atlas per size: BFS layers depend only on the graph,
@@ -217,11 +225,12 @@ func Run(ctx context.Context, spec Spec) (*Result, error) {
 		}
 	}
 
-	// Jobs are emitted largest instance first: the first job a worker
-	// executes then grows every reusable buffer (result slices, histogram,
-	// permutation scratch) to its final size, and smaller sizes reuse them.
-	// Aggregation is commutative and trials are seeded (or, exhaustively,
-	// ranked) by coordinates, so the order is unobservable in the results.
+	// PLAN: blocks are emitted largest instance first — the first block a
+	// worker executes then grows every reusable buffer (result slices,
+	// histogram, permutation scratch) to its final size, and smaller sizes
+	// reuse them. Aggregation is commutative and trials are seeded (or,
+	// exhaustively, ranked) by coordinates, so the order is unobservable in
+	// the results.
 	order := make([]int, len(spec.Sizes))
 	for i := range order {
 		order[i] = i
@@ -231,258 +240,13 @@ func Run(ctx context.Context, spec Spec) (*Result, error) {
 			order[k], order[k-1] = order[k-1], order[k]
 		}
 	}
-	// Chunk each size's trials into jobs: a few batches per worker
-	// balances load without serialising on the channel.
-	jobs := make([]job, 0, len(spec.Sizes)*(4*workers+1))
-	for _, i := range order {
-		chunk := counts[i] / (workers * 4)
-		if chunk < 1 {
-			chunk = 1
-		}
-		for t0 := 0; t0 < counts[i]; t0 += chunk {
-			t1 := t0 + chunk
-			if t1 > counts[i] {
-				t1 = counts[i]
-			}
-			jobs = append(jobs, job{sizeIdx: i, t0: t0, t1: t1})
-		}
+	blocks := planBlocks(order, counts, spec.Shard, spec.Done, workers)
+	total := plannedTrials(blocks)
+	if workers > total && total > 0 {
+		workers = total
 	}
 
-	// The sequential path needs no cancel broadcast — its loop checks
-	// firstErr directly — so it skips the WithCancel context entirely.
-	runCtx, cancel := ctx, func() {}
-	if workers > 1 {
-		runCtx, cancel = context.WithCancel(ctx)
-	}
-	defer cancel()
-	var (
-		mu       sync.Mutex
-		firstErr error
-	)
-	fail := func(err error) {
-		mu.Lock()
-		if firstErr == nil {
-			firstErr = err
-			cancel()
-		}
-		mu.Unlock()
-	}
-
-	// The worker's permutation buffer is sized for the largest instance up
-	// front, so batches at growing sizes never regrow it.
-	maxN := 0
-	for _, g := range graphs {
-		if n := g.N(); n > maxN {
-			maxN = n
-		}
-	}
-
-	// All workers share one option slice (read-only), one backing array for
-	// their per-size shards, and one worker array: worker setup cost stays a
-	// handful of allocations per worker, not a dozen.
-	opts := append(make([]local.Option, 0, 4), local.WithContext(runCtx))
-	if spec.MaxRadius > 0 {
-		opts = append(opts, local.WithMaxRadius(spec.MaxRadius))
-	}
-	if spec.NoKernels {
-		opts = append(opts, local.WithoutKernels())
-	}
-	if spec.Assign == nil {
-		// Workers draw their own permutations with ids.RandomInto — valid
-		// by construction, so the engine's per-trial Validate is redundant.
-		opts = append(opts, local.WithValidatedIDs())
-	}
-	ws := make([]worker, workers)
-	shardBacking := make([]SizeStats, workers*len(spec.Sizes))
-	for wi := range ws {
-		initWorker(&ws[wi], spec, opts, shardBacking[wi*len(spec.Sizes):(wi+1)*len(spec.Sizes)], maxN)
-	}
-
-	if workers == 1 {
-		// True sequential path: no goroutines, no channels — the baseline
-		// the sharded path is benchmarked against, and the cheapest way to
-		// run tiny sweeps.
-		w := &ws[0]
-		for _, j := range jobs {
-			if runCtx.Err() != nil {
-				break
-			}
-			if err := w.runJob(runCtx, spec, graphs[j.sizeIdx], atlases[j.sizeIdx], j); err != nil {
-				if runCtx.Err() == nil {
-					fail(err)
-				}
-				break
-			}
-			if firstErr != nil {
-				break
-			}
-		}
-		return finish(ctx, spec, total, ws, firstErr)
-	}
-
-	jobCh := make(chan job)
-	go func() {
-		defer close(jobCh)
-		for _, j := range jobs {
-			select {
-			case jobCh <- j:
-			case <-runCtx.Done():
-				return
-			}
-		}
-	}()
-
-	var wg sync.WaitGroup
-	for wi := 0; wi < workers; wi++ {
-		w := &ws[wi]
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for j := range jobCh {
-				if runCtx.Err() != nil {
-					return
-				}
-				if err := w.runJob(runCtx, spec, graphs[j.sizeIdx], atlases[j.sizeIdx], j); err != nil {
-					if runCtx.Err() == nil {
-						fail(err)
-					}
-					return
-				}
-			}
-		}()
-	}
-	wg.Wait()
-	mu.Lock()
-	err := firstErr
-	mu.Unlock()
-	return finish(ctx, spec, total, ws, err)
-}
-
-// initWorker populates one worker's reusable state. opts is shared
-// (read-only) across workers; shard is the worker's slice of the shared
-// backing array; maxN is the largest instance size the worker may draw
-// permutations for.
-func initWorker(w *worker, spec Spec, opts []local.Option, shard []SizeStats, maxN int) {
-	w.runner = local.NewRunner()
-	w.shard = shard
-	w.opts = opts
-	w.rng = rand.New(rand.NewSource(0)) // reseeded per trial from (size, trial)
-	if spec.Assign == nil {
-		w.assign = make([]int, maxN)
-	}
-}
-
-// finish merges the worker shards into the final Result and classifies how
-// the sweep ended: clean, failed, or cancelled with partial aggregates.
-// total is the number of trials the spec asked for across all sizes.
-func finish(ctx context.Context, spec Spec, total int, ws []worker, firstErr error) (*Result, error) {
-	res := &Result{Sizes: make([]SizeStats, len(spec.Sizes))}
-	done := 0
-	for i, n := range spec.Sizes {
-		res.Sizes[i].N = n
-		for wi := range ws {
-			res.Sizes[i].merge(&ws[wi].shard[i])
-		}
-		done += res.Sizes[i].Trials
-	}
-	if firstErr != nil {
-		return res, firstErr
-	}
-	// A context that fires after the final trial completed did not cost any
-	// results; only report cancellation when work was actually skipped.
-	if cerr := ctx.Err(); cerr != nil && done < total {
-		return res, fmt.Errorf("sweep: cancelled with partial results (%d/%d trials): %w",
-			done, total, cerr)
-	}
-	return res, nil
-}
-
-// runJob executes one batch of consecutive trials at a single size and
-// folds each into the worker's shard. Batching is what amortises the
-// per-trial harness overhead: the atlas is attached once, the histogram
-// buffer is cleared once, the trial rng is reseeded instead of reallocated,
-// and (when the spec draws its own permutations) one worker-owned buffer is
-// refilled in place by ids.RandomInto. atlas (nil when disabled) is the
-// size's shared ball store. A context cancellation mid-batch returns nil;
-// the caller observes the context itself.
-func (w *worker) runJob(ctx context.Context, spec Spec, g graph.Graph, atlas *graph.BallAtlas, j job) error {
-	w.runner.SetAtlas(atlas)
-	n := g.N()
-	if spec.Assign == nil && cap(w.assign) < n {
-		w.assign = make([]int, n)
-	}
-	// One clear per batch establishes the all-zeros invariant; each trial
-	// restores it below by zeroing only the entries it incremented.
-	for r := range w.hist {
-		w.hist[r] = 0
-	}
-	if spec.Exhaustive {
-		// The batch is a contiguous rank block: unrank its first
-		// permutation once, then each later trial is one successor step.
-		ids.UnrankInto(w.assign[:n], uint64(j.t0))
-	}
-	for trial := j.t0; trial < j.t1; trial++ {
-		if ctx.Err() != nil {
-			return nil
-		}
-		var (
-			a   ids.Assignment
-			err error
-		)
-		switch {
-		case spec.Exhaustive:
-			// No per-trial randomness: the permutation IS the trial
-			// coordinate, so the (expensive) rng reseed is skipped too.
-			if trial > j.t0 {
-				ids.NextInto(w.assign[:n])
-			}
-			a = ids.Assignment(w.assign[:n])
-		case spec.Assign != nil:
-			w.rng.Seed(trialSeed(spec.Seed, j.sizeIdx, trial))
-			a, err = spec.Assign(j.sizeIdx, n, trial, w.rng)
-			if err != nil {
-				return fmt.Errorf("sweep: assign size %d trial %d: %w", n, trial, err)
-			}
-		default:
-			w.rng.Seed(trialSeed(spec.Seed, j.sizeIdx, trial))
-			a = ids.RandomInto(w.assign[:n], w.rng)
-		}
-		res, err := w.runner.Run(g, a, spec.Alg(n, a), w.opts...)
-		if err != nil {
-			return err
-		}
-
-		// Fill the trial's histogram in one pass over the radii, growing
-		// the buffer and tracking the maximum as we go — no separate scan,
-		// no full reset between trials.
-		maxR := 0
-		for _, r := range res.Radii {
-			if r >= len(w.hist) {
-				w.hist = growHist(w.hist, r+1)
-			}
-			w.hist[r]++
-			if r > maxR {
-				maxR = r
-			}
-		}
-		hist := w.hist[:maxR+1]
-
-		verifyFailed := false
-		if spec.Verify != nil {
-			if verr := spec.Verify(g, a, res); verr != nil {
-				if spec.Strict {
-					return fmt.Errorf("sweep: verify size %d trial %d: %w", n, trial, verr)
-				}
-				verifyFailed = true
-			}
-		}
-		if spec.Observe != nil {
-			spec.Observe(j.sizeIdx, trial, g, a, res)
-		}
-		w.shard[j.sizeIdx].addTrial(trial, summarizeHist(hist), hist, verifyFailed)
-		for _, r := range res.Radii {
-			hist[r] = 0
-		}
-	}
-	return nil
+	// EXECUTE: run the planned blocks through the pool, then MERGE the
+	// worker shards into the final per-size aggregates.
+	return execute(ctx, spec, graphs, atlases, blocks, total, workers)
 }
