@@ -23,6 +23,16 @@
 //	avgbench -e E6 -shard 1/2 -out s1.json   # process 2 of 2
 //	sweepmerge s0.json s1.json               # byte-identical final table
 //	avgbench -e E6 -checkpoint e6.ckpt       # restartable: kill, rerun, resume
+//
+// Leased runs (work-stealing over a shared store directory): start any
+// number of executors against one store, at any time; they lease
+// grain-aligned trial ranges, steal straggler tails, and re-execute dead
+// workers' claims. Every executor that returns prints the same bytes:
+//
+//	avgbench -e E6 -store run/ -lease          # executor 1 (any machine)
+//	avgbench -e E6 -store run/ -lease          # executor 2, started later
+//	sweepmerge -store run/                     # or merge without executing
+//	avgbench -e E6 -store run/ -shard 0/2      # static i-of-m lease schedule
 package main
 
 import (
@@ -66,6 +76,10 @@ func run(args []string) error {
 	shardFlag := fs.String("shard", "", "run only shard I/M (0-based, e.g. 0/2) of one shardable experiment; requires -out")
 	outFlag := fs.String("out", "", "file the shard's partial aggregates are written to (merge with sweepmerge)")
 	checkpoint := fs.String("checkpoint", "", "checkpoint file: progress is committed after every block and an interrupted run resumes from it (one shardable experiment)")
+	storeFlag := fs.String("store", "", "shared store directory for a leased run; executors pointing at the same store cooperate on one experiment (with -lease or -shard)")
+	leaseFlag := fs.Bool("lease", false, "join the store's work-stealing leased run: lease uncovered trial ranges, steal straggler tails, print the merged table when the space is covered; requires -store")
+	workerFlag := fs.String("worker", "", "this executor's id in the leased run (default host-pid)")
+	grainsFlag := fs.Int("grains", 0, "grains each size's trial space is quantized into for leasing (0 = engine default; all executors of a run must agree)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -108,17 +122,40 @@ func run(args []string) error {
 	if *shardFlag == "" && *outFlag != "" {
 		return fmt.Errorf("-out only makes sense with -shard")
 	}
-	if *shardFlag != "" || *checkpoint != "" {
+	if *shardFlag != "" || *checkpoint != "" || *storeFlag != "" || *leaseFlag {
 		if len(selected) != 1 {
-			return fmt.Errorf("-shard/-checkpoint need a single -e experiment, not %q", *expID)
+			return fmt.Errorf("-shard/-checkpoint/-store/-lease need a single -e experiment, not %q", *expID)
 		}
 		if !selected[0].Shardable() {
-			return fmt.Errorf("%s does not expose its sweeps; it cannot run sharded or checkpointed", selected[0].ID)
+			return fmt.Errorf("%s does not expose its sweeps; it cannot run sharded, checkpointed or leased", selected[0].ID)
 		}
 	}
-	if *shardFlag != "" {
+	// Leased-mode flag discipline: the store replaces both the checkpoint
+	// (progress lives in per-grain completion records) and the shard file
+	// (sweepmerge -store collects from the store directly).
+	if *leaseFlag && *storeFlag == "" {
+		return fmt.Errorf("-lease needs -store, the directory the executors share")
+	}
+	if *leaseFlag && *shardFlag != "" {
+		return fmt.Errorf("-lease (work stealing) and -shard (static split) are mutually exclusive schedules")
+	}
+	if *storeFlag != "" {
+		if !*leaseFlag && *shardFlag == "" {
+			return fmt.Errorf("-store needs a schedule: -lease (work stealing) or -shard I/M (static)")
+		}
+		if *checkpoint != "" {
+			return fmt.Errorf("-store and -checkpoint are mutually exclusive; leased progress is checkpointed in the store's completion records")
+		}
+		if *outFlag != "" {
+			return fmt.Errorf("-store and -out are mutually exclusive; merge a leased run with sweepmerge -store")
+		}
+	}
+	if *storeFlag == "" && (*workerFlag != "" || *grainsFlag != 0) {
+		return fmt.Errorf("-worker/-grains only make sense with -store")
+	}
+	if *shardFlag != "" && *storeFlag == "" {
 		if *outFlag == "" {
-			return fmt.Errorf("-shard needs -out to store the partial aggregates")
+			return fmt.Errorf("-shard needs -out to store the partial aggregates (or -store for a leased run)")
 		}
 		if *asCSV || *asJSON {
 			return fmt.Errorf("-shard writes aggregates, not tables; drop -csv/-json and render via sweepmerge")
@@ -161,6 +198,68 @@ func run(args []string) error {
 		}()
 	}
 
+	// jsonTable pairs an experiment's metadata with its rendered table for
+	// the machine-readable output mode.
+	type jsonTable struct {
+		ID    string             `json:"id"`
+		Title string             `json:"title"`
+		Claim string             `json:"claim"`
+		Table *experiments.Table `json:"table"`
+	}
+
+	// Leased mode: join (or start) the store's run for this experiment.
+	// Dynamic executors (-lease) return only once the whole trial space is
+	// covered, so they can merge and print the final table themselves;
+	// static ones (-shard I/M) exit after their own slice and leave the
+	// merge to sweepmerge -store, like the shard-file flow.
+	if *storeFlag != "" {
+		st, err := sweep.NewDirStore(*storeFlag)
+		if err != nil {
+			return err
+		}
+		opts := sweep.LeaseOptions{Worker: *workerFlag, GrainsPerSize: *grainsFlag}
+		if opts.Worker == "" {
+			opts.Worker = defaultWorker()
+		}
+		if *shardFlag != "" {
+			shard, err := parseShard(*shardFlag)
+			if err != nil {
+				return err
+			}
+			opts.Static = shard
+		}
+		e := selected[0]
+		stats, err := experiments.RunLeasedSweeps(ctx, e, cfg, st, opts)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "avgbench: %s leased run in %s as %s: %d grains (%d duplicate), %d claims, %d steals, %d adopted, %d speculated\n",
+			e.ID, *storeFlag, opts.Worker, stats.Grains, stats.Duplicates, stats.Claims, stats.Steals, stats.Adopted, stats.Speculated)
+		if *shardFlag != "" {
+			// This executor only owes its own slice; the run may still be
+			// incomplete until every static peer has finished.
+			fmt.Fprintf(os.Stderr, "avgbench: merge with: sweepmerge -store %s\n", *storeFlag)
+			return nil
+		}
+		tab, err := experiments.MergeLeased(e, cfg, st)
+		if err != nil {
+			return err
+		}
+		switch {
+		case *asJSON:
+			out := []jsonTable{{ID: e.ID, Title: e.Title, Claim: e.Claim, Table: tab}}
+			enc := json.NewEncoder(os.Stdout)
+			enc.SetIndent("", "  ")
+			return enc.Encode(out)
+		case *asCSV:
+			return tab.WriteCSV(csv.NewWriter(os.Stdout))
+		default:
+			fmt.Printf("== %s: %s\n   claim: %s\n", e.ID, e.Title, e.Claim)
+			fmt.Println(tab.Render())
+		}
+		return nil
+	}
+
 	// Shard mode: execute this process's slice of the trial space and
 	// write the partial aggregates; sweepmerge renders the final table
 	// once every shard file exists. RunShardToFile opens -out before the
@@ -179,14 +278,6 @@ func run(args []string) error {
 		return nil
 	}
 
-	// jsonTable pairs an experiment's metadata with its rendered table for
-	// the machine-readable output mode.
-	type jsonTable struct {
-		ID    string             `json:"id"`
-		Title string             `json:"title"`
-		Claim string             `json:"claim"`
-		Table *experiments.Table `json:"table"`
-	}
 	var jsonOut []jsonTable
 
 	for _, e := range selected {
@@ -225,6 +316,25 @@ func run(args []string) error {
 		return enc.Encode(jsonOut)
 	}
 	return nil
+}
+
+// defaultWorker derives a store-name-safe executor id from the host name
+// and pid — unique enough for executors that share a store the intended
+// way (one per process), and self-describing in `ls <store>/…/lease/`.
+func defaultWorker() string {
+	host, err := os.Hostname()
+	if err != nil || host == "" {
+		host = "worker"
+	}
+	safe := strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9',
+			r == '.', r == '_', r == '-':
+			return r
+		}
+		return '-'
+	}, host)
+	return fmt.Sprintf("%s-%d", safe, os.Getpid())
 }
 
 // parseShard parses an "I/M" flag value (0-based index I of M shards).

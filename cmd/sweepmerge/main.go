@@ -14,9 +14,17 @@
 //	sweepmerge -csv s0.json s1.json     # machine-readable, like avgbench -csv
 //	sweepmerge -json s0.json s1.json    # metadata + table, like avgbench -json
 //
+// It also merges leased runs (avgbench -store DIR -lease / -shard): the
+// store is self-describing — its manifest names the experiment and config
+// — so the merge needs only the directory:
+//
+//	sweepmerge -store run/              # the store's one leased run
+//	sweepmerge -store run/ -run E6      # disambiguate a multi-run store
+//
 // Mismatched inputs — different experiments, seeds, sizes or shard counts,
-// duplicate or missing indices, corrupted or mis-versioned files — are
-// rejected with a descriptive error before anything is merged.
+// duplicate or missing indices, overlapping trial-range claims, corrupted
+// or mis-versioned files, incomplete leased runs — are rejected with a
+// descriptive error before anything is merged.
 package main
 
 import (
@@ -25,8 +33,10 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"repro/internal/experiments"
+	"repro/internal/sweep"
 )
 
 func main() {
@@ -40,6 +50,8 @@ func run(args []string) error {
 	fs := flag.NewFlagSet("sweepmerge", flag.ContinueOnError)
 	asCSV := fs.Bool("csv", false, "emit CSV instead of aligned text")
 	asJSON := fs.Bool("json", false, "emit JSON (table plus metadata)")
+	storeFlag := fs.String("store", "", "merge a leased run from this store directory instead of shard files")
+	runFlag := fs.String("run", "", "experiment ID of the leased run to merge, when the store holds several")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -47,24 +59,39 @@ func run(args []string) error {
 		return fmt.Errorf("-csv and -json are mutually exclusive")
 	}
 	paths := fs.Args()
-	if len(paths) == 0 {
-		return fmt.Errorf("no shard files given")
+	if *runFlag != "" && *storeFlag == "" {
+		return fmt.Errorf("-run only makes sense with -store")
 	}
 
-	files := make([]*experiments.ShardFile, len(paths))
-	for i, p := range paths {
-		f, err := os.Open(p)
-		if err != nil {
-			return err
+	var (
+		e   experiments.Experiment
+		tab *experiments.Table
+		err error
+	)
+	if *storeFlag != "" {
+		if len(paths) != 0 {
+			return fmt.Errorf("-store and shard files are mutually exclusive inputs")
 		}
-		sf, rerr := experiments.ReadShardFile(f)
-		f.Close()
-		if rerr != nil {
-			return fmt.Errorf("%s: %w", p, rerr)
+		e, tab, err = mergeStore(*storeFlag, *runFlag)
+	} else {
+		if len(paths) == 0 {
+			return fmt.Errorf("no shard files given (or use -store for a leased run)")
 		}
-		files[i] = sf
+		files := make([]*experiments.ShardFile, len(paths))
+		for i, p := range paths {
+			f, oerr := os.Open(p)
+			if oerr != nil {
+				return oerr
+			}
+			sf, rerr := experiments.ReadShardFile(f)
+			f.Close()
+			if rerr != nil {
+				return fmt.Errorf("%s: %w", p, rerr)
+			}
+			files[i] = sf
+		}
+		e, tab, err = experiments.MergeShards(files...)
 	}
-	e, tab, err := experiments.MergeShards(files...)
 	if err != nil {
 		return err
 	}
@@ -89,4 +116,51 @@ func run(args []string) error {
 		fmt.Println(tab.Render())
 	}
 	return nil
+}
+
+// mergeStore collects a leased run from a store directory. The store's
+// manifests say what it holds; runID (an experiment ID) narrows the choice
+// when executors for several experiments shared one directory.
+func mergeStore(dir, runID string) (experiments.Experiment, *experiments.Table, error) {
+	var none experiments.Experiment
+	st, err := sweep.NewDirStore(dir)
+	if err != nil {
+		return none, nil, err
+	}
+	runs, err := experiments.FindLeasedRuns(st)
+	if err != nil {
+		return none, nil, err
+	}
+	if runID != "" {
+		matched := runs[:0]
+		for _, r := range runs {
+			if strings.EqualFold(r.Experiment, runID) {
+				matched = append(matched, r)
+			}
+		}
+		runs = matched
+	}
+	switch len(runs) {
+	case 0:
+		if runID != "" {
+			return none, nil, fmt.Errorf("%s holds no leased %s run", dir, runID)
+		}
+		return none, nil, fmt.Errorf("%s holds no leased runs", dir)
+	case 1:
+	default:
+		var ids []string
+		for _, r := range runs {
+			ids = append(ids, r.Experiment)
+		}
+		return none, nil, fmt.Errorf("%s holds %d leased runs (%s); pick one with -run", dir, len(runs), strings.Join(ids, ", "))
+	}
+	e, err := experiments.Get(runs[0].Experiment)
+	if err != nil {
+		return none, nil, err
+	}
+	tab, err := experiments.MergeLeased(e, runs[0].Config, st)
+	if err != nil {
+		return none, nil, err
+	}
+	return e, tab, nil
 }

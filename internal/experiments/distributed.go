@@ -18,7 +18,6 @@ import (
 	"reflect"
 	"sort"
 
-	"repro/internal/ids"
 	"repro/internal/sweep"
 )
 
@@ -38,6 +37,11 @@ type ShardFile struct {
 	Config     Config          `json:"config"`
 	Shard      sweep.Shard     `json:"shard"`
 	Results    []*sweep.Result `json:"results"`
+	// Ranges records, per sweep and per size, the trial range the
+	// aggregates actually cover — the file's explicit claim, checked for
+	// cross-file disjointness at merge time. Files written before this
+	// field existed omit it; the merge then derives the claim from Shard.
+	Ranges [][]sweep.TrialRange `json:"ranges,omitempty"`
 }
 
 // WriteShardFile serializes the shard's aggregates with the versioned
@@ -62,6 +66,24 @@ func ReadShardFile(r io.Reader) (*ShardFile, error) {
 		}
 		if err := sweep.ValidateResult(res); err != nil {
 			return nil, err
+		}
+	}
+	if f.Ranges != nil {
+		if len(f.Ranges) != len(f.Results) {
+			return nil, &sweep.DecodeError{Format: formatShard,
+				Reason: fmt.Sprintf("%d range claims for %d sweeps", len(f.Ranges), len(f.Results))}
+		}
+		for k, rs := range f.Ranges {
+			if len(rs) != len(f.Results[k].Sizes) {
+				return nil, &sweep.DecodeError{Format: formatShard,
+					Reason: fmt.Sprintf("sweep %d: %d range claims for %d sizes", k, len(rs), len(f.Results[k].Sizes))}
+			}
+			for i, r := range rs {
+				if r.T0 < 0 || r.T0 > r.T1 {
+					return nil, &sweep.DecodeError{Format: formatShard,
+						Reason: fmt.Sprintf("sweep %d size %d: invalid range claim [%d,%d)", k, i, r.T0, r.T1)}
+				}
+			}
 		}
 	}
 	return f, nil
@@ -242,7 +264,35 @@ func RunShard(ctx context.Context, e Experiment, cfg Config, shard sweep.Shard, 
 	if err != nil {
 		return nil, err
 	}
-	return &ShardFile{Experiment: e.ID, Config: cfg, Shard: shard, Results: results}, nil
+	ranges, err := shardRanges(e, cfg, shard)
+	if err != nil {
+		return nil, err
+	}
+	return &ShardFile{Experiment: e.ID, Config: cfg, Shard: shard, Results: results, Ranges: ranges}, nil
+}
+
+// shardRanges spells out the trial range a shard's aggregates cover, per
+// sweep and size — the explicit claim MergeShards checks for cross-file
+// disjointness.
+func shardRanges(e Experiment, cfg Config, shard sweep.Shard) ([][]sweep.TrialRange, error) {
+	specs, err := e.Sweeps(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: %s sweeps: %w", e.ID, err)
+	}
+	ranges := make([][]sweep.TrialRange, len(specs))
+	for k := range specs {
+		plan := sweep.PlanOf(specs[k])
+		counts, err := plan.Counts()
+		if err != nil {
+			return nil, fmt.Errorf("experiments: %s sweep %d: %w", e.ID, k, err)
+		}
+		ranges[k] = make([]sweep.TrialRange, len(counts))
+		for i, total := range counts {
+			lo, hi := shard.Range(total)
+			ranges[k][i] = sweep.TrialRange{T0: lo, T1: hi}
+		}
+	}
+	return ranges, nil
 }
 
 // RunShardToFile is the durable form of RunShard: it opens outPath up
@@ -312,6 +362,22 @@ func MergeShards(files ...*ShardFile) (Experiment, *Table, error) {
 	if err != nil {
 		return Experiment{}, nil, fmt.Errorf("experiments: %s sweeps: %w", e.ID, err)
 	}
+	countsBySweep := make([][]int, len(specs))
+	for k := range specs {
+		if countsBySweep[k], err = sweep.PlanOf(specs[k]).Counts(); err != nil {
+			return Experiment{}, nil, fmt.Errorf("experiments: %s sweep %d: %w", e.ID, k, err)
+		}
+	}
+	// claims[k][i] collects every file's trial-range claim at (sweep, size)
+	// for the cross-file disjointness and coverage check below.
+	type claim struct {
+		r     sweep.TrialRange
+		shard sweep.Shard
+	}
+	claims := make([][][]claim, len(specs))
+	for k := range specs {
+		claims[k] = make([][]claim, len(specs[k].Sizes))
+	}
 	seen := make([]bool, m)
 	for _, f := range files {
 		if f.Experiment != first.Experiment {
@@ -342,28 +408,68 @@ func MergeShards(files ...*ShardFile) (Experiment, *Table, error) {
 				return Experiment{}, nil, fmt.Errorf("experiments: shard %d/%d sweep %d has %d sizes, %s expects %d",
 					idx, m, k, len(res.Sizes), e.ID, len(specs[k].Sizes))
 			}
-			plan := sweep.PlanOf(specs[k])
 			for i := range res.Sizes {
 				if res.Sizes[i].N != specs[k].Sizes[i] {
 					return Experiment{}, nil, fmt.Errorf("experiments: shard %d/%d sweep %d size %d is n=%d, %s expects n=%d",
 						idx, m, k, i, res.Sizes[i].N, e.ID, specs[k].Sizes[i])
 				}
-				// Every shard owes exactly the trials of its contiguous
-				// slice; a truncated-but-self-consistent aggregate must be
-				// rejected here, not silently averaged into the table.
-				total := plan.Trials
-				if plan.Exhaustive {
-					fac, err := ids.Factorial(res.Sizes[i].N)
-					if err != nil {
-						return Experiment{}, nil, fmt.Errorf("experiments: %s sweep %d size n=%d: %w", e.ID, k, res.Sizes[i].N, err)
-					}
-					total = int(fac)
-				}
+				// Every file's aggregate must carry exactly the trials of
+				// the range it claims — the explicit Ranges claim when
+				// present, its shard's contiguous slice otherwise. A
+				// truncated-but-self-consistent aggregate is rejected here,
+				// not silently averaged into the table.
+				total := countsBySweep[k][i]
 				lo, hi := f.Shard.Range(total)
+				if f.Ranges != nil {
+					lo, hi = f.Ranges[k][i].T0, f.Ranges[k][i].T1
+				}
+				if hi > total {
+					return Experiment{}, nil, fmt.Errorf("experiments: shard %d/%d sweep %d size n=%d claims trials [%d,%d), the space ends at %d",
+						idx, m, k, res.Sizes[i].N, lo, hi, total)
+				}
 				if res.Sizes[i].Trials != hi-lo {
-					return Experiment{}, nil, fmt.Errorf("experiments: shard %d/%d sweep %d size n=%d carries %d trials, its slice owes %d",
+					return Experiment{}, nil, fmt.Errorf("experiments: shard %d/%d sweep %d size n=%d carries %d trials, its claimed range owes %d",
 						idx, m, k, res.Sizes[i].N, res.Sizes[i].Trials, hi-lo)
 				}
+				// The extremal trial indices are absolute coordinates; a
+				// duplicated file relabelled as another shard still points
+				// at the original slice and is caught here even when the
+				// trial counts happen to match.
+				if res.Sizes[i].Trials > 0 {
+					for _, ti := range []int{res.Sizes[i].WorstAvgTrial, res.Sizes[i].WorstMaxTrial, res.Sizes[i].BestAvgTrial} {
+						if ti < lo || ti >= hi {
+							return Experiment{}, nil, fmt.Errorf("experiments: shard %d/%d sweep %d size n=%d: extremal trial %d lies outside its claimed range [%d,%d)",
+								idx, m, k, res.Sizes[i].N, ti, lo, hi)
+						}
+					}
+				}
+				claims[k][i] = append(claims[k][i], claim{r: sweep.TrialRange{T0: lo, T1: hi}, shard: f.Shard})
+			}
+		}
+	}
+	// Cross-file check: at every (sweep, size) the claimed ranges must tile
+	// the trial space exactly once. An overlap means the same trials would
+	// be double-counted — a typed *sweep.OverlapError the callers
+	// (cmd/sweepmerge) can distinguish from I/O trouble.
+	for k := range claims {
+		for i := range claims[k] {
+			cs := claims[k][i]
+			sort.Slice(cs, func(a, b int) bool { return cs[a].r.T0 < cs[b].r.T0 })
+			cur := 0
+			var prev sweep.TrialRange
+			for _, c := range cs {
+				if c.r.T0 < cur {
+					return Experiment{}, nil, &sweep.OverlapError{N: specs[k].Sizes[i], A: prev, B: c.r}
+				}
+				if c.r.T0 > cur {
+					return Experiment{}, nil, fmt.Errorf("experiments: sweep %d size n=%d: trials [%d,%d) claimed by no shard",
+						k, specs[k].Sizes[i], cur, c.r.T0)
+				}
+				prev, cur = c.r, c.r.T1
+			}
+			if cur != countsBySweep[k][i] {
+				return Experiment{}, nil, fmt.Errorf("experiments: sweep %d size n=%d: trials [%d,%d) claimed by no shard",
+					k, specs[k].Sizes[i], cur, countsBySweep[k][i])
 			}
 		}
 	}

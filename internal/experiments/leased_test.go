@@ -1,0 +1,194 @@
+package experiments
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/sweep"
+)
+
+// TestLeasedRunTablesByteIdentical is the lease-mode acceptance at the
+// table level: for E2, E6 and the exhaustive E10, executing through the
+// lease protocol and collecting from the store renders byte-identical
+// tables to a single-process run.
+func TestLeasedRunTablesByteIdentical(t *testing.T) {
+	cases := []struct {
+		id  string
+		cfg Config
+	}{
+		{"E2", Config{Seed: 7, Sizes: []int{16, 32, 64}, Trials: 6}},
+		{"E6", Config{Seed: 11, Sizes: []int{16, 33}, Trials: 9}},
+		{"E10", Config{Seed: 3, Sizes: []int{5, 6}, Trials: 60}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.id, func(t *testing.T) {
+			e, err := Get(tc.id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := e.Run(context.Background(), tc.cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			st := sweep.NewMemStore()
+			stats, err := RunLeasedSweeps(context.Background(), e, tc.cfg, st,
+				sweep.LeaseOptions{Worker: "solo", GrainsPerSize: 4})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if stats.Grains == 0 {
+				t.Errorf("no grains executed: %+v", stats)
+			}
+			got, err := MergeLeased(e, tc.cfg, st)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if want.Render() != got.Render() {
+				t.Errorf("leased table differs from single process\nwant:\n%s\ngot:\n%s",
+					want.Render(), got.Render())
+			}
+			// The store is self-describing: the manifest names the run.
+			runs, err := FindLeasedRuns(st)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(runs) != 1 || runs[0].Experiment != tc.id {
+				t.Errorf("FindLeasedRuns = %+v, want one %s run", runs, tc.id)
+			}
+		})
+	}
+}
+
+// TestLeasedConcurrentExecutorsIdentical runs three unequal-speed executors
+// concurrently over one store — the in-process version of three machines —
+// and demands the single-process bytes.
+func TestLeasedConcurrentExecutorsIdentical(t *testing.T) {
+	e, err := Get("E6")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{Seed: 13, Sizes: []int{16, 24}, Trials: 30}
+	want, err := e.Run(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := sweep.NewMemStore()
+	delays := []time.Duration{0, time.Millisecond, 2 * time.Millisecond}
+	var wg sync.WaitGroup
+	errs := make([]error, len(delays))
+	for i := range delays {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, errs[i] = RunLeasedSweeps(context.Background(), e, cfg, st, sweep.LeaseOptions{
+				Worker:        fmt.Sprintf("w%d", i),
+				GrainsPerSize: 6,
+				Poll:          time.Millisecond,
+				Throttle:      func(sweep.Block) { time.Sleep(delays[i]) },
+			})
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("executor %d: %v", i, err)
+		}
+	}
+	got, err := MergeLeased(e, cfg, st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want.Render() != got.Render() {
+		t.Errorf("concurrent leased table differs from single process\nwant:\n%s\ngot:\n%s",
+			want.Render(), got.Render())
+	}
+}
+
+// TestLeasedManifestRejectsForeignRun: a store holding one (experiment,
+// config) run must turn away an executor or merger presenting another.
+func TestLeasedManifestRejectsForeignRun(t *testing.T) {
+	e, err := Get("E6")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{Seed: 1, Sizes: []int{16}, Trials: 4}
+	st := sweep.NewMemStore()
+	if _, err := RunLeasedSweeps(context.Background(), e, cfg, st,
+		sweep.LeaseOptions{Worker: "a", GrainsPerSize: 2}); err != nil {
+		t.Fatal(err)
+	}
+	// Same prefix, different config — only possible if someone plants a
+	// manifest by hand, but the executor must still refuse to join.
+	other := cfg
+	other.Trials = 8
+	var buf bytes.Buffer
+	if err := sweep.EncodeFile(&buf, formatLeaseManifest,
+		&LeaseManifest{Experiment: "E6", Config: other}); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Put(manifestKey(LeaseRunPrefix(e, cfg)), buf.Bytes()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RunLeasedSweeps(context.Background(), e, cfg, st,
+		sweep.LeaseOptions{Worker: "b", GrainsPerSize: 2}); err == nil {
+		t.Fatal("foreign manifest: want error")
+	}
+	// A different config addresses a different namespace: merging it finds
+	// nothing rather than mixing runs.
+	if _, err := MergeLeased(e, other, st); err == nil {
+		t.Fatal("merge of an absent run: want error")
+	}
+}
+
+// TestMergeShardsRejectsOverlappingRanges is the double-counting
+// satellite: shard files whose trial-range claims overlap — the classic
+// forgery being one file duplicated and relabelled as another shard index
+// — must fail with the typed *sweep.OverlapError, or with the extremal
+// containment check when the forgery drops the explicit claims.
+func TestMergeShardsRejectsOverlappingRanges(t *testing.T) {
+	e, err := Get("E6")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{Seed: 2, Sizes: []int{16, 24}, Trials: 20}
+	a, err := RunShard(context.Background(), e, cfg, sweep.Shard{Index: 0, Count: 2}, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Forgery 1: duplicate shard 0, relabel it shard 1, keep its recorded
+	// ranges. The claims collide and the merge says so, typed.
+	dup := *a
+	dup.Shard = sweep.Shard{Index: 1, Count: 2}
+	var ov *sweep.OverlapError
+	if _, _, err := MergeShards(a, &dup); !errors.As(err, &ov) {
+		t.Fatalf("relabelled duplicate with ranges: want *sweep.OverlapError, got %v", err)
+	}
+
+	// Forgery 2: same relabelling with the explicit claims stripped (a
+	// pre-Ranges file). Trial counts alone cannot tell — both slices owe 10
+	// trials — but the extremal trial indices still point into shard 0's
+	// slice and are caught.
+	bare := *a
+	bare.Shard = sweep.Shard{Index: 1, Count: 2}
+	bare.Ranges = nil
+	aBare := *a
+	aBare.Ranges = nil
+	if _, _, err := MergeShards(&aBare, &bare); err == nil {
+		t.Fatal("relabelled duplicate without ranges: want error")
+	}
+
+	// An honest complement still merges fine.
+	b, err := RunShard(context.Background(), e, cfg, sweep.Shard{Index: 1, Count: 2}, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := MergeShards(a, b); err != nil {
+		t.Fatalf("honest shard set: %v", err)
+	}
+}

@@ -2,9 +2,14 @@ package experiments
 
 import (
 	"context"
+	"fmt"
 	"math"
 	"strconv"
+	"sync"
 	"testing"
+	"time"
+
+	"repro/internal/sweep"
 )
 
 // TestSoakLargeSweeps runs the headline experiments at full paper scale.
@@ -73,5 +78,85 @@ func TestSoakLargeSweeps(t *testing.T) {
 				t.Errorf("CV radius %d at n=131072; log* plateau broken", v)
 			}
 		}
+	}
+}
+
+// TestSoakLeasedUnequalWorkers drives the headline distributed experiments
+// through the lease executor with three workers of deliberately unequal
+// speed (a per-grain sleep injected through Throttle) over a real
+// directory store. Two assertions: the merged tables are byte-identical to
+// the single-process run, and the speed gap actually exercised the steal
+// path — fast workers must have taken straggler tails, not waited.
+// Skipped under -short like the other soaks.
+func TestSoakLeasedUnequalWorkers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test skipped in -short mode")
+	}
+	cases := []struct {
+		id  string
+		cfg Config
+	}{
+		{"E2", Config{Seed: 3, Sizes: []int{1 << 10, 1 << 12}, Trials: 4}},
+		{"E6", Config{Seed: 5, Sizes: []int{64, 256}, Trials: 40}},
+		{"E10", Config{Seed: 7, Sizes: []int{5, 6}, Trials: 120}},
+	}
+	delays := []time.Duration{0, time.Millisecond, 3 * time.Millisecond}
+	var total sweep.LeaseStats
+	for _, tc := range cases {
+		t.Run(tc.id, func(t *testing.T) {
+			e, err := Get(tc.id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := e.Run(context.Background(), tc.cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			st, err := sweep.NewDirStore(t.TempDir())
+			if err != nil {
+				t.Fatal(err)
+			}
+			var (
+				wg sync.WaitGroup
+				mu sync.Mutex
+			)
+			errs := make([]error, len(delays))
+			for i := range delays {
+				wg.Add(1)
+				go func(i int) {
+					defer wg.Done()
+					stats, err := RunLeasedSweeps(context.Background(), e, tc.cfg, st, sweep.LeaseOptions{
+						Worker:         fmt.Sprintf("w%d", i),
+						GrainsPerSize:  8,
+						MaxLeaseGrains: 4,
+						Poll:           time.Millisecond,
+						Throttle:       func(sweep.Block) { time.Sleep(delays[i]) },
+					})
+					errs[i] = err
+					mu.Lock()
+					total.Add(stats)
+					mu.Unlock()
+				}(i)
+			}
+			wg.Wait()
+			for i, err := range errs {
+				if err != nil {
+					t.Fatalf("worker %d: %v", i, err)
+				}
+			}
+			got, err := MergeLeased(e, tc.cfg, st)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if want.Render() != got.Render() {
+				t.Errorf("leased soak table differs from single process\nwant:\n%s\ngot:\n%s",
+					want.Render(), got.Render())
+			}
+		})
+	}
+	// Across the three experiments the unequal speeds must have triggered
+	// work recovery: steals (or speculation on the last straggling grain).
+	if total.Steals == 0 {
+		t.Errorf("no steals across the whole soak; unequal workers never rebalanced: %+v", total)
 	}
 }

@@ -11,10 +11,10 @@ package sweep
 // double-counted.
 
 import (
+	"bytes"
 	"fmt"
 	"io"
 	"os"
-	"path/filepath"
 	"sync"
 )
 
@@ -131,30 +131,17 @@ func (c *Checkpoint) Validate() error {
 	return nil
 }
 
-// SaveFile writes an enveloped payload atomically: a temp file in the
-// target directory, synced, then renamed over path — a kill mid-write
-// leaves the previous file intact, never a torn one. It serves the
-// engine's own checkpoints and any caller framing files with EncodeFile
-// (the experiment layer's run checkpoints).
+// SaveFile writes an enveloped payload atomically via the same temp+rename
+// primitive DirStore.Put uses — a kill mid-write leaves the previous file
+// intact, never a torn one. It serves the engine's own checkpoints and any
+// caller framing files with EncodeFile (the experiment layer's run
+// checkpoints).
 func SaveFile(path, format string, payload any) error {
-	dir := filepath.Dir(path)
-	tmp, err := os.CreateTemp(dir, ".ckpt-*")
-	if err != nil {
-		return fmt.Errorf("sweep: %s temp file: %w", format, err)
-	}
-	defer os.Remove(tmp.Name()) // no-op after a successful rename
-	if err := EncodeFile(tmp, format, payload); err != nil {
-		tmp.Close()
+	var buf bytes.Buffer
+	if err := EncodeFile(&buf, format, payload); err != nil {
 		return err
 	}
-	if err := tmp.Sync(); err != nil {
-		tmp.Close()
-		return fmt.Errorf("sweep: sync %s: %w", format, err)
-	}
-	if err := tmp.Close(); err != nil {
-		return fmt.Errorf("sweep: close %s: %w", format, err)
-	}
-	if err := os.Rename(tmp.Name(), path); err != nil {
+	if err := atomicWriteFile(path, buf.Bytes()); err != nil {
 		return fmt.Errorf("sweep: commit %s: %w", format, err)
 	}
 	return nil

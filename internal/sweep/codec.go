@@ -29,6 +29,15 @@ const (
 	// FormatCheckpoint tags a serialized Checkpoint: a plan identity plus
 	// the completed blocks and their aggregates.
 	FormatCheckpoint = "sweep.checkpoint"
+	// FormatLeasePlan tags a lease run's identity record: the plan plus the
+	// grain schedule every cooperating executor must agree on (lease.go).
+	FormatLeasePlan = "sweep.leaseplan"
+	// FormatLease tags one executor's mutable claim record: the leased
+	// trial range, its progress cursor, heartbeat and fencing token.
+	FormatLease = "sweep.lease"
+	// FormatCompletion tags an immutable per-grain completion record: the
+	// block coordinate plus its aggregate.
+	FormatCompletion = "sweep.completion"
 )
 
 // DecodeError is the typed failure of every codec read: corrupted JSON, a

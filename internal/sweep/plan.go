@@ -1,6 +1,11 @@
 package sweep
 
-import "fmt"
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/ids"
+)
 
 // This file is the PLAN layer of the engine: the serializable description
 // of what a sweep executes — seed, sizes, trial space, shard range — and
@@ -102,6 +107,32 @@ func PlanOf(spec Spec) Plan {
 		Exhaustive: spec.Exhaustive,
 		Shard:      spec.Shard,
 	}
+}
+
+// Counts returns the per-size GLOBAL trial counts the plan's coordinates
+// range over: the sampled count everywhere, or the full n! rank space
+// under Exhaustive. This is the space Shard ranges, Done lists and lease
+// schedules are carved out of.
+func (p Plan) Counts() ([]int, error) {
+	trials := p.Trials
+	if trials <= 0 {
+		trials = 1
+	}
+	counts := make([]int, len(p.Sizes))
+	for i, n := range p.Sizes {
+		counts[i] = trials
+		if p.Exhaustive {
+			f, err := ids.Factorial(n)
+			if err != nil {
+				return nil, fmt.Errorf("sweep: exhaustive size %d: %w", n, err)
+			}
+			if f > math.MaxInt {
+				return nil, fmt.Errorf("sweep: exhaustive trial count %d overflows int at size %d", f, n)
+			}
+			counts[i] = int(f)
+		}
+	}
+	return counts, nil
 }
 
 // Equal reports whether two plans describe the same work.

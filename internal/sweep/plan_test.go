@@ -2,7 +2,9 @@ package sweep
 
 import (
 	"context"
+	"math/rand"
 	"reflect"
+	"sort"
 	"testing"
 )
 
@@ -70,6 +72,18 @@ func TestSubtractRanges(t *testing.T) {
 		{2, 8, []TrialRange{{0, 3}, {7, 12}}, []TrialRange{{3, 7}}},
 		{5, 6, []TrialRange{{0, 2}}, []TrialRange{{5, 6}}},
 		{0, 6, []TrialRange{{5, 6}}, []TrialRange{{0, 5}}},
+		// Edge cases the lease scheduler leans on: an empty window, Done
+		// covering the whole space and beyond, single-trial ranges and
+		// complements, and Done exactly tiling the window.
+		{3, 3, nil, nil},                                                           // empty window, nothing done
+		{3, 3, []TrialRange{{0, 10}}, nil},                                         // empty window, everything done
+		{0, 10, []TrialRange{{0, 25}}, nil},                                        // done overshoots the window
+		{4, 8, []TrialRange{{0, 4}, {8, 12}}, []TrialRange{{4, 8}}},                // done only outside
+		{0, 1, nil, []TrialRange{{0, 1}}},                                          // single-trial space
+		{0, 1, []TrialRange{{0, 1}}, nil},                                          // single-trial space, done
+		{0, 5, []TrialRange{{0, 1}, {2, 3}, {4, 5}}, []TrialRange{{1, 2}, {3, 4}}}, // single-trial holes
+		{0, 4, []TrialRange{{0, 2}, {2, 4}}, nil},                                  // exact tiling in two pieces
+		{7, 9, []TrialRange{{8, 9}}, []TrialRange{{7, 8}}},                         // tail already done
 	}
 	for _, c := range cases {
 		got := subtractRanges(c.lo, c.hi, c.done)
@@ -181,5 +195,102 @@ func TestDoneValidation(t *testing.T) {
 	spec.Done = [][]TrialRange{{{T0: 0, T1: 2}}, nil}
 	if _, err := Run(context.Background(), spec); err != nil {
 		t.Errorf("valid Done rejected: %v", err)
+	}
+	// The degenerate extremes are valid too: Done covering the whole space
+	// (nothing left to run) and single-trial ranges tiling it.
+	spec = cycleSpec(1, []int{8, 12}, 5, 1)
+	spec.Done = [][]TrialRange{{{T0: 0, T1: 5}}, {{T0: 0, T1: 5}}}
+	res, err := Run(context.Background(), spec)
+	if err != nil {
+		t.Fatalf("fully-done spec rejected: %v", err)
+	}
+	for i, s := range res.Sizes {
+		if s.Trials != 0 {
+			t.Errorf("fully-done run executed %d trials at size %d", s.Trials, i)
+		}
+	}
+	spec = cycleSpec(1, []int{8, 12}, 5, 1)
+	spec.Done = [][]TrialRange{{{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 5}}, {{1, 2}, {3, 4}}}
+	if _, err := Run(context.Background(), spec); err != nil {
+		t.Errorf("single-trial Done tiling rejected: %v", err)
+	}
+}
+
+// TestLeasePartitionProperty is the merge's property test: ANY partition
+// of the trial space into ranges — executed independently, each as its own
+// "lease" with the rest of the space declared done, in shuffled order —
+// folds back to the bytes of the uninterrupted run. This is the invariant
+// the whole lease protocol rests on; grains are just one such partition.
+func TestLeasePartitionProperty(t *testing.T) {
+	spec := cycleSpec(17, []int{9, 13}, 24, 2)
+	want, err := Run(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := []int{24, 24}
+	for trial := 0; trial < 12; trial++ {
+		rng := rand.New(rand.NewSource(int64(trial)))
+		// Draw a random partition of every size's trial space.
+		type piece struct {
+			size int
+			r    TrialRange
+		}
+		var pieces []piece
+		for i, c := range counts {
+			cur := 0
+			for cur < c {
+				w := 1 + rng.Intn(c-cur)
+				pieces = append(pieces, piece{size: i, r: TrialRange{T0: cur, T1: cur + w}})
+				cur += w
+			}
+		}
+		rng.Shuffle(len(pieces), func(a, b int) { pieces[a], pieces[b] = pieces[b], pieces[a] })
+		// Execute each piece independently: Done = complement of the piece.
+		got := &Result{Sizes: make([]SizeStats, len(counts))}
+		for i, n := range spec.Sizes {
+			got.Sizes[i].N = n
+		}
+		type keyed struct {
+			piece
+			stats SizeStats
+		}
+		var parts []keyed
+		for _, p := range pieces {
+			s := spec
+			done := make([][]TrialRange, len(counts))
+			for j, c := range counts {
+				if j != p.size {
+					done[j] = []TrialRange{{T0: 0, T1: c}}
+					continue
+				}
+				var rs []TrialRange
+				if p.r.T0 > 0 {
+					rs = append(rs, TrialRange{T0: 0, T1: p.r.T0})
+				}
+				if p.r.T1 < c {
+					rs = append(rs, TrialRange{T0: p.r.T1, T1: c})
+				}
+				done[j] = rs
+			}
+			s.Done = done
+			res, err := Run(context.Background(), s)
+			if err != nil {
+				t.Fatalf("trial %d piece %+v: %v", trial, p, err)
+			}
+			parts = append(parts, keyed{piece: p, stats: res.Sizes[p.size]})
+		}
+		// Fold in ascending trial order per size, the way CollectLeased does.
+		sort.Slice(parts, func(a, b int) bool {
+			if parts[a].size != parts[b].size {
+				return parts[a].size < parts[b].size
+			}
+			return parts[a].r.T0 < parts[b].r.T0
+		})
+		for _, p := range parts {
+			got.Sizes[p.size].Merge(&p.stats)
+		}
+		if !reflect.DeepEqual(want, got) {
+			t.Fatalf("trial %d: partition fold differs from uninterrupted run\nwant: %+v\ngot:  %+v", trial, want, got)
+		}
 	}
 }
