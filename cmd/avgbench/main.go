@@ -47,14 +47,17 @@ import (
 	"strconv"
 	"strings"
 
+	"repro/internal/cli"
 	"repro/internal/experiments"
 	"repro/internal/sweep"
 )
 
 func main() {
 	if err := run(os.Args[1:]); err != nil {
-		fmt.Fprintln(os.Stderr, "avgbench:", err)
-		os.Exit(1)
+		// Typed failures exit distinctly: 2 = incomplete run (recoverable,
+		// finish the executors and retry), 3 = corrupt data (inspect the
+		// named record), 1 = anything else.
+		os.Exit(cli.Report(os.Stderr, "avgbench", err))
 	}
 }
 

@@ -1,0 +1,139 @@
+// Command sweepd is the resident sweep coordinator: a long-lived HTTP/JSON
+// service that accepts experiment sweep submissions, deduplicates them by
+// normalized-config identity, executes each job over supervised in-process
+// lease workers (panic recovery, backed-off crash restarts, a circuit
+// breaker for persistently failing jobs, a heartbeat watchdog for wedged
+// ones), and serves finished tables — byte-identical to the avgbench CLI —
+// from a content-addressed result cache over the store.
+//
+// Usage:
+//
+//	sweepd -store run/                        # serve on the default address
+//	sweepd -store run/ -addr 127.0.0.1:9090
+//	sweepd -store run/ -workers 4 -max-running 2
+//
+// Submit, poll, fetch:
+//
+//	curl -d '{"experiment":"E6","config":{"seed":5}}' localhost:8350/jobs
+//	curl localhost:8350/jobs/<id>
+//	curl localhost:8350/jobs/<id>/table
+//
+// All durable state is in the store: kill the daemon however you like
+// (SIGKILL included), restart it against the same -store, and it re-attaches
+// to unfinished runs and resumes them from their completed grains. SIGTERM
+// drains gracefully — submissions are refused, workers are cancelled, and
+// already-published grains stay durable for the next life.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/serve"
+	"repro/internal/sweep"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "sweepd:", err)
+		os.Exit(1)
+	}
+}
+
+// onListen, when set by tests, receives the bound address before serving
+// starts — how a test runs the daemon on "127.0.0.1:0" and still finds it.
+var onListen func(addr string)
+
+func run(ctx context.Context, args []string) error {
+	fs := flag.NewFlagSet("sweepd", flag.ContinueOnError)
+	addr := fs.String("addr", "127.0.0.1:8350", "HTTP listen address")
+	storeFlag := fs.String("store", "", "store directory all durable state lives in (required); restarting against the same store resumes unfinished jobs")
+	workers := fs.Int("workers", 2, "in-process lease workers per running job")
+	maxRunning := fs.Int("max-running", 2, "jobs executing concurrently; admitted jobs beyond this wait queued")
+	queueLimit := fs.Int("queue", 64, "admitted jobs (queued+running) before submissions get 429")
+	maxAttempts := fs.Int("max-attempts", 5, "consecutive worker deaths without progress before a job is parked as failed")
+	jobTimeout := fs.Duration("job-timeout", 0, "wall-clock cap per job (0 = no limit)")
+	wedgeTimeout := fs.Duration("wedge-timeout", 30*time.Second, "watchdog interval for wedge detection; a wave frozen for two intervals is cancelled and replaced (negative disables)")
+	grains := fs.Int("grains", 0, "grains each size's trial space is quantized into (0 = engine default)")
+	noResume := fs.Bool("no-resume", false, "skip re-attaching to the store's unfinished runs on startup")
+	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "how long a SIGTERM drain may take before the daemon gives up waiting")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *storeFlag == "" {
+		return fmt.Errorf("-store is required: the directory jobs run over (and resume from)")
+	}
+	st, err := sweep.NewDirStore(*storeFlag)
+	if err != nil {
+		return err
+	}
+	logger := log.New(os.Stderr, "sweepd: ", log.LstdFlags)
+	c, err := serve.New(serve.Options{
+		Store:        st,
+		Workers:      *workers,
+		MaxRunning:   *maxRunning,
+		QueueLimit:   *queueLimit,
+		MaxAttempts:  *maxAttempts,
+		JobTimeout:   *jobTimeout,
+		WedgeTimeout: *wedgeTimeout,
+		Grains:       *grains,
+		Logf:         logger.Printf,
+	})
+	if err != nil {
+		return err
+	}
+	if !*noResume {
+		n, err := c.Resume()
+		if err != nil {
+			// A store we cannot even list is a store we cannot serve from.
+			return fmt.Errorf("resume from %s: %w", *storeFlag, err)
+		}
+		if n > 0 {
+			logger.Printf("resumed %d unfinished job(s) from %s", n, *storeFlag)
+		}
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	logger.Printf("listening on %s (store %s)", ln.Addr(), *storeFlag)
+	if onListen != nil {
+		onListen(ln.Addr().String())
+	}
+	srv := &http.Server{Handler: c.Handler()}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+
+	select {
+	case err := <-serveErr:
+		return err
+	case <-ctx.Done():
+	}
+	logger.Printf("draining: refusing new jobs, stopping workers (grains already completed stay durable)")
+	dctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := srv.Shutdown(dctx); err != nil {
+		logger.Printf("http shutdown: %v", err)
+	}
+	if err := c.Drain(dctx); err != nil {
+		return err
+	}
+	counts := c.JobCounts()
+	logger.Printf("drained: %d queued job(s) will resume on next start", counts[serve.StateQueued])
+	if err := <-serveErr; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	return nil
+}

@@ -1,0 +1,116 @@
+package main
+
+// End-to-end over the real daemon loop: run() with a live listener, the
+// HTTP API as a client sees it, and a SIGTERM-shaped shutdown (context
+// cancellation — exactly what signal.NotifyContext delivers).
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func TestRunRequiresStore(t *testing.T) {
+	if err := run(context.Background(), nil); err == nil || !strings.Contains(err.Error(), "-store") {
+		t.Fatalf("run without -store = %v, want the flag named", err)
+	}
+}
+
+func TestDaemonServesJobAndDrains(t *testing.T) {
+	store := filepath.Join(t.TempDir(), "run")
+	addrCh := make(chan string, 1)
+	onListen = func(a string) { addrCh <- a }
+	defer func() { onListen = nil }()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	runErr := make(chan error, 1)
+	go func() {
+		runErr <- run(ctx, []string{"-addr", "127.0.0.1:0", "-store", store})
+	}()
+	var base string
+	select {
+	case a := <-addrCh:
+		base = "http://" + a
+	case err := <-runErr:
+		t.Fatalf("daemon exited early: %v", err)
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon never listened")
+	}
+
+	cfg := experiments.Config{Seed: 11, Sizes: []int{16, 24}, Trials: 12}
+	body := fmt.Sprintf(`{"experiment":"E6","config":{"seed":%d,"sizes":[16,24],"trials":%d}}`,
+		cfg.Seed, cfg.Trials)
+	resp, err := http.Post(base+"/jobs", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st struct {
+		ID    string `json:"id"`
+		State string `json:"state"`
+	}
+	json.NewDecoder(resp.Body).Decode(&st)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("POST /jobs = %d", resp.StatusCode)
+	}
+
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		r, err := http.Get(base + "/jobs/" + st.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		json.NewDecoder(r.Body).Decode(&st)
+		r.Body.Close()
+		if st.State == "done" {
+			break
+		}
+		if st.State == "failed" || time.Now().After(deadline) {
+			t.Fatalf("job state %s", st.State)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	r, err := http.Get(base + "/jobs/" + st.ID + "/table")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got bytes.Buffer
+	got.ReadFrom(r.Body)
+	r.Body.Close()
+	e, err := experiments.Get("E6")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab, err := e.Run(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want bytes.Buffer
+	fmt.Fprintf(&want, "== %s: %s\n   claim: %s\n", e.ID, e.Title, e.Claim)
+	want.WriteString(tab.Render())
+	want.WriteByte('\n')
+	if !bytes.Equal(got.Bytes(), want.Bytes()) {
+		t.Errorf("daemon table differs from CLI bytes\nwant:\n%s\ngot:\n%s", want.String(), got.String())
+	}
+
+	// SIGTERM-shaped shutdown: cancel the run context and the daemon
+	// drains cleanly.
+	cancel()
+	select {
+	case err := <-runErr:
+		if err != nil {
+			t.Fatalf("drained daemon exited with %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("daemon never drained")
+	}
+}

@@ -30,19 +30,23 @@ package main
 import (
 	"encoding/csv"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
 
+	"repro/internal/cli"
 	"repro/internal/experiments"
 	"repro/internal/sweep"
 )
 
 func main() {
 	if err := run(os.Args[1:]); err != nil {
-		fmt.Fprintln(os.Stderr, "sweepmerge:", err)
-		os.Exit(1)
+		// Typed failures exit distinctly: 2 = incomplete run (recoverable,
+		// finish the executors and retry), 3 = corrupt data (inspect the
+		// named record), 1 = anything else.
+		os.Exit(cli.Report(os.Stderr, "sweepmerge", err))
 	}
 }
 
@@ -86,6 +90,11 @@ func run(args []string) error {
 			sf, rerr := experiments.ReadShardFile(f)
 			f.Close()
 			if rerr != nil {
+				// The codec only saw a reader; name the file for it.
+				var dec *sweep.DecodeError
+				if errors.As(rerr, &dec) && dec.Key == "" {
+					dec.Key = p
+				}
 				return fmt.Errorf("%s: %w", p, rerr)
 			}
 			files[i] = sf

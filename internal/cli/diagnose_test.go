@@ -1,0 +1,60 @@
+package cli
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/sweep"
+)
+
+func TestReportClassifiesAndNamesOffenders(t *testing.T) {
+	cases := []struct {
+		name     string
+		err      error
+		wantCode int
+		wantSubs []string
+	}{
+		{
+			name: "incomplete is recoverable",
+			err: fmt.Errorf("experiments: E6 sweep 0: %w",
+				&sweep.IncompleteError{N: 16, Missing: []sweep.TrialRange{{T0: 4, T1: 8}}, Prefix: "lease/e6-abc/s0"}),
+			wantCode: ExitIncomplete,
+			wantSubs: []string{"incomplete run", `"lease/e6-abc/s0"`, "caused by: sweep: n=16"},
+		},
+		{
+			name: "overlap is corrupt and names the record",
+			err: &sweep.OverlapError{N: 24, A: sweep.TrialRange{T0: 0, T1: 8},
+				B: sweep.TrialRange{T0: 4, T1: 12}, Key: "lease/e6-abc/s0/done/24-4"},
+			wantCode: ExitCorrupt,
+			wantSubs: []string{"corrupt data", "double-count", `"lease/e6-abc/s0/done/24-4"`},
+		},
+		{
+			name:     "decode is corrupt and names the file",
+			err:      fmt.Errorf("s1.json: %w", &sweep.DecodeError{Format: "shardfile", Reason: "bad json", Key: "s1.json"}),
+			wantCode: ExitCorrupt,
+			wantSubs: []string{"failed decoding", `"s1.json"`},
+		},
+		{
+			name:     "anything else is generic",
+			err:      errors.New("no shard files given"),
+			wantCode: ExitFailure,
+			wantSubs: []string{"no shard files given"},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var out strings.Builder
+			code := Report(&out, "tool", tc.err)
+			if code != tc.wantCode {
+				t.Errorf("code = %d, want %d\noutput:\n%s", code, tc.wantCode, out.String())
+			}
+			for _, sub := range tc.wantSubs {
+				if !strings.Contains(out.String(), sub) {
+					t.Errorf("output missing %q:\n%s", sub, out.String())
+				}
+			}
+		})
+	}
+}

@@ -41,10 +41,13 @@ type LeaseManifest struct {
 	Config     Config `json:"config"`
 }
 
-// LeaseRunPrefix is the store namespace of an (experiment, config) leased
-// run: the experiment id plus a short hash of the normalized config, so
-// runs of one experiment under different configs never share records.
-func LeaseRunPrefix(e Experiment, cfg Config) string {
+// JobKey is the normalized-config identity of an (experiment, config)
+// run: the experiment id plus a short hash of the result-affecting config
+// fields. Two submissions that must produce byte-identical tables —
+// parallelism knobs and perf toggles differ, nothing else — share a key,
+// which is what lets sweepd deduplicate "millions of users" submitting
+// the same sweep into one computation and one cached table.
+func JobKey(e Experiment, cfg Config) string {
 	raw, err := json.Marshal(normalizedConfig(cfg))
 	if err != nil {
 		// Config is plain scalars; Marshal cannot fail on it.
@@ -52,7 +55,14 @@ func LeaseRunPrefix(e Experiment, cfg Config) string {
 	}
 	h := fnv.New64a()
 	h.Write(raw)
-	return fmt.Sprintf("lease/%s-%016x", strings.ToLower(e.ID), h.Sum64())
+	return fmt.Sprintf("%s-%016x", strings.ToLower(e.ID), h.Sum64())
+}
+
+// LeaseRunPrefix is the store namespace of an (experiment, config) leased
+// run — the job key under "lease/", so runs of one experiment under
+// different configs never share records.
+func LeaseRunPrefix(e Experiment, cfg Config) string {
+	return "lease/" + JobKey(e, cfg)
 }
 
 func manifestKey(prefix string) string { return prefix + "/manifest" }
@@ -142,13 +152,38 @@ func MergeLeased(e Experiment, cfg Config, st sweep.Store) (*Table, error) {
 // FindLeasedRuns lists the leased runs a store holds, by reading every
 // manifest under "lease/". Torn or foreign manifests are skipped.
 func FindLeasedRuns(st sweep.Store) ([]LeaseManifest, error) {
+	runs, err := DiscoverLeasedRuns(st)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]LeaseManifest, len(runs))
+	for i, r := range runs {
+		out[i] = r.Manifest
+	}
+	return out, nil
+}
+
+// LeasedRun is one discovered run: its manifest plus the store prefix its
+// records live under.
+type LeasedRun struct {
+	Manifest LeaseManifest
+	Prefix   string
+}
+
+// DiscoverLeasedRuns lists the leased runs a store holds with their store
+// prefixes — the resumable-run discovery a restarted sweepd re-attaches
+// with: every manifest under "lease/" whose bytes decode names a run whose
+// durable per-grain progress is still in the store. Torn or foreign
+// manifests are skipped.
+func DiscoverLeasedRuns(st sweep.Store) ([]LeasedRun, error) {
 	names, err := st.List("lease/")
 	if err != nil {
 		return nil, err
 	}
-	var runs []LeaseManifest
+	var runs []LeasedRun
 	for _, name := range names {
-		if !strings.HasSuffix(name, "/manifest") {
+		prefix, ok := strings.CutSuffix(name, "/manifest")
+		if !ok {
 			continue
 		}
 		data, err := st.Get(name)
@@ -159,7 +194,30 @@ func FindLeasedRuns(st sweep.Store) ([]LeaseManifest, error) {
 		if derr := sweep.DecodeFile(bytes.NewReader(data), formatLeaseManifest, &mf); derr != nil {
 			continue
 		}
-		runs = append(runs, mf)
+		runs = append(runs, LeasedRun{Manifest: mf, Prefix: prefix})
 	}
 	return runs, nil
+}
+
+// LeasedProgress snapshots a leased run's per-sweep coverage and live
+// claims without joining it: one Progress per sweep, in Sweeps order. A
+// store holding no records for the run yet reports zero coverage.
+func LeasedProgress(e Experiment, cfg Config, st sweep.Store) ([]*sweep.Progress, error) {
+	if !e.Shardable() {
+		return nil, fmt.Errorf("experiments: %s does not expose its sweeps; it has no leased progress", e.ID)
+	}
+	specs, err := e.Sweeps(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: %s sweeps: %w", e.ID, err)
+	}
+	prefix := LeaseRunPrefix(e, cfg)
+	out := make([]*sweep.Progress, len(specs))
+	for k := range specs {
+		p, err := sweep.LeaseProgress(st, sweepPrefix(prefix, k), sweep.PlanOf(specs[k]))
+		if err != nil {
+			return nil, fmt.Errorf("experiments: %s sweep %d: %w", e.ID, k, err)
+		}
+		out[k] = p
+	}
+	return out, nil
 }

@@ -1,0 +1,143 @@
+package serve
+
+// The HTTP face of the coordinator: a small JSON API over the job queue.
+//
+//	POST /jobs            {"experiment":"E6","config":{…}} → JobStatus
+//	                      202 queued/running · 200 done/failed (idempotent)
+//	                      400 bad request · 429 queue full · 503 draining
+//	GET  /jobs/{id}       → JobStatus · 404
+//	GET  /jobs/{id}/table → the finished table, byte-identical to the
+//	                      avgbench CLI · 409 not ready · 500 failed · 404
+//	GET  /healthz         → 200 ok / 503 draining, with job counts
+//	GET  /metrics         → plain-text fleet counters
+//
+// Backpressure responses carry Retry-After so well-behaved clients pace
+// themselves instead of hammering a full queue.
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+
+	"repro/internal/experiments"
+)
+
+// submitRequest is the POST /jobs body.
+type submitRequest struct {
+	Experiment string             `json:"experiment"`
+	Config     experiments.Config `json:"config"`
+}
+
+// Handler returns the coordinator's HTTP API.
+func (c *Coordinator) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /jobs", c.handleSubmit)
+	mux.HandleFunc("GET /jobs/{id}", c.handleStatus)
+	mux.HandleFunc("GET /jobs/{id}/table", c.handleTable)
+	mux.HandleFunc("GET /healthz", c.handleHealthz)
+	mux.HandleFunc("GET /metrics", c.handleMetrics)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, map[string]string{"error": err.Error()})
+}
+
+func (c *Coordinator) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req submitRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("serve: bad submit body: %w", err))
+		return
+	}
+	if req.Experiment == "" {
+		writeError(w, http.StatusBadRequest, errors.New("serve: submit needs an experiment id"))
+		return
+	}
+	st, err := c.Submit(req.Experiment, req.Config)
+	switch {
+	case err == nil:
+	case errors.Is(err, ErrQueueFull):
+		w.Header().Set("Retry-After", "5")
+		writeError(w, http.StatusTooManyRequests, err)
+		return
+	case errors.Is(err, ErrDraining):
+		w.Header().Set("Retry-After", "10")
+		writeError(w, http.StatusServiceUnavailable, err)
+		return
+	default:
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	code := http.StatusAccepted
+	if st.State == StateDone || st.State == StateFailed {
+		code = http.StatusOK // terminal already: nothing was enqueued
+	}
+	writeJSON(w, code, st)
+}
+
+func (c *Coordinator) handleStatus(w http.ResponseWriter, r *http.Request) {
+	st, ok := c.Status(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("serve: unknown job %q", r.PathValue("id")))
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (c *Coordinator) handleTable(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	st, ok := c.Status(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("serve: unknown job %q", id))
+		return
+	}
+	table, err := c.Table(id)
+	if err != nil {
+		code := http.StatusConflict // queued/running: retry later
+		if st.State == StateFailed {
+			code = http.StatusInternalServerError
+		}
+		writeError(w, code, err)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	w.Write(table)
+}
+
+func (c *Coordinator) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	counts := c.JobCounts()
+	body := map[string]any{"status": "ok", "jobs": counts}
+	code := http.StatusOK
+	if c.Draining() {
+		body["status"] = "draining"
+		code = http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, body)
+}
+
+func (c *Coordinator) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	counts := c.JobCounts()
+	var b strings.Builder
+	for _, s := range []State{StateQueued, StateRunning, StateDone, StateFailed} {
+		fmt.Fprintf(&b, "sweepd_jobs{state=%q} %d\n", s, counts[s])
+	}
+	fmt.Fprintf(&b, "sweepd_submissions_total %d\n", c.submissions.Load())
+	fmt.Fprintf(&b, "sweepd_cache_hits_total %d\n", c.cacheHits.Load())
+	fmt.Fprintf(&b, "sweepd_worker_restarts_total %d\n", c.restarts.Load())
+	fmt.Fprintf(&b, "sweepd_worker_panics_total %d\n", c.panics.Load())
+	fmt.Fprintf(&b, "sweepd_wedge_recoveries_total %d\n", c.wedges.Load())
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	w.Write([]byte(b.String()))
+}

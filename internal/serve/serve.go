@@ -1,0 +1,428 @@
+// Package serve is the resident sweep coordinator behind cmd/sweepd: a
+// long-lived service that accepts experiment sweep submissions, keys each
+// job by the normalized-config identity internal/experiments computes, and
+// serves finished tables from a content-addressed result cache over the
+// engine's sweep.Store — identical submissions from any number of clients
+// deduplicate to one computation, and a cache hit is byte-identical to the
+// avgbench CLI output for the same config.
+//
+// The robustness core is a supervisor loop over in-process RunLeased
+// workers (supervisor.go): per-worker panic recovery, crash restart with
+// exponential backoff + jitter, a circuit breaker that parks a job as
+// failed after N consecutive worker deaths instead of retrying it in a hot
+// loop, a heartbeat watchdog that cancels-and-replaces wedged workers (the
+// lease protocol's expiry/steal path reassigns their claims), per-job
+// timeouts, and a bounded admission queue with backpressure. Everything a
+// worker completes is durable in the store as per-grain completion
+// records, so a coordinator that dies — SIGKILL included — re-attaches on
+// restart (Resume) and finishes incomplete jobs from wherever their grains
+// left off.
+//
+// Job lifecycle: queued → running → done | failed. A failed job stays
+// parked with its last error; resubmitting its config reports the parked
+// status rather than re-entering the queue.
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/sweep"
+)
+
+// State is a job's lifecycle position.
+type State string
+
+const (
+	StateQueued  State = "queued"
+	StateRunning State = "running"
+	StateDone    State = "done"
+	StateFailed  State = "failed"
+)
+
+// Sentinel errors the HTTP layer maps to backpressure responses.
+var (
+	// ErrQueueFull rejects a submission when the admission queue is at
+	// QueueLimit — 429 with Retry-After, the client's cue to back off.
+	ErrQueueFull = errors.New("serve: job queue full")
+	// ErrDraining rejects submissions while the coordinator shuts down.
+	ErrDraining = errors.New("serve: coordinator draining")
+)
+
+// Options tunes a Coordinator. The zero value of every field but Store is
+// usable.
+type Options struct {
+	// Store is the shared medium jobs run over (required). Everything
+	// durable — grains, manifests, cached tables — lives here, which is
+	// why a restarted coordinator can resume from it.
+	Store sweep.Store
+	// Workers is the number of in-process lease executors per running job
+	// (default 2; they steal from each other like any lease fleet).
+	Workers int
+	// MaxRunning bounds how many jobs execute concurrently; admitted jobs
+	// beyond it wait in the queue (default 2).
+	MaxRunning int
+	// QueueLimit bounds the admitted (queued + running) jobs; submissions
+	// beyond it fail with ErrQueueFull (default 64).
+	QueueLimit int
+	// MaxAttempts is the circuit breaker: a job whose workers die this
+	// many times consecutively — without the run's coverage growing in
+	// between — is parked as failed with the last error (default 5).
+	MaxAttempts int
+	// JobTimeout caps one job's wall clock from first execution; expiry
+	// parks it as failed (default 0: no limit).
+	JobTimeout time.Duration
+	// WedgeTimeout is the watchdog interval for heartbeat-driven wedge
+	// detection: two consecutive intervals with no coverage growth and no
+	// lease heartbeats while workers run cancels and replaces the whole
+	// worker wave (default 30s; negative disables the watchdog).
+	WedgeTimeout time.Duration
+	// Grains is the per-size grain count handed to workers (0 = engine
+	// default).
+	Grains int
+	// Restart paces worker restarts after a death (zero value: 100ms
+	// base, ×2 growth, 5s cap, jittered).
+	Restart sweep.Backoff
+	// Logf, when set, receives operational log lines.
+	Logf func(format string, args ...any)
+
+	// hookLease, set only by tests, edits each spawned worker's
+	// LeaseOptions — the injection point for panics, wedges and store
+	// faults.
+	hookLease func(jobKey, worker string, o *sweep.LeaseOptions)
+}
+
+// Coordinator is the resident sweep service: a deduplicating job queue, a
+// supervisor per running job, and a result cache, all over one Store.
+type Coordinator struct {
+	opts   Options
+	ctx    context.Context
+	cancel context.CancelFunc
+	slots  chan struct{}
+	wg     sync.WaitGroup
+
+	mu       sync.Mutex
+	jobs     map[string]*job
+	admitted int
+	draining bool
+
+	// Fleet counters, served by /metrics and /healthz.
+	submissions atomic.Int64
+	cacheHits   atomic.Int64
+	restarts    atomic.Int64
+	panics      atomic.Int64
+	wedges      atomic.Int64
+
+	spawnSeq atomic.Int64
+}
+
+// job is one deduplicated (experiment, config) computation.
+type job struct {
+	key  string
+	exp  experiments.Experiment
+	cfg  experiments.Config
+	done chan struct{}
+
+	mu          sync.Mutex
+	state       State
+	err         error
+	table       []byte
+	cacheHit    bool
+	submissions int
+	restarts    int
+}
+
+// JobStatus is the JSON shape GET /jobs/{id} serves.
+type JobStatus struct {
+	ID         string             `json:"id"`
+	Experiment string             `json:"experiment"`
+	Config     experiments.Config `json:"config"`
+	State      State              `json:"state"`
+	// Error carries a failed job's last worker error.
+	Error string `json:"error,omitempty"`
+	// CacheHit marks a job served from the result cache without running.
+	CacheHit bool `json:"cacheHit"`
+	// Submissions counts how many identical submissions deduplicated into
+	// this job.
+	Submissions int `json:"submissions"`
+	// Restarts counts worker deaths survived over the job's life.
+	Restarts int `json:"restarts"`
+	// Progress is the live per-size lease-scan coverage of a queued or
+	// running job, across the job's sweeps in order.
+	Progress []sweep.SizeProgress `json:"progress,omitempty"`
+}
+
+// New builds a Coordinator over the store. Call Resume to re-attach to
+// runs an earlier coordinator left in it.
+func New(opts Options) (*Coordinator, error) {
+	if opts.Store == nil {
+		return nil, fmt.Errorf("serve: Options.Store is required")
+	}
+	if opts.Workers <= 0 {
+		opts.Workers = 2
+	}
+	if opts.MaxRunning <= 0 {
+		opts.MaxRunning = 2
+	}
+	if opts.QueueLimit <= 0 {
+		opts.QueueLimit = 64
+	}
+	if opts.MaxAttempts <= 0 {
+		opts.MaxAttempts = 5
+	}
+	if opts.WedgeTimeout == 0 {
+		opts.WedgeTimeout = 30 * time.Second
+	}
+	if (opts.Restart == sweep.Backoff{}) {
+		opts.Restart = sweep.Backoff{Base: 100 * time.Millisecond, Max: 5 * time.Second}
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	return &Coordinator{
+		opts:   opts,
+		ctx:    ctx,
+		cancel: cancel,
+		slots:  make(chan struct{}, opts.MaxRunning),
+		jobs:   make(map[string]*job),
+	}, nil
+}
+
+func (c *Coordinator) logf(format string, args ...any) {
+	if c.opts.Logf != nil {
+		c.opts.Logf(format, args...)
+	}
+}
+
+// cacheKey is the content address of a finished table: the job key IS the
+// content identity (the table is a deterministic function of it).
+func cacheKey(jobKey string) string { return "cache/" + jobKey + "/table" }
+
+// Submit enqueues (or deduplicates) a job for the experiment and config.
+// Identical normalized configs share one job and one cached table; the
+// returned status carries the job's current state — StateDone on a cache
+// hit. ErrQueueFull and ErrDraining report backpressure; unknown or
+// non-shardable experiments fail with the experiments package's errors.
+func (c *Coordinator) Submit(expID string, cfg experiments.Config) (*JobStatus, error) {
+	e, err := experiments.Get(strings.ToUpper(expID))
+	if err != nil {
+		return nil, err
+	}
+	if !e.Shardable() {
+		return nil, fmt.Errorf("serve: %s does not expose its sweeps; it cannot run as a job", e.ID)
+	}
+	key := experiments.JobKey(e, cfg)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.submissions.Add(1)
+	if j, ok := c.jobs[key]; ok {
+		j.mu.Lock()
+		j.submissions++
+		if j.state == StateDone {
+			c.cacheHits.Add(1)
+		}
+		j.mu.Unlock()
+		return c.status(j), nil
+	}
+	// Cold-cache probe: a table cached by a previous coordinator life
+	// completes the job without running anything.
+	if table, gerr := c.opts.Store.Get(cacheKey(key)); gerr == nil && len(table) > 0 {
+		j := newJob(key, e, cfg)
+		j.state = StateDone
+		j.table = table
+		j.cacheHit = true
+		close(j.done)
+		c.jobs[key] = j
+		c.cacheHits.Add(1)
+		return c.status(j), nil
+	}
+	if c.draining {
+		return nil, ErrDraining
+	}
+	if c.admitted >= c.opts.QueueLimit {
+		return nil, ErrQueueFull
+	}
+	j := newJob(key, e, cfg)
+	c.jobs[key] = j
+	c.admitted++
+	c.wg.Add(1)
+	go c.runJob(j)
+	return c.status(j), nil
+}
+
+func newJob(key string, e experiments.Experiment, cfg experiments.Config) *job {
+	return &job{key: key, exp: e, cfg: cfg, state: StateQueued,
+		submissions: 1, done: make(chan struct{})}
+}
+
+// Status returns a job's current status by id (the job key POST /jobs
+// returned), or false for an unknown id.
+func (c *Coordinator) Status(id string) (*JobStatus, bool) {
+	c.mu.Lock()
+	j, ok := c.jobs[id]
+	c.mu.Unlock()
+	if !ok {
+		return nil, false
+	}
+	return c.status(j), true
+}
+
+// Table returns a done job's rendered table bytes — exactly the bytes
+// `avgbench -e <ID>` prints for the job's config. The error distinguishes
+// a job that is not done yet from one parked as failed.
+func (c *Coordinator) Table(id string) ([]byte, error) {
+	c.mu.Lock()
+	j, ok := c.jobs[id]
+	c.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("serve: unknown job %q", id)
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	switch j.state {
+	case StateDone:
+		return j.table, nil
+	case StateFailed:
+		return nil, fmt.Errorf("serve: job %s failed: %w", id, j.err)
+	default:
+		return nil, fmt.Errorf("serve: job %s is %s; table not ready", id, j.state)
+	}
+}
+
+// Wait blocks until the job reaches done or failed, the job is unknown, or
+// the context fires. It exists for tests and synchronous clients.
+func (c *Coordinator) Wait(ctx context.Context, id string) (*JobStatus, error) {
+	c.mu.Lock()
+	j, ok := c.jobs[id]
+	c.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("serve: unknown job %q", id)
+	}
+	select {
+	case <-j.done:
+		return c.status(j), nil
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// status snapshots a job. Queued and running jobs get live lease-scan
+// progress; a store fault during the scan degrades to omitting progress
+// rather than failing the status read.
+func (c *Coordinator) status(j *job) *JobStatus {
+	j.mu.Lock()
+	s := &JobStatus{
+		ID:          j.key,
+		Experiment:  j.exp.ID,
+		Config:      j.cfg,
+		State:       j.state,
+		CacheHit:    j.cacheHit,
+		Submissions: j.submissions,
+		Restarts:    j.restarts,
+	}
+	if j.err != nil {
+		s.Error = j.err.Error()
+	}
+	j.mu.Unlock()
+	if s.State == StateQueued || s.State == StateRunning {
+		if progs, err := experiments.LeasedProgress(j.exp, j.cfg, c.opts.Store); err == nil {
+			for _, p := range progs {
+				s.Progress = append(s.Progress, p.Sizes...)
+			}
+		}
+	}
+	return s
+}
+
+// Resume re-attaches the coordinator to its store: every leased run whose
+// manifest names a registered experiment is resubmitted. Complete runs
+// merge straight from their durable grains (the supervisor's first worker
+// scan finds full coverage), incomplete ones continue from wherever their
+// grains left off. Returns how many jobs were requeued.
+func (c *Coordinator) Resume() (int, error) {
+	runs, err := experiments.DiscoverLeasedRuns(c.opts.Store)
+	if err != nil {
+		return 0, err
+	}
+	n := 0
+	for _, r := range runs {
+		e, err := experiments.Get(r.Manifest.Experiment)
+		if err != nil {
+			c.logf("resume: skipping run %s: %v", r.Prefix, err)
+			continue
+		}
+		key := experiments.JobKey(e, r.Manifest.Config)
+		c.mu.Lock()
+		_, known := c.jobs[key]
+		c.mu.Unlock()
+		if known {
+			continue
+		}
+		if _, err := c.opts.Store.Get(cacheKey(key)); err == nil {
+			// Already merged and cached; served lazily on next submit.
+			continue
+		}
+		if _, err := c.Submit(r.Manifest.Experiment, r.Manifest.Config); err != nil {
+			c.logf("resume: %s: %v", key, err)
+			continue
+		}
+		c.logf("resume: requeued %s from %s", key, r.Prefix)
+		n++
+	}
+	return n, nil
+}
+
+// Drain shuts the coordinator down gracefully: new submissions are
+// refused, every worker's context is cancelled (grains already published
+// stay durable in the store; only in-flight grain compute is abandoned),
+// and running jobs park back to queued so a restarted coordinator resumes
+// them. Blocks until the supervisors exit or the context fires.
+func (c *Coordinator) Drain(ctx context.Context) error {
+	c.mu.Lock()
+	c.draining = true
+	c.mu.Unlock()
+	c.cancel()
+	done := make(chan struct{})
+	go func() {
+		c.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("serve: drain: %w", ctx.Err())
+	}
+}
+
+// Draining reports whether Drain has begun.
+func (c *Coordinator) Draining() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.draining
+}
+
+// JobCounts tallies jobs by state.
+func (c *Coordinator) JobCounts() map[State]int {
+	counts := map[State]int{}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, j := range c.jobs {
+		j.mu.Lock()
+		counts[j.state]++
+		j.mu.Unlock()
+	}
+	return counts
+}
+
+// workerID mints a store-name-safe, process-unique lease executor id:
+// stale records from a SIGKILLed coordinator's workers can never collide
+// with a live worker's.
+func (c *Coordinator) workerID(slot int) string {
+	return fmt.Sprintf("sweepd-%d-w%d-s%d", os.Getpid(), slot, c.spawnSeq.Add(1))
+}

@@ -1,0 +1,315 @@
+package serve
+
+// The supervisor loop: one goroutine per running job, restarting its
+// in-process lease workers when they die, in the requeue-on-failure
+// controller shape. All durable state is the store's per-grain completion
+// records, so supervision never risks the result — a worker death, a
+// duplicated grain or a replaced wave only costs work, never bytes.
+//
+// Failure handling, in order of escalation:
+//
+//   - a worker PANIC is recovered at the goroutine boundary and converted
+//     to a *PanicError exit — one worker's bug never kills the daemon;
+//   - a worker DEATH (panic or error) restarts that slot after an
+//     exponentially backed-off, jittered wait;
+//   - the CIRCUIT BREAKER parks the job as failed after MaxAttempts
+//     consecutive deaths with no coverage growth in between — graceful
+//     degradation instead of a hot crash loop — while a fleet that keeps
+//     completing grains between deaths is merely degraded and keeps going;
+//   - the WEDGE WATCHDOG handles workers that neither die nor progress:
+//     when coverage and lease heartbeats both freeze across two watchdog
+//     intervals, the whole wave's context is cancelled, goroutines that
+//     refuse to exit are abandoned (their claims expire under the lease
+//     protocol and get adopted), and a fresh wave starts.
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"runtime/debug"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/sweep"
+)
+
+// PanicError is a recovered worker panic, surfaced as an ordinary worker
+// death the supervisor can count.
+type PanicError struct {
+	// Worker is the executor whose goroutine panicked.
+	Worker string
+	// Value is the panic value's rendering.
+	Value string
+	// Stack is the panicking goroutine's stack trace.
+	Stack string
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("serve: worker %s panicked: %s", e.Worker, e.Value)
+}
+
+// ParkedError is the circuit breaker's verdict: the job failed its
+// attempt budget and will not be retried.
+type ParkedError struct {
+	// Attempts is the consecutive-failure count that tripped the breaker.
+	Attempts int
+	// Err is the last worker error.
+	Err error
+}
+
+func (e *ParkedError) Error() string {
+	return fmt.Sprintf("serve: parked after %d consecutive worker failures: %v", e.Attempts, e.Err)
+}
+
+func (e *ParkedError) Unwrap() error { return e.Err }
+
+// runJob owns one job's life: admission, supervision, terminal state.
+func (c *Coordinator) runJob(j *job) {
+	defer c.wg.Done()
+	// Admission: at most MaxRunning jobs execute at once; the rest wait
+	// here, still answering status queries as "queued".
+	select {
+	case c.slots <- struct{}{}:
+	case <-c.ctx.Done():
+		return // still queued; a restarted coordinator resumes it
+	}
+	defer func() { <-c.slots }()
+	j.setState(StateRunning)
+	c.logf("job %s: running", j.key)
+
+	ctx := c.ctx
+	cancel := context.CancelFunc(func() {})
+	if c.opts.JobTimeout > 0 {
+		ctx, cancel = context.WithTimeout(ctx, c.opts.JobTimeout)
+	}
+	defer cancel()
+
+	table, err := c.supervise(ctx, j)
+	c.mu.Lock()
+	c.admitted--
+	c.mu.Unlock()
+	switch {
+	case err == nil:
+		j.finish(table)
+		c.logf("job %s: done (%d bytes)", j.key, len(table))
+	case c.ctx.Err() != nil:
+		// Coordinator drain, not a job failure: park back to queued. The
+		// store keeps every completed grain; Resume picks the job up.
+		j.setState(StateQueued)
+		c.logf("job %s: drained, returning to queue", j.key)
+	default:
+		if errors.Is(err, context.DeadlineExceeded) {
+			err = fmt.Errorf("serve: job exceeded its %v timeout: %w", c.opts.JobTimeout, err)
+		}
+		j.fail(err)
+		c.logf("job %s: failed: %v", j.key, err)
+	}
+}
+
+// workerExit is one worker goroutine's death certificate.
+type workerExit struct {
+	wave int
+	slot int
+	err  error
+}
+
+// supervise runs the job's worker fleet to completion, enforcing the
+// restart/breaker/watchdog policy, and returns the rendered table bytes.
+func (c *Coordinator) supervise(ctx context.Context, j *job) ([]byte, error) {
+	// supCtx releases exiting workers once supervision ends, so abandoned
+	// goroutines delivering late exits never leak on the send.
+	supCtx, supDone := context.WithCancel(context.Background())
+	defer supDone()
+	exits := make(chan workerExit, c.opts.Workers)
+
+	// Each wave gets its own cancellable context; cancels are kept so the
+	// final defer releases whichever wave is current when supervision ends.
+	// MaxAttempts bounds the wave count, so the slice stays tiny.
+	wave := 0
+	var cancels []context.CancelFunc
+	defer func() {
+		for _, cancel := range cancels {
+			cancel()
+		}
+	}()
+	newWave := func() context.Context {
+		wc, cancel := context.WithCancel(ctx)
+		cancels = append(cancels, cancel)
+		return wc
+	}
+	wctx := newWave()
+	spawn := func(slot int) {
+		id := c.workerID(slot)
+		wv, wx := wave, wctx
+		go func() {
+			err := c.runWorker(wx, j, id)
+			select {
+			case exits <- workerExit{wave: wv, slot: slot, err: err}:
+			case <-supCtx.Done():
+			}
+		}()
+	}
+	for slot := 0; slot < c.opts.Workers; slot++ {
+		spawn(slot)
+	}
+
+	var watch <-chan time.Time
+	if c.opts.WedgeTimeout > 0 {
+		t := time.NewTicker(c.opts.WedgeTimeout)
+		defer t.Stop()
+		watch = t.C
+	}
+
+	consecutive := 0 // worker deaths since the last observed coverage growth
+	lastCovered := -1
+	var lastBeats int64 = -1
+	stagnant := 0
+
+	for {
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+
+		case e := <-exits:
+			if e.wave != wave {
+				continue // an abandoned worker's late death; already replaced
+			}
+			if e.err == nil {
+				// The trial space is covered: merge the durable grains and
+				// render. Everything here is deterministic, so the bytes
+				// equal the single-process CLI run's.
+				return c.finishTable(j)
+			}
+			j.noteRestart(e.err)
+			c.restarts.Add(1)
+			if cov, _, ok := c.snapshot(j); ok && cov > lastCovered {
+				lastCovered = cov
+				consecutive = 0
+			}
+			consecutive++
+			c.logf("job %s: worker died (%d consecutive): %v", j.key, consecutive, e.err)
+			if consecutive >= c.opts.MaxAttempts {
+				return nil, &ParkedError{Attempts: consecutive, Err: e.err}
+			}
+			if err := c.opts.Restart.Wait(ctx, consecutive-1); err != nil {
+				return nil, err
+			}
+			spawn(e.slot)
+
+		case <-watch:
+			cov, beats, ok := c.snapshot(j)
+			if !ok {
+				continue // store fault: workers will surface it as deaths
+			}
+			if cov > lastCovered || beats > lastBeats {
+				lastCovered, lastBeats = cov, beats
+				stagnant = 0
+				continue
+			}
+			if stagnant++; stagnant < 2 {
+				continue
+			}
+			stagnant = 0
+			// Coverage and heartbeats both frozen across two intervals:
+			// every worker is presumed wedged. Cancel the wave, abandon
+			// whatever refuses to exit (the lease expiry path hands its
+			// claims to the replacements), and start fresh workers.
+			c.wedges.Add(1)
+			err := fmt.Errorf("serve: no progress for %v: worker wave presumed wedged", 2*c.opts.WedgeTimeout)
+			j.noteRestart(err)
+			consecutive++
+			c.logf("job %s: %v (%d consecutive)", j.key, err, consecutive)
+			if consecutive >= c.opts.MaxAttempts {
+				return nil, &ParkedError{Attempts: consecutive, Err: err}
+			}
+			cancels[wave]()
+			wave++
+			wctx = newWave()
+			for slot := 0; slot < c.opts.Workers; slot++ {
+				spawn(slot)
+			}
+		}
+	}
+}
+
+// runWorker executes one lease worker over the job's sweeps, converting
+// panics into ordinary errors at the goroutine boundary.
+func (c *Coordinator) runWorker(ctx context.Context, j *job, id string) (err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			c.panics.Add(1)
+			err = &PanicError{Worker: id, Value: fmt.Sprint(p), Stack: string(debug.Stack())}
+		}
+	}()
+	o := sweep.LeaseOptions{Worker: id, GrainsPerSize: c.opts.Grains}
+	if c.opts.hookLease != nil {
+		c.opts.hookLease(j.key, id, &o)
+	}
+	_, err = experiments.RunLeasedSweeps(ctx, j.exp, j.cfg, c.opts.Store, o)
+	return err
+}
+
+// snapshot reads the job's total covered trials and summed lease
+// heartbeats from the store — the watchdog's progress signal.
+func (c *Coordinator) snapshot(j *job) (covered int, beats int64, ok bool) {
+	progs, err := experiments.LeasedProgress(j.exp, j.cfg, c.opts.Store)
+	if err != nil {
+		return 0, 0, false
+	}
+	for _, p := range progs {
+		covered += p.Covered()
+		beats += p.Beats
+	}
+	return covered, beats, true
+}
+
+// finishTable merges the job's completed run and renders exactly the bytes
+// `avgbench -e <ID>` prints for the config, caching them in the store
+// under the job's content address.
+func (c *Coordinator) finishTable(j *job) ([]byte, error) {
+	tab, err := experiments.MergeLeased(j.exp, j.cfg, c.opts.Store)
+	if err != nil {
+		return nil, fmt.Errorf("serve: merge job %s: %w", j.key, err)
+	}
+	var buf bytes.Buffer
+	fmt.Fprintf(&buf, "== %s: %s\n   claim: %s\n", j.exp.ID, j.exp.Title, j.exp.Claim)
+	buf.WriteString(tab.Render())
+	buf.WriteByte('\n')
+	if err := c.opts.Store.Put(cacheKey(j.key), buf.Bytes()); err != nil {
+		// A cache-write fault degrades to serving from memory: this
+		// coordinator still answers, the next life recomputes.
+		c.logf("job %s: cache write failed: %v", j.key, err)
+	}
+	return buf.Bytes(), nil
+}
+
+func (j *job) setState(s State) {
+	j.mu.Lock()
+	j.state = s
+	j.mu.Unlock()
+}
+
+func (j *job) noteRestart(err error) {
+	j.mu.Lock()
+	j.restarts++
+	j.err = err
+	j.mu.Unlock()
+}
+
+func (j *job) finish(table []byte) {
+	j.mu.Lock()
+	j.state = StateDone
+	j.table = table
+	j.err = nil
+	j.mu.Unlock()
+	close(j.done)
+}
+
+func (j *job) fail(err error) {
+	j.mu.Lock()
+	j.state = StateFailed
+	j.err = err
+	j.mu.Unlock()
+	close(j.done)
+}

@@ -52,13 +52,20 @@ type DecodeError struct {
 	Reason string
 	// Err is the underlying cause (a json error), when there is one.
 	Err error
+	// Key names the offending file or store record, when the caller knows
+	// it — the codec itself only sees a reader.
+	Key string
 }
 
 func (e *DecodeError) Error() string {
+	msg := fmt.Sprintf("sweep: decode %s: %s", e.Format, e.Reason)
 	if e.Err != nil {
-		return fmt.Sprintf("sweep: decode %s: %s: %v", e.Format, e.Reason, e.Err)
+		msg += fmt.Sprintf(": %v", e.Err)
 	}
-	return fmt.Sprintf("sweep: decode %s: %s", e.Format, e.Reason)
+	if e.Key != "" {
+		msg += fmt.Sprintf(" (in %q)", e.Key)
+	}
+	return msg
 }
 
 func (e *DecodeError) Unwrap() error { return e.Err }

@@ -159,11 +159,19 @@ type OverlapError struct {
 	N int
 	// A and B are the colliding ranges.
 	A, B TrialRange
+	// Key names the offending completion record in the store (range B's),
+	// when the overlap was found collecting a leased run; empty for the
+	// file-based shard merge.
+	Key string
 }
 
 func (e *OverlapError) Error() string {
-	return fmt.Sprintf("sweep: n=%d: trial range [%d,%d) overlaps [%d,%d); merging would double-count trials",
+	msg := fmt.Sprintf("sweep: n=%d: trial range [%d,%d) overlaps [%d,%d); merging would double-count trials",
 		e.N, e.A.T0, e.A.T1, e.B.T0, e.B.T1)
+	if e.Key != "" {
+		msg += fmt.Sprintf(" (offending record %q)", e.Key)
+	}
+	return msg
 }
 
 // IncompleteError reports a collect over a store that does not yet cover
@@ -173,10 +181,17 @@ type IncompleteError struct {
 	N int
 	// Missing lists its uncovered ranges, ascending.
 	Missing []TrialRange
+	// Prefix is the run's store namespace, when the gap was found
+	// collecting a leased run; empty for the file-based shard merge.
+	Prefix string
 }
 
 func (e *IncompleteError) Error() string {
-	return fmt.Sprintf("sweep: n=%d: trial ranges %v not yet completed", e.N, e.Missing)
+	msg := fmt.Sprintf("sweep: n=%d: trial ranges %v not yet completed", e.N, e.Missing)
+	if e.Prefix != "" {
+		msg += fmt.Sprintf(" (run %q)", e.Prefix)
+	}
+	return msg
 }
 
 // LeaseOptions tunes one executor's participation in a lease run.
@@ -203,8 +218,19 @@ type LeaseOptions struct {
 	// (default 3).
 	SpeculateScans int
 	// Poll is the idle wait between scans when no work is claimable
-	// (default 25ms).
+	// (default 25ms). Consecutive idle scans back off from Poll under the
+	// Retry policy instead of hammering the store at a fixed rate.
 	Poll time.Duration
+	// Retry paces transient-store-fault retries and idle rescans. The zero
+	// value derives a policy from Poll (base Poll, ×1.5 growth, 8×Poll
+	// cap) with jitter seeded from the worker id, so replays stay
+	// deterministic. sweepd and the CLI tune this same knob.
+	Retry Backoff
+	// StoreRetries bounds how many backed-off retries one store operation
+	// gets before the executor gives up on it (default 2): a completion
+	// write that still fails leaves its grain uncovered for any executor
+	// to redo, a scan that still fails ends the run with a *WorkerError.
+	StoreRetries int
 	// Static degrades the executor to the classic i-of-m schedule: it
 	// claims exactly the grains whose start falls in this shard's slice,
 	// never steals, and exits when ITS slice is covered rather than the
@@ -241,6 +267,24 @@ func (s *LeaseStats) Add(o LeaseStats) {
 	s.Adopted += o.Adopted
 	s.Speculated += o.Speculated
 }
+
+// WorkerError attributes a leased executor's failure to its worker id —
+// the unit a supervisor (internal/serve) restarts and counts toward its
+// circuit breaker. Everything RunLeased fails with after option validation
+// is wrapped in one; Unwrap keeps errors.Is/As working on the cause
+// (context.Canceled, fs.ErrNotExist, ...).
+type WorkerError struct {
+	// Worker is the failing executor's id.
+	Worker string
+	// Err is the underlying failure.
+	Err error
+}
+
+func (e *WorkerError) Error() string {
+	return fmt.Sprintf("sweep: worker %s: %v", e.Worker, e.Err)
+}
+
+func (e *WorkerError) Unwrap() error { return e.Err }
 
 // planSum fingerprints a plan for cheap foreign-record rejection. It is
 // not a security boundary — the codec's structural validation is — just a
@@ -466,6 +510,21 @@ func RunLeased(ctx context.Context, spec Spec, st Store, opts LeaseOptions) (Lea
 	if opts.Poll <= 0 {
 		opts.Poll = 25 * time.Millisecond
 	}
+	// The retry policy inherits Poll as its base and jitters on a stream
+	// seeded from the worker id: deterministic per worker, decorrelated
+	// across a fleet.
+	opts.Retry = opts.Retry.withBase(opts.Poll)
+	if opts.Retry.Seed == 0 {
+		h := fnv.New64a()
+		h.Write([]byte(opts.Worker))
+		opts.Retry.Seed = h.Sum64()
+	}
+	if opts.Retry.Factor == 0 {
+		opts.Retry.Factor = 1.5
+	}
+	if opts.StoreRetries <= 0 {
+		opts.StoreRetries = 2
+	}
 	if ctx == nil {
 		ctx = context.Background()
 	}
@@ -476,7 +535,7 @@ func RunLeased(ctx context.Context, spec Spec, st Store, opts LeaseOptions) (Lea
 		return zero, err
 	}
 	if err := ensureLeasePlan(st, opts.Prefix, &leasePlan{Plan: plan, Grains: opts.GrainsPerSize}); err != nil {
-		return zero, err
+		return zero, &WorkerError{Worker: opts.Worker, Err: err}
 	}
 
 	r := &leaseRunner{
@@ -509,7 +568,11 @@ func RunLeased(ctx context.Context, spec Spec, st Store, opts LeaseOptions) (Lea
 	r.scanner = newLeaseScanner(st, r.prefix, r.sum, counts)
 
 	defer st.Delete(leaseKey(r.prefix, opts.Worker))
-	err = r.loop(ctx)
+	if err = r.loop(ctx); err != nil {
+		// Everything past option validation is a worker-attributable
+		// failure the supervisor counts.
+		err = &WorkerError{Worker: opts.Worker, Err: err}
+	}
 	return r.stats, err
 }
 
@@ -523,14 +586,22 @@ type beatTrack struct {
 func (r *leaseRunner) loop(ctx context.Context) error {
 	beats := make(map[string]*beatTrack)
 	idle := 0
+	scanFaults := 0
 	for {
 		if err := ctx.Err(); err != nil {
 			return fmt.Errorf("sweep: leased run cancelled: %w", err)
 		}
 		sc, err := r.scanner.scan()
 		if err != nil {
-			return err
+			// A faulting store gets StoreRetries backed-off rescans before
+			// the executor dies (and the supervisor counts the death).
+			if scanFaults++; scanFaults > r.opts.StoreRetries {
+				return err
+			}
+			r.opts.Retry.Wait(ctx, scanFaults-1)
+			continue
 		}
+		scanFaults = 0
 		done := true
 		for i, t := range r.target {
 			if !covered(sc.coverage[i], t) {
@@ -568,9 +639,10 @@ func (r *leaseRunner) loop(ctx context.Context) error {
 		}
 		b, kind, ok := r.chooseClaim(sc, expired, idle)
 		if !ok {
-			// Someone else holds all remaining work: wait and rescan.
+			// Someone else holds all remaining work: back off and rescan,
+			// waiting longer the longer nothing is claimable.
+			r.opts.Retry.Wait(ctx, idle)
 			idle++
-			sleepCtx(ctx, r.opts.Poll)
 			continue
 		}
 		idle = 0
@@ -725,12 +797,15 @@ func (r *leaseRunner) executeLease(ctx context.Context, b Block, seq int64) erro
 		if err := EncodeCompletion(&buf, comp); err != nil {
 			return err
 		}
-		if perr := r.st.Put(key, buf.Bytes()); perr != nil {
-			// One retry rides out transient faults. A grain whose record
-			// still fails to land simply stays uncovered: some executor
-			// (possibly this one, next claim) re-runs it and overwrites
-			// whatever garbage the failed write left.
-			r.st.Put(key, buf.Bytes())
+		for attempt := 0; r.st.Put(key, buf.Bytes()) != nil; attempt++ {
+			// Bounded, backed-off retries ride out transient faults. A
+			// grain whose record still fails to land simply stays
+			// uncovered: some executor (possibly this one, next claim)
+			// re-runs it and overwrites whatever garbage the failed write
+			// left.
+			if attempt >= r.opts.StoreRetries || r.opts.Retry.Wait(ctx, attempt) != nil {
+				break
+			}
 		}
 		r.stats.Grains++
 		r.advance(&l, t1)
@@ -818,6 +893,76 @@ func sleepCtx(ctx context.Context, d time.Duration) {
 	}
 }
 
+// SizeProgress is one size's coverage in a leased run: how many of its
+// trials are covered by valid completion records.
+type SizeProgress struct {
+	N     int `json:"n"`
+	Done  int `json:"done"`
+	Total int `json:"total"`
+}
+
+// Progress is one lease-scan snapshot of a run — the supervisor-facing
+// view sweepd serves as job status and watches for wedged workers: a run
+// whose Covered count and Beats sum both freeze across snapshots while
+// claims are live is making no progress.
+type Progress struct {
+	// Sizes is the per-size completion coverage, in plan order.
+	Sizes []SizeProgress `json:"sizes"`
+	// Workers counts the live claim records in the store.
+	Workers int `json:"workers"`
+	// Beats sums the live claims' heartbeat counters.
+	Beats int64 `json:"beats"`
+}
+
+// Covered returns the total completed trials across sizes.
+func (p *Progress) Covered() int {
+	t := 0
+	for _, s := range p.Sizes {
+		t += s.Done
+	}
+	return t
+}
+
+// Total returns the run's total trial count across sizes.
+func (p *Progress) Total() int {
+	t := 0
+	for _, s := range p.Sizes {
+		t += s.Total
+	}
+	return t
+}
+
+// Complete reports whether every size's trial space is fully covered.
+func (p *Progress) Complete() bool { return p.Covered() == p.Total() }
+
+// LeaseProgress snapshots a lease run's coverage and live claims without
+// joining it: one scan over the run's records, the same validation the
+// executors apply (torn, foreign or overlapping-plan records read as
+// absent). A store holding no records yet reports zero coverage, not an
+// error — the run simply has not started.
+func LeaseProgress(st Store, prefix string, plan Plan) (*Progress, error) {
+	counts, err := plan.Counts()
+	if err != nil {
+		return nil, err
+	}
+	sc, err := newLeaseScanner(st, prefix, planSum(plan), counts).scan()
+	if err != nil {
+		return nil, err
+	}
+	p := &Progress{Sizes: make([]SizeProgress, len(plan.Sizes)), Workers: len(sc.leases)}
+	for i, n := range plan.Sizes {
+		done := 0
+		for _, r := range sc.coverage[i] {
+			done += r.T1 - r.T0
+		}
+		p.Sizes[i] = SizeProgress{N: n, Done: done, Total: counts[i]}
+	}
+	for _, l := range sc.leases {
+		p.Beats += l.Beat
+	}
+	return p, nil
+}
+
 // CollectLeased folds a lease run's completion records into the Result a
 // single uninterrupted Run of the plan's spec produces, byte for byte. It
 // is strict: per size, the valid records must tile the plan's trial space
@@ -842,7 +987,13 @@ func CollectLeased(st Store, prefix string, plan Plan) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	bySize := make([][]*Completion, len(plan.Sizes))
+	// Each completion keeps its store key so a collect failure can name the
+	// offending record, not just describe the collision.
+	type keyed struct {
+		c   *Completion
+		key string
+	}
+	bySize := make([][]keyed, len(plan.Sizes))
 	for _, name := range names {
 		data, err := st.Get(name)
 		if err != nil {
@@ -856,7 +1007,7 @@ func CollectLeased(st Store, prefix string, plan Plan) (*Result, error) {
 			c.Block.T1 > counts[c.Block.SizeIdx] || c.Stats.N != plan.Sizes[c.Block.SizeIdx] {
 			continue
 		}
-		bySize[c.Block.SizeIdx] = append(bySize[c.Block.SizeIdx], c)
+		bySize[c.Block.SizeIdx] = append(bySize[c.Block.SizeIdx], keyed{c: c, key: name})
 	}
 
 	out := &Result{Sizes: make([]SizeStats, len(plan.Sizes))}
@@ -864,19 +1015,20 @@ func CollectLeased(st Store, prefix string, plan Plan) (*Result, error) {
 		out.Sizes[i].N = n
 		comps := bySize[i]
 		sort.Slice(comps, func(a, b int) bool {
-			if comps[a].Block.T0 != comps[b].Block.T0 {
-				return comps[a].Block.T0 < comps[b].Block.T0
+			if comps[a].c.Block.T0 != comps[b].c.Block.T0 {
+				return comps[a].c.Block.T0 < comps[b].c.Block.T0
 			}
-			return comps[a].Block.T1 < comps[b].Block.T1
+			return comps[a].c.Block.T1 < comps[b].c.Block.T1
 		})
 		lo, hi := plan.Shard.Range(counts[i])
 		var missing []TrialRange
 		var prev TrialRange
 		cur := lo
-		for _, c := range comps {
+		for _, kc := range comps {
+			c := kc.c
 			if c.Block.T0 < cur {
 				return nil, &OverlapError{N: n, A: prev,
-					B: TrialRange{T0: c.Block.T0, T1: c.Block.T1}}
+					B: TrialRange{T0: c.Block.T0, T1: c.Block.T1}, Key: kc.key}
 			}
 			if c.Block.T0 > cur {
 				missing = append(missing, TrialRange{T0: cur, T1: c.Block.T0})
@@ -888,10 +1040,10 @@ func CollectLeased(st Store, prefix string, plan Plan) (*Result, error) {
 			missing = append(missing, TrialRange{T0: cur, T1: hi})
 		}
 		if len(missing) > 0 {
-			return nil, &IncompleteError{N: n, Missing: missing}
+			return nil, &IncompleteError{N: n, Missing: missing, Prefix: prefix}
 		}
-		for _, c := range comps {
-			out.Sizes[i].Merge(&c.Stats)
+		for _, kc := range comps {
+			out.Sizes[i].Merge(&kc.c.Stats)
 		}
 	}
 	return out, nil

@@ -5,6 +5,9 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
 	"reflect"
 	"strings"
 	"sync"
@@ -404,6 +407,67 @@ func TestGrainHelpers(t *testing.T) {
 	for _, tc := range aligns {
 		if got := alignUp(tc.t, tc.g); got != tc.want {
 			t.Errorf("alignUp(%d,%d) = %d, want %d", tc.t, tc.g, got, tc.want)
+		}
+	}
+}
+
+// A store fault mid-run — here the DirStore root vanishing under the
+// executor — must surface from RunLeased as a typed *WorkerError carrying
+// the executor's id, still unwrapping to the store's cause, so a
+// supervisor can count worker deaths while callers keep errors.Is working.
+func TestLeasedStoreFaultSurfacesWorkerError(t *testing.T) {
+	root := filepath.Join(t.TempDir(), "store")
+	st, err := NewDirStore(root)
+	if err != nil {
+		t.Fatalf("NewDirStore: %v", err)
+	}
+	spec := cycleSpec(3, []int{8}, 12, 1)
+	opts := LeaseOptions{
+		Worker: "doomed", GrainsPerSize: 4, Poll: time.Millisecond,
+		Throttle: func(Block) { os.RemoveAll(root) },
+	}
+	_, err = RunLeased(context.Background(), spec, st, opts)
+	if err == nil {
+		t.Fatal("RunLeased survived its store's deletion")
+	}
+	var we *WorkerError
+	if !errors.As(err, &we) {
+		t.Fatalf("err = %v, want a *WorkerError in the chain", err)
+	}
+	if we.Worker != "doomed" {
+		t.Fatalf("WorkerError.Worker = %q, want %q", we.Worker, "doomed")
+	}
+	if !errors.Is(err, fs.ErrNotExist) {
+		t.Fatalf("err chain %v does not unwrap to fs.ErrNotExist", err)
+	}
+}
+
+// The lease-scan progress snapshot must track coverage from empty through
+// complete without joining the run, and count live claims.
+func TestLeaseProgressSnapshot(t *testing.T) {
+	spec := cycleSpec(11, []int{6, 9}, 8, 1)
+	plan := PlanOf(spec)
+	st := NewMemStore()
+	p, err := LeaseProgress(st, "leaserun", plan)
+	if err != nil {
+		t.Fatalf("LeaseProgress on empty store: %v", err)
+	}
+	if p.Covered() != 0 || p.Total() != 16 || p.Complete() || p.Workers != 0 {
+		t.Fatalf("empty-store progress = %+v", p)
+	}
+	if _, err := RunLeased(context.Background(), spec, st, LeaseOptions{Worker: "solo", GrainsPerSize: 4}); err != nil {
+		t.Fatalf("RunLeased: %v", err)
+	}
+	p, err = LeaseProgress(st, "leaserun", plan)
+	if err != nil {
+		t.Fatalf("LeaseProgress: %v", err)
+	}
+	if !p.Complete() || p.Covered() != 16 {
+		t.Fatalf("post-run progress = %+v, want complete 16/16", p)
+	}
+	for i, want := range []int{6, 9} {
+		if p.Sizes[i].N != want || p.Sizes[i].Done != 8 || p.Sizes[i].Total != 8 {
+			t.Fatalf("size %d progress = %+v", i, p.Sizes[i])
 		}
 	}
 }

@@ -99,6 +99,13 @@ func (s *DirStore) Put(name string, data []byte) error {
 	if err := validStoreName(name); err != nil {
 		return err
 	}
+	// A vanished root must fail the write, not be silently recreated:
+	// MkdirAll would happily resurrect an empty store and strand this
+	// object in it, hiding from the writer that every other record — the
+	// run's plan, its completions — is gone.
+	if _, err := os.Stat(s.root); err != nil {
+		return fmt.Errorf("sweep: store put %s: root: %w", name, err)
+	}
 	path := s.path(name)
 	if err := os.MkdirAll(filepath.Dir(path), 0o777); err != nil {
 		return fmt.Errorf("sweep: store put %s: %w", name, err)
@@ -123,8 +130,11 @@ func (s *DirStore) List(prefix string) ([]string, error) {
 	var names []string
 	err := filepath.WalkDir(s.root, func(path string, d fs.DirEntry, err error) error {
 		if err != nil {
-			// A concurrently deleted entry is not an error for a scan.
-			if os.IsNotExist(err) {
+			// A concurrently deleted entry is not an error for a scan —
+			// but the ROOT vanishing is a store fault, not an empty store:
+			// a lease executor must die visibly rather than conclude no
+			// work was ever done and replan the world.
+			if os.IsNotExist(err) && path != s.root {
 				return nil
 			}
 			return err

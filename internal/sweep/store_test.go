@@ -3,6 +3,7 @@ package sweep
 import (
 	"errors"
 	"io/fs"
+	"os"
 	"path/filepath"
 	"reflect"
 	"testing"
@@ -124,6 +125,65 @@ func TestMemStoreFaultPuts(t *testing.T) {
 	}
 	if got, _ := st.Get("torn"); string(got) != "payload" {
 		t.Fatalf("healed object = %q", got)
+	}
+}
+
+// A DirStore whose root turns read-only must fail writes with a typed
+// error (errors.Is fs.ErrPermission) and never panic; reads of existing
+// objects keep working — graceful degradation to a read-only replica.
+func TestDirStoreReadOnlyRoot(t *testing.T) {
+	if os.Geteuid() == 0 {
+		t.Skip("running as root: directory permissions are not enforced")
+	}
+	root := filepath.Join(t.TempDir(), "store")
+	st, err := NewDirStore(root)
+	if err != nil {
+		t.Fatalf("NewDirStore: %v", err)
+	}
+	if err := st.Put("run/done/0-0", []byte("payload")); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	if err := os.Chmod(root, 0o555); err != nil {
+		t.Fatalf("chmod: %v", err)
+	}
+	t.Cleanup(func() { os.Chmod(root, 0o755) })
+	if err := st.Put("other/0-0", []byte("x")); !errors.Is(err, fs.ErrPermission) {
+		t.Fatalf("Put under read-only root = %v, want fs.ErrPermission", err)
+	}
+	if got, err := st.Get("run/done/0-0"); err != nil || string(got) != "payload" {
+		t.Fatalf("Get under read-only root = %q, %v", got, err)
+	}
+	if names, err := st.List("run/"); err != nil || len(names) != 1 {
+		t.Fatalf("List under read-only root = %v, %v", names, err)
+	}
+}
+
+// A DirStore whose root is deleted mid-run must return typed errors from
+// every method — Put must NOT silently recreate an empty root, and List
+// must NOT read the vanished store as "no work was ever done".
+func TestDirStoreRootDeletedMidRun(t *testing.T) {
+	root := filepath.Join(t.TempDir(), "store")
+	st, err := NewDirStore(root)
+	if err != nil {
+		t.Fatalf("NewDirStore: %v", err)
+	}
+	if err := st.Put("run/done/0-0", []byte("payload")); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	if err := os.RemoveAll(root); err != nil {
+		t.Fatalf("remove root: %v", err)
+	}
+	if err := st.Put("run/done/0-8", []byte("x")); !errors.Is(err, fs.ErrNotExist) {
+		t.Fatalf("Put after root deletion = %v, want fs.ErrNotExist", err)
+	}
+	if _, err := os.Stat(root); err == nil {
+		t.Fatal("Put resurrected the deleted root")
+	}
+	if _, err := st.List("run/"); !errors.Is(err, fs.ErrNotExist) {
+		t.Fatalf("List after root deletion = %v, want fs.ErrNotExist", err)
+	}
+	if _, err := st.Get("run/done/0-0"); !errors.Is(err, fs.ErrNotExist) {
+		t.Fatalf("Get after root deletion = %v, want fs.ErrNotExist", err)
 	}
 }
 
