@@ -1,0 +1,97 @@
+// Command netchaos runs a fault-injecting HTTP proxy between a sweep
+// worker and its coordinator, for rehearsing network failure in shell
+// scripts and CI the same way the Go chaos tests do in-process.
+//
+// Usage:
+//
+//	netchaos -listen 127.0.0.1:9001 -target http://127.0.0.1:8350 \
+//	    -latency 20ms -error-every 7 -drop-every 11 -reset-every 13 -seed 42
+//
+// Faults are deterministic per (seed, request index): the same flags
+// inject the same schedule every run. SIGUSR1 toggles a full partition —
+// `kill -USR1 <pid>` cuts the network, a second one heals it — so a
+// script can partition a worker for a window without restarting anything.
+// On exit (SIGINT/SIGTERM) the proxy prints its injected-fault counters
+// to stderr, so a smoke script can assert its chaos actually happened.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/netchaos"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "netchaos:", err)
+		os.Exit(1)
+	}
+}
+
+// onListen, when set by tests, receives the proxy's bound address.
+var onListen func(addr string)
+
+func run(ctx context.Context, args []string) error {
+	fs := flag.NewFlagSet("netchaos", flag.ContinueOnError)
+	listen := fs.String("listen", "127.0.0.1:0", "address the proxy listens on")
+	target := fs.String("target", "", "base URL faults are injected in front of (required), e.g. http://127.0.0.1:8350")
+	latency := fs.Duration("latency", 0, "max added latency per request, uniform in [0, latency)")
+	errorEvery := fs.Int("error-every", 0, "answer every Nth request with a 502 without forwarding (0 = off)")
+	dropEvery := fs.Int("drop-every", 0, "forward every Nth request, then drop the response after the backend applied it (0 = off)")
+	resetEvery := fs.Int("reset-every", 0, "reset every Nth connection before forwarding (0 = off)")
+	seed := fs.Uint64("seed", 1, "seed for the deterministic fault schedule")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *target == "" {
+		return fmt.Errorf("-target is required: the URL to proxy (and sabotage)")
+	}
+	p, err := netchaos.NewAt(*listen, *target, netchaos.Faults{
+		Seed:       *seed,
+		MaxLatency: *latency,
+		ErrorEvery: *errorEvery,
+		DropEvery:  *dropEvery,
+		ResetEvery: *resetEvery,
+	})
+	if err != nil {
+		return err
+	}
+	defer p.Close()
+	logger := log.New(os.Stderr, "netchaos: ", log.LstdFlags)
+	logger.Printf("proxying %s -> %s (seed %d); SIGUSR1 toggles a partition", p.URL(), *target, *seed)
+	if onListen != nil {
+		onListen(p.URL())
+	}
+
+	usr1 := make(chan os.Signal, 1)
+	signal.Notify(usr1, syscall.SIGUSR1)
+	defer signal.Stop(usr1)
+	for {
+		select {
+		case <-usr1:
+			now := !p.Partitioned()
+			p.SetPartitioned(now)
+			if now {
+				logger.Printf("partition ON: all connections to %s are cut", *target)
+			} else {
+				logger.Printf("partition healed")
+			}
+		case <-ctx.Done():
+			st := p.Stats()
+			logger.Printf("stopping after %d request(s): forwarded=%d errors=%d resets=%d drops=%d partitioned=%d",
+				st.Requests, st.Forwarded, st.Errors, st.Resets, st.Drops, st.Partitioned)
+			// Give in-flight forwards a beat to finish before the listener dies.
+			time.Sleep(10 * time.Millisecond)
+			return nil
+		}
+	}
+}

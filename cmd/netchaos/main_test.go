@@ -1,0 +1,114 @@
+package main
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// The CLI fronts a backend, injects its flagged faults, and SIGUSR1
+// toggles a partition — the control surface the shell smoke test uses.
+func TestCLIProxiesAndPartitionsOnSIGUSR1(t *testing.T) {
+	var hits atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		io.WriteString(w, "ok")
+	}))
+	defer srv.Close()
+
+	addrCh := make(chan string, 1)
+	onListen = func(addr string) { addrCh <- addr }
+	defer func() { onListen = nil }()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		done <- run(ctx, []string{"-target", srv.URL, "-error-every", "3", "-seed", "5"})
+	}()
+	var base string
+	select {
+	case base = <-addrCh:
+	case <-time.After(5 * time.Second):
+		t.Fatal("proxy never listened")
+	}
+
+	client := &http.Client{Transport: &http.Transport{DisableKeepAlives: true}}
+	get := func() (int, error) {
+		resp, err := client.Get(base + "/x")
+		if err != nil {
+			return 0, err
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		return resp.StatusCode, nil
+	}
+
+	var okCount, errCount int
+	for i := 0; i < 6; i++ {
+		code, err := get()
+		switch {
+		case err == nil && code == http.StatusOK:
+			okCount++
+		case err != nil || code == http.StatusBadGateway:
+			errCount++
+		}
+	}
+	if okCount != 4 || errCount != 2 {
+		t.Errorf("6 requests at -error-every 3: ok=%d faults=%d, want 4/2", okCount, errCount)
+	}
+
+	// SIGUSR1 partitions the whole process (the test binary IS the proxy
+	// process here, so signal ourselves).
+	syscall.Kill(syscall.Getpid(), syscall.SIGUSR1)
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if _, err := get(); err != nil {
+			break // the partition is up
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("SIGUSR1 never partitioned the proxy")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	before := hits.Load()
+	if _, err := get(); err == nil {
+		t.Fatal("request through a partition succeeded")
+	}
+	if hits.Load() != before {
+		t.Error("backend saw traffic through a partition")
+	}
+
+	// A second SIGUSR1 heals it.
+	syscall.Kill(syscall.Getpid(), syscall.SIGUSR1)
+	deadline = time.Now().Add(5 * time.Second)
+	for {
+		if code, err := get(); err == nil && code == http.StatusOK {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("second SIGUSR1 never healed the partition")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("run: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("run never returned after cancel")
+	}
+}
+
+func TestCLIRequiresTarget(t *testing.T) {
+	if err := run(context.Background(), nil); err == nil {
+		t.Fatal("run without -target succeeded")
+	}
+}

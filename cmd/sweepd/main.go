@@ -11,6 +11,7 @@
 //	sweepd -store run/                        # serve on the default address
 //	sweepd -store run/ -addr 127.0.0.1:9090
 //	sweepd -store run/ -workers 4 -max-running 2
+//	sweepd -store run/ -remote-only           # execution by a sweepworker fleet
 //
 // Submit, poll, fetch:
 //
@@ -66,6 +67,9 @@ func run(ctx context.Context, args []string) error {
 	jobTimeout := fs.Duration("job-timeout", 0, "wall-clock cap per job (0 = no limit)")
 	wedgeTimeout := fs.Duration("wedge-timeout", 30*time.Second, "watchdog interval for wedge detection; a wave frozen for two intervals is cancelled and replaced (negative disables)")
 	grains := fs.Int("grains", 0, "grains each size's trial space is quantized into (0 = engine default)")
+	remoteOnly := fs.Bool("remote-only", false, "run no in-process workers; execution is left to registered sweepworker processes pulling assignments over /workers")
+	workerTTL := fs.Duration("worker-ttl", 10*time.Second, "remote worker liveness TTL: a worker that has not polled within it is reported dead, one dark past twice it is forgotten")
+	pollInterval := fs.Duration("poll-interval", 500*time.Millisecond, "how often the supervisor checks store coverage for completion when no local workers run")
 	noResume := fs.Bool("no-resume", false, "skip re-attaching to the store's unfinished runs on startup")
 	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "how long a SIGTERM drain may take before the daemon gives up waiting")
 	if err := fs.Parse(args); err != nil {
@@ -88,6 +92,9 @@ func run(ctx context.Context, args []string) error {
 		JobTimeout:   *jobTimeout,
 		WedgeTimeout: *wedgeTimeout,
 		Grains:       *grains,
+		RemoteOnly:   *remoteOnly,
+		WorkerTTL:    *workerTTL,
+		PollInterval: *pollInterval,
 		Logf:         logger.Printf,
 	})
 	if err != nil {

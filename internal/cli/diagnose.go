@@ -26,6 +26,10 @@ const (
 	// claims (*sweep.OverlapError) or records that fail decoding
 	// (*sweep.DecodeError).
 	ExitCorrupt = 3
+	// ExitUnreachable marks a network fault: the coordinator or store
+	// endpoint could not be reached (*sweep.UnreachableError). The data is
+	// presumed fine — retry once the network or the coordinator is back.
+	ExitUnreachable = 4
 )
 
 // Report prints err to w as "tool: err" plus its unwrap chain and a typed
@@ -39,6 +43,7 @@ func Report(w io.Writer, tool string, err error) int {
 	var inc *sweep.IncompleteError
 	var ov *sweep.OverlapError
 	var dec *sweep.DecodeError
+	var un *sweep.UnreachableError
 	switch {
 	case errors.As(err, &inc):
 		fmt.Fprintf(w, "%s: diagnosis: incomplete run — coverage has gaps at n=%d", tool, inc.N)
@@ -61,6 +66,13 @@ func Report(w io.Writer, tool string, err error) int {
 		}
 		fmt.Fprintf(w, " (exit %d)\n", ExitCorrupt)
 		return ExitCorrupt
+	case errors.As(err, &un):
+		fmt.Fprintf(w, "%s: diagnosis: network fault — store endpoint unreachable", tool)
+		if un.URL != "" {
+			fmt.Fprintf(w, " at %q", un.URL)
+		}
+		fmt.Fprintf(w, "; the data is presumed intact: check the coordinator and the network, then retry (exit %d)\n", ExitUnreachable)
+		return ExitUnreachable
 	}
 	return ExitFailure
 }

@@ -37,6 +37,15 @@ func TestReportClassifiesAndNamesOffenders(t *testing.T) {
 			wantSubs: []string{"failed decoding", `"s1.json"`},
 		},
 		{
+			name: "unreachable endpoint is a network fault naming the URL",
+			err: fmt.Errorf("sweepworker: assignment E6: %w", sweep.Transient(
+				&sweep.UnreachableError{URL: "http://coord:8350/store/lease/e6-ff/s0/plan",
+					Err: errors.New("connection refused")})),
+			wantCode: ExitUnreachable,
+			wantSubs: []string{"network fault", `"http://coord:8350/store/lease/e6-ff/s0/plan"`,
+				"caused by: sweep: store endpoint", "retry"},
+		},
+		{
 			name:     "anything else is generic",
 			err:      errors.New("no shard files given"),
 			wantCode: ExitFailure,

@@ -1,0 +1,243 @@
+// Package netchaos is a fault-injecting HTTP proxy for network failure
+// testing: it sits between a client (a sweepworker's HTTPStore) and a
+// server (sweepd's /store API) and injects, deterministically per request
+// index, the failure modes a real network serves up:
+//
+//   - added LATENCY: a seeded uniform delay before forwarding;
+//   - injected ERRORS: a 502 returned without touching the backend;
+//   - connection RESETS: the client's connection is torn down before the
+//     request reaches the backend;
+//   - dropped RESPONSES: the request is forwarded and the backend applies
+//     it, then the client's connection dies — the lost-acknowledgement
+//     case idempotent Puts exist for;
+//   - full PARTITIONS: while partitioned, every connection is cut without
+//     forwarding (schedule with SetPartitioned / PartitionFor).
+//
+// Fault decisions are a pure function of (Seed, request index), so a
+// seeded chaos scenario injects the same schedule of faults every run —
+// which request hits which fault depends only on arrival order. Stats
+// counts what was injected, so a test can assert its chaos actually
+// happened instead of silently passing on a quiet run.
+package netchaos
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Faults configures the injection schedule. Zero values disable each
+// fault; Every-style knobs hit every Nth request (offset decorrelated by
+// Seed so different faults land on different requests).
+type Faults struct {
+	// Seed selects the deterministic schedule and latency stream.
+	Seed uint64
+	// MaxLatency adds a seeded uniform delay in [0, MaxLatency) before
+	// forwarding every request (0 disables).
+	MaxLatency time.Duration
+	// ErrorEvery answers every Nth request with a 502 without forwarding.
+	ErrorEvery int
+	// ResetEvery tears down every Nth request's connection before the
+	// request reaches the backend.
+	ResetEvery int
+	// DropEvery forwards every Nth request, lets the backend apply it, then
+	// tears down the client's connection instead of relaying the response.
+	DropEvery int
+}
+
+// Stats counts the faults a proxy injected.
+type Stats struct {
+	// Requests is the total requests the proxy accepted.
+	Requests int64
+	// Forwarded reached the backend (including dropped-response ones).
+	Forwarded int64
+	// Errors is injected 502s, Resets torn connections, Drops lost
+	// responses, Partitioned connections refused during a partition.
+	Errors      int64
+	Resets      int64
+	Drops       int64
+	Partitioned int64
+}
+
+// Proxy is one running chaos proxy. Create with New, stop with Close.
+type Proxy struct {
+	target string
+	faults Faults
+	ln     net.Listener
+	srv    *http.Server
+	client *http.Client
+
+	seq         atomic.Int64
+	partitioned atomic.Bool
+	healTimer   atomic.Pointer[time.Timer]
+
+	requests, forwarded, errors, resets, drops, parts atomic.Int64
+
+	closeOnce sync.Once
+}
+
+// New starts a proxy on a fresh localhost port forwarding to target (a
+// base URL like "http://127.0.0.1:8350").
+func New(target string, f Faults) (*Proxy, error) {
+	return NewAt("127.0.0.1:0", target, f)
+}
+
+// NewAt is New on a chosen listen address.
+func NewAt(addr, target string, f Faults) (*Proxy, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("netchaos: listen: %w", err)
+	}
+	p := &Proxy{
+		target: strings.TrimRight(target, "/"),
+		faults: f,
+		ln:     ln,
+		client: &http.Client{Transport: &http.Transport{DisableKeepAlives: true}},
+	}
+	p.srv = &http.Server{Handler: http.HandlerFunc(p.serve)}
+	go p.srv.Serve(ln)
+	return p, nil
+}
+
+// URL returns the proxy's base URL; point the client under test at it.
+func (p *Proxy) URL() string { return "http://" + p.ln.Addr().String() }
+
+// Close stops the proxy and cuts every in-flight connection.
+func (p *Proxy) Close() {
+	p.closeOnce.Do(func() {
+		if t := p.healTimer.Load(); t != nil {
+			t.Stop()
+		}
+		p.srv.Close()
+	})
+}
+
+// SetPartitioned switches the full partition on or off: while on, every
+// connection is cut without forwarding — the backend sees nothing, the
+// client sees a dead network.
+func (p *Proxy) SetPartitioned(v bool) { p.partitioned.Store(v) }
+
+// Partitioned reports whether the proxy is currently partitioned.
+func (p *Proxy) Partitioned() bool { return p.partitioned.Load() }
+
+// PartitionFor schedules a partition window: the network goes down now
+// and heals after d. Overlapping calls extend the window.
+func (p *Proxy) PartitionFor(d time.Duration) {
+	p.SetPartitioned(true)
+	t := time.AfterFunc(d, func() { p.SetPartitioned(false) })
+	if old := p.healTimer.Swap(t); old != nil {
+		old.Stop()
+	}
+}
+
+// Stats snapshots the injected-fault counters.
+func (p *Proxy) Stats() Stats {
+	return Stats{
+		Requests:    p.requests.Load(),
+		Forwarded:   p.forwarded.Load(),
+		Errors:      p.errors.Load(),
+		Resets:      p.resets.Load(),
+		Drops:       p.drops.Load(),
+		Partitioned: p.parts.Load(),
+	}
+}
+
+// splitmix64 is the same mixer the sweep engine seeds trials with: a pure
+// (seed, n) → uint64 function, so fault schedules replay exactly.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// hits reports whether fault f (salted to decorrelate from the others)
+// fires on request n: every Nth request, phase-shifted by the seed.
+func (p *Proxy) hits(every int, salt uint64, n int64) bool {
+	if every <= 0 {
+		return false
+	}
+	phase := int64(splitmix64(p.faults.Seed^salt) % uint64(every))
+	return n%int64(every) == phase
+}
+
+// cut tears the client's connection down without a response — what a
+// reset or a partition looks like from the other side.
+func cut(w http.ResponseWriter) {
+	hj, ok := w.(http.Hijacker)
+	if !ok {
+		panic(http.ErrAbortHandler)
+	}
+	conn, _, err := hj.Hijack()
+	if err != nil {
+		panic(http.ErrAbortHandler)
+	}
+	conn.Close()
+}
+
+const (
+	saltError = 0x9d5c
+	saltReset = 0x51ab
+	saltDrop  = 0xd209
+	saltDelay = 0x1e77
+)
+
+func (p *Proxy) serve(w http.ResponseWriter, r *http.Request) {
+	n := p.seq.Add(1) - 1
+	p.requests.Add(1)
+
+	if p.partitioned.Load() {
+		p.parts.Add(1)
+		cut(w)
+		return
+	}
+	if p.faults.MaxLatency > 0 {
+		u := float64(splitmix64(p.faults.Seed^saltDelay^uint64(n))>>11) / float64(1<<53)
+		time.Sleep(time.Duration(u * float64(p.faults.MaxLatency)))
+	}
+	if p.hits(p.faults.ResetEvery, saltReset, n) {
+		p.resets.Add(1)
+		cut(w)
+		return
+	}
+	if p.hits(p.faults.ErrorEvery, saltError, n) {
+		p.errors.Add(1)
+		http.Error(w, "netchaos: injected error", http.StatusBadGateway)
+		return
+	}
+
+	// Forward to the backend. The request body is relayed as-is; hop-by-hop
+	// concerns don't apply to this test-only single-hop proxy.
+	req, err := http.NewRequestWithContext(r.Context(), r.Method, p.target+r.URL.RequestURI(), r.Body)
+	if err != nil {
+		http.Error(w, fmt.Sprintf("netchaos: build request: %v", err), http.StatusBadGateway)
+		return
+	}
+	req.Header = r.Header.Clone()
+	resp, err := p.client.Do(req)
+	if err != nil {
+		http.Error(w, fmt.Sprintf("netchaos: backend: %v", err), http.StatusBadGateway)
+		return
+	}
+	defer resp.Body.Close()
+	p.forwarded.Add(1)
+
+	if p.hits(p.faults.DropEvery, saltDrop, n) {
+		// The backend has fully processed the request; the acknowledgement
+		// dies here. Drain the body first so the backend's write completed.
+		io.Copy(io.Discard, resp.Body)
+		p.drops.Add(1)
+		cut(w)
+		return
+	}
+	for k, vs := range resp.Header {
+		w.Header()[k] = vs
+	}
+	w.WriteHeader(resp.StatusCode)
+	io.Copy(w, resp.Body)
+}

@@ -1,0 +1,190 @@
+package netchaos
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"io/fs"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/sweep"
+)
+
+// echoBackend records how many requests reached it and answers 200.
+func echoBackend(hits *atomic.Int64) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		io.Copy(io.Discard, r.Body)
+		fmt.Fprintf(w, "ok %s %s", r.Method, r.URL.Path)
+	})
+}
+
+func newProxy(t *testing.T, target string, f Faults) *Proxy {
+	t.Helper()
+	p, err := New(target, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(p.Close)
+	return p
+}
+
+// A quiet proxy is transparent: requests pass through untouched and the
+// backend sees every one.
+func TestProxyTransparentWhenQuiet(t *testing.T) {
+	var hits atomic.Int64
+	srv := httptest.NewServer(echoBackend(&hits))
+	defer srv.Close()
+	p := newProxy(t, srv.URL, Faults{Seed: 1})
+
+	resp, err := http.Get(p.URL() + "/store/run/plan")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || string(body) != "ok GET /store/run/plan" {
+		t.Fatalf("through quiet proxy: %d %q", resp.StatusCode, body)
+	}
+	if hits.Load() != 1 {
+		t.Errorf("backend hits = %d, want 1", hits.Load())
+	}
+	st := p.Stats()
+	if st.Requests != 1 || st.Forwarded != 1 || st.Errors+st.Resets+st.Drops+st.Partitioned != 0 {
+		t.Errorf("quiet proxy stats = %+v", st)
+	}
+}
+
+// ErrorEvery and ResetEvery fire on schedule: resets never reach the
+// backend, and the same seed replays the identical fault positions. Each
+// request rides its own connection — keep-alive reuse would let the Go
+// client transparently retry a reset GET and shift the schedule.
+func TestProxyScheduledFaultsAreSeeded(t *testing.T) {
+	client := &http.Client{Transport: &http.Transport{DisableKeepAlives: true}}
+	run := func(seed uint64) (faultPositions []int, st Stats, backendHits int64) {
+		var hits atomic.Int64
+		srv := httptest.NewServer(echoBackend(&hits))
+		defer srv.Close()
+		p := newProxy(t, srv.URL, Faults{Seed: seed, ErrorEvery: 4, ResetEvery: 5})
+		for i := 0; i < 20; i++ {
+			resp, err := client.Get(p.URL() + "/x")
+			if err != nil {
+				faultPositions = append(faultPositions, i)
+				continue
+			}
+			if resp.StatusCode == http.StatusBadGateway {
+				faultPositions = append(faultPositions, i)
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}
+		return faultPositions, p.Stats(), hits.Load()
+	}
+	posA, stA, hitsA := run(7)
+	posB, stB, hitsB := run(7)
+	if stA.Errors == 0 || stA.Resets == 0 {
+		t.Fatalf("no faults injected across 20 requests: %+v", stA)
+	}
+	if fmt.Sprint(posA) != fmt.Sprint(posB) || stA != stB || hitsA != hitsB {
+		t.Errorf("same seed, different schedule:\n%v %+v (%d hits)\n%v %+v (%d hits)",
+			posA, stA, hitsA, posB, stB, hitsB)
+	}
+	// Resets and injected errors never touched the backend; everything else did.
+	if want := 20 - stA.Errors - stA.Resets; hitsA != want {
+		t.Errorf("backend hits = %d, want %d (20 minus %d errors and %d resets)",
+			hitsA, want, stA.Errors, stA.Resets)
+	}
+	if int64(len(posA)) != stA.Errors+stA.Resets {
+		t.Errorf("client saw %d faults, proxy injected %d", len(posA), stA.Errors+stA.Resets)
+	}
+}
+
+// DropEvery loses the response AFTER the backend applied the request —
+// the lost-acknowledgement case — and the HTTPStore's idempotent Put
+// rides it out end to end through a real proxy.
+func TestProxyDropsResponseAfterBackendApplied(t *testing.T) {
+	backing := sweep.NewMemStore()
+	srv := httptest.NewServer(sweep.StoreHandler(backing))
+	defer srv.Close()
+	p := newProxy(t, srv.URL, Faults{Seed: 3, DropEvery: 1}) // drop every response
+	hs := sweep.NewHTTPStore(p.URL()).WithTimeout(2 * time.Second)
+
+	err := hs.Put("run/done/0-0", []byte("payload"))
+	if err == nil {
+		t.Fatal("Put through a dropping proxy: want a lost-response failure")
+	}
+	if !sweep.IsRetryable(err) {
+		t.Fatalf("lost response classified final: %v", err)
+	}
+	if got, gerr := backing.Get("run/done/0-0"); gerr != nil || string(got) != "payload" {
+		t.Fatalf("backend object after dropped response = %q, %v", got, gerr)
+	}
+	if st := p.Stats(); st.Drops == 0 || st.Forwarded == 0 {
+		t.Errorf("drop not recorded: %+v", st)
+	}
+
+	// The network heals (the retry reaches the backend directly); the
+	// retried Put is acknowledged idempotently.
+	healed := sweep.NewHTTPStore(srv.URL).WithTimeout(2 * time.Second)
+	if err := healed.Put("run/done/0-0", []byte("payload")); err != nil {
+		t.Fatalf("retried Put after heal: %v", err)
+	}
+}
+
+// While partitioned every connection dies without forwarding; after the
+// window ends the network heals by itself.
+func TestProxyPartitionWindow(t *testing.T) {
+	var hits atomic.Int64
+	srv := httptest.NewServer(echoBackend(&hits))
+	defer srv.Close()
+	p := newProxy(t, srv.URL, Faults{Seed: 9})
+
+	p.SetPartitioned(true)
+	if _, err := http.Get(p.URL() + "/x"); err == nil {
+		t.Fatal("request through a partition succeeded")
+	}
+	if hits.Load() != 0 {
+		t.Fatalf("backend saw %d requests through a partition", hits.Load())
+	}
+	if st := p.Stats(); st.Partitioned != 1 {
+		t.Errorf("partitioned counter = %d, want 1", st.Partitioned)
+	}
+
+	p.PartitionFor(50 * time.Millisecond)
+	if !p.Partitioned() {
+		t.Fatal("PartitionFor did not partition")
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for p.Partitioned() {
+		if time.Now().After(deadline) {
+			t.Fatal("partition never healed")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	resp, err := http.Get(p.URL() + "/x")
+	if err != nil {
+		t.Fatalf("after heal: %v", err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if hits.Load() != 1 {
+		t.Errorf("backend hits after heal = %d, want 1", hits.Load())
+	}
+}
+
+// The proxied store keeps typed faults intact: a 404 from the far side is
+// still fs.ErrNotExist through proxy, wire, and client.
+func TestProxyPreservesTypedStoreFaults(t *testing.T) {
+	srv := httptest.NewServer(sweep.StoreHandler(sweep.NewMemStore()))
+	defer srv.Close()
+	p := newProxy(t, srv.URL, Faults{Seed: 2, MaxLatency: 2 * time.Millisecond})
+	hs := sweep.NewHTTPStore(p.URL()).WithTimeout(2 * time.Second)
+
+	if _, err := hs.Get("missing/object"); !errors.Is(err, fs.ErrNotExist) {
+		t.Fatalf("Get missing through proxy = %v, want fs.ErrNotExist", err)
+	}
+}

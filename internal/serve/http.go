@@ -1,6 +1,8 @@
 package serve
 
-// The HTTP face of the coordinator: a small JSON API over the job queue.
+// The HTTP face of the coordinator: a small JSON API over the job queue,
+// plus the two surfaces a remote fleet runs on — the store API and the
+// worker registry.
 //
 //	POST /jobs            {"experiment":"E6","config":{…}} → JobStatus
 //	                      202 queued/running · 200 done/failed (idempotent)
@@ -8,8 +10,18 @@ package serve
 //	GET  /jobs/{id}       → JobStatus · 404
 //	GET  /jobs/{id}/table → the finished table, byte-identical to the
 //	                      avgbench CLI · 409 not ready · 500 failed · 404
-//	GET  /healthz         → 200 ok / 503 draining, with job counts
-//	GET  /metrics         → plain-text fleet counters
+//	/store/…              → the coordinator's sweep.Store over HTTP
+//	                      (sweep.StoreHandler): what remote workers'
+//	                      HTTPStores read grains from and publish them to
+//	POST /workers         {"name":"…"} → registration (201) with the id
+//	                      polls and reports use
+//	GET  /workers         → the registry with TTL liveness verdicts
+//	POST /workers/{id}/poll → assignment (200) · no work (204) ·
+//	                      unknown/expired worker (404): register again
+//	POST /workers/{id}/done {"job":…,"stats":…,"error":…} → 204 · 404
+//	DELETE /workers/{id}  → 204 (idempotent): a worker draining out
+//	GET  /healthz         → 200 ok / 503 draining or store unreachable
+//	GET  /metrics         → plain-text fleet counters, local and remote
 //
 // Backpressure responses carry Retry-After so well-behaved clients pace
 // themselves instead of hammering a full queue.
@@ -19,9 +31,11 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"sort"
 	"strings"
 
 	"repro/internal/experiments"
+	"repro/internal/sweep"
 )
 
 // submitRequest is the POST /jobs body.
@@ -38,6 +52,12 @@ func (c *Coordinator) Handler() http.Handler {
 	mux.HandleFunc("GET /jobs/{id}/table", c.handleTable)
 	mux.HandleFunc("GET /healthz", c.handleHealthz)
 	mux.HandleFunc("GET /metrics", c.handleMetrics)
+	mux.Handle("/store/", http.StripPrefix("/store/", sweep.StoreHandler(c.opts.Store)))
+	mux.HandleFunc("POST /workers", c.handleRegister)
+	mux.HandleFunc("GET /workers", c.handleWorkers)
+	mux.HandleFunc("POST /workers/{id}/poll", c.handlePoll)
+	mux.HandleFunc("POST /workers/{id}/done", c.handleDone)
+	mux.HandleFunc("DELETE /workers/{id}", c.handleDeregister)
 	return mux
 }
 
@@ -116,10 +136,80 @@ func (c *Coordinator) handleTable(w http.ResponseWriter, r *http.Request) {
 	w.Write(table)
 }
 
+// registerRequest is the POST /workers body.
+type registerRequest struct {
+	Name string `json:"name"`
+}
+
+func (c *Coordinator) handleRegister(w http.ResponseWriter, r *http.Request) {
+	var req registerRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("serve: bad register body: %w", err))
+		return
+	}
+	if c.Draining() {
+		w.Header().Set("Retry-After", "10")
+		writeError(w, http.StatusServiceUnavailable, ErrDraining)
+		return
+	}
+	writeJSON(w, http.StatusCreated, c.RegisterWorker(req.Name))
+}
+
+func (c *Coordinator) handleWorkers(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"workers": c.Workers()})
+}
+
+func (c *Coordinator) handlePoll(w http.ResponseWriter, r *http.Request) {
+	a, err := c.WorkerPoll(r.PathValue("id"))
+	switch {
+	case errors.Is(err, ErrUnknownWorker):
+		writeError(w, http.StatusNotFound, err)
+	case err != nil:
+		writeError(w, http.StatusInternalServerError, err)
+	case a == nil:
+		w.WriteHeader(http.StatusNoContent) // registered, alive, no work
+	default:
+		writeJSON(w, http.StatusOK, a)
+	}
+}
+
+// doneRequest is the POST /workers/{id}/done body: the worker's lease
+// stats for the assignment, and its error when the run failed.
+type doneRequest struct {
+	Job   string           `json:"job"`
+	Stats sweep.LeaseStats `json:"stats"`
+	Error string           `json:"error,omitempty"`
+}
+
+func (c *Coordinator) handleDone(w http.ResponseWriter, r *http.Request) {
+	var req doneRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("serve: bad done body: %w", err))
+		return
+	}
+	if err := c.WorkerDone(r.PathValue("id"), req.Job, req.Stats, req.Error); err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (c *Coordinator) handleDeregister(w http.ResponseWriter, r *http.Request) {
+	c.DeregisterWorker(r.PathValue("id"))
+	w.WriteHeader(http.StatusNoContent)
+}
+
 func (c *Coordinator) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	counts := c.JobCounts()
-	body := map[string]any{"status": "ok", "jobs": counts}
+	body := map[string]any{"status": "ok", "jobs": counts, "store": "ok"}
 	code := http.StatusOK
+	// Probe the store: a coordinator whose medium is gone cannot serve
+	// workers, however healthy its process looks.
+	if _, err := c.opts.Store.List("cache/"); err != nil {
+		body["status"] = "store-unreachable"
+		body["store"] = err.Error()
+		code = http.StatusServiceUnavailable
+	}
 	if c.Draining() {
 		body["status"] = "draining"
 		code = http.StatusServiceUnavailable
@@ -138,6 +228,34 @@ func (c *Coordinator) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(&b, "sweepd_worker_restarts_total %d\n", c.restarts.Load())
 	fmt.Fprintf(&b, "sweepd_worker_panics_total %d\n", c.panics.Load())
 	fmt.Fprintf(&b, "sweepd_wedge_recoveries_total %d\n", c.wedges.Load())
+	workers := c.Workers()
+	live := 0
+	perJob := map[string]int{}
+	for _, wk := range workers {
+		if wk.Live {
+			live++
+			if wk.Job != "" {
+				perJob[wk.Job]++
+			}
+		}
+	}
+	fmt.Fprintf(&b, "sweepd_remote_workers_registered_total %d\n", c.remoteRegistered.Load())
+	fmt.Fprintf(&b, "sweepd_remote_workers_live %d\n", live)
+	fmt.Fprintf(&b, "sweepd_remote_workers_expired_total %d\n", c.remoteExpired.Load())
+	fmt.Fprintf(&b, "sweepd_remote_steals_total %d\n", c.remoteSteals.Load())
+	fmt.Fprintf(&b, "sweepd_remote_stalls_total %d\n", c.remoteStalls.Load())
+	for _, jobKey := range sortedKeys(perJob) {
+		fmt.Fprintf(&b, "sweepd_job_remote_workers{job=%q} %d\n", jobKey, perJob[jobKey])
+	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	w.Write([]byte(b.String()))
+}
+
+func sortedKeys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
 }

@@ -87,6 +87,18 @@ type Options struct {
 	// Grains is the per-size grain count handed to workers (0 = engine
 	// default).
 	Grains int
+	// RemoteOnly runs jobs without any in-process workers: execution is
+	// left entirely to registered remote workers pulling assignments over
+	// the worker API, and the supervisor merges when the store's coverage
+	// completes (checked every PollInterval).
+	RemoteOnly bool
+	// WorkerTTL is remote-worker liveness: a worker that has not polled
+	// within the TTL is reported dead, and one dark past 2×TTL is forgotten
+	// and must re-register (default 10s).
+	WorkerTTL time.Duration
+	// PollInterval paces the supervisor's completion scan when no local
+	// workers run (default 500ms).
+	PollInterval time.Duration
 	// Restart paces worker restarts after a death (zero value: 100ms
 	// base, ×2 growth, 5s cap, jittered).
 	Restart sweep.Backoff
@@ -113,6 +125,11 @@ type Coordinator struct {
 	admitted int
 	draining bool
 
+	// Remote worker registry (workers.go). wmu is ordered after mu: code
+	// holding both takes mu first.
+	wmu     sync.Mutex
+	workers map[string]*remoteWorker
+
 	// Fleet counters, served by /metrics and /healthz.
 	submissions atomic.Int64
 	cacheHits   atomic.Int64
@@ -120,7 +137,14 @@ type Coordinator struct {
 	panics      atomic.Int64
 	wedges      atomic.Int64
 
-	spawnSeq atomic.Int64
+	// Remote-fleet counters.
+	remoteRegistered atomic.Int64
+	remoteExpired    atomic.Int64
+	remoteSteals     atomic.Int64
+	remoteStalls     atomic.Int64
+
+	spawnSeq  atomic.Int64
+	workerSeq atomic.Int64
 }
 
 // job is one deduplicated (experiment, config) computation.
@@ -157,6 +181,9 @@ type JobStatus struct {
 	// Progress is the live per-size lease-scan coverage of a queued or
 	// running job, across the job's sweeps in order.
 	Progress []sweep.SizeProgress `json:"progress,omitempty"`
+	// RemoteWorkers counts the live registered remote workers currently
+	// assigned to this job.
+	RemoteWorkers int `json:"remoteWorkers,omitempty"`
 }
 
 // New builds a Coordinator over the store. Call Resume to re-attach to
@@ -180,16 +207,23 @@ func New(opts Options) (*Coordinator, error) {
 	if opts.WedgeTimeout == 0 {
 		opts.WedgeTimeout = 30 * time.Second
 	}
+	if opts.WorkerTTL <= 0 {
+		opts.WorkerTTL = 10 * time.Second
+	}
+	if opts.PollInterval <= 0 {
+		opts.PollInterval = 500 * time.Millisecond
+	}
 	if (opts.Restart == sweep.Backoff{}) {
 		opts.Restart = sweep.Backoff{Base: 100 * time.Millisecond, Max: 5 * time.Second}
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	return &Coordinator{
-		opts:   opts,
-		ctx:    ctx,
-		cancel: cancel,
-		slots:  make(chan struct{}, opts.MaxRunning),
-		jobs:   make(map[string]*job),
+		opts:    opts,
+		ctx:     ctx,
+		cancel:  cancel,
+		slots:   make(chan struct{}, opts.MaxRunning),
+		jobs:    make(map[string]*job),
+		workers: make(map[string]*remoteWorker),
 	}, nil
 }
 
@@ -335,6 +369,7 @@ func (c *Coordinator) status(j *job) *JobStatus {
 				s.Progress = append(s.Progress, p.Sizes...)
 			}
 		}
+		s.RemoteWorkers = c.liveRemoteWorkersFor(j.key)
 	}
 	return s
 }

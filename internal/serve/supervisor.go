@@ -123,6 +123,14 @@ func (c *Coordinator) supervise(ctx context.Context, j *job) ([]byte, error) {
 	defer supDone()
 	exits := make(chan workerExit, c.opts.Workers)
 
+	// RemoteOnly leaves execution to the registered remote fleet: no local
+	// workers are spawned, so no exit can signal completion — a poll ticker
+	// watches the store's coverage instead.
+	localWorkers := c.opts.Workers
+	if c.opts.RemoteOnly {
+		localWorkers = 0
+	}
+
 	// Each wave gets its own cancellable context; cancels are kept so the
 	// final defer releases whichever wave is current when supervision ends.
 	// MaxAttempts bounds the wave count, so the slice stays tiny.
@@ -150,7 +158,7 @@ func (c *Coordinator) supervise(ctx context.Context, j *job) ([]byte, error) {
 			}
 		}()
 	}
-	for slot := 0; slot < c.opts.Workers; slot++ {
+	for slot := 0; slot < localWorkers; slot++ {
 		spawn(slot)
 	}
 
@@ -159,6 +167,12 @@ func (c *Coordinator) supervise(ctx context.Context, j *job) ([]byte, error) {
 		t := time.NewTicker(c.opts.WedgeTimeout)
 		defer t.Stop()
 		watch = t.C
+	}
+	var poll <-chan time.Time
+	if localWorkers == 0 {
+		t := time.NewTicker(c.opts.PollInterval)
+		defer t.Stop()
+		poll = t.C
 	}
 
 	consecutive := 0 // worker deaths since the last observed coverage growth
@@ -197,12 +211,24 @@ func (c *Coordinator) supervise(ctx context.Context, j *job) ([]byte, error) {
 			}
 			spawn(e.slot)
 
+		case <-poll:
+			// No local workers: completion is decided by the store alone.
+			// When every sweep's coverage is full — remote workers put the
+			// grains there — merge and serve, exactly as a local worker's
+			// clean exit would have.
+			if done, err := c.remoteComplete(j); err == nil && done {
+				return c.finishTable(j)
+			}
+
 		case <-watch:
 			cov, beats, ok := c.snapshot(j)
 			if !ok {
 				continue // store fault: workers will surface it as deaths
 			}
 			if cov > lastCovered || beats > lastBeats {
+				if cov > lastCovered {
+					consecutive = 0
+				}
 				lastCovered, lastBeats = cov, beats
 				stagnant = 0
 				continue
@@ -211,6 +237,23 @@ func (c *Coordinator) supervise(ctx context.Context, j *job) ([]byte, error) {
 				continue
 			}
 			stagnant = 0
+			if localWorkers == 0 {
+				// There is no local wave to replace: a frozen remote fleet is
+				// partitioned, dead, or absent. Count the stall and let the
+				// breaker park the job if the fleet never comes back; coverage
+				// growth in between (a healed partition, a new worker) resets
+				// the count above.
+				c.remoteStalls.Add(1)
+				err := fmt.Errorf("serve: no remote progress for %v: fleet presumed partitioned or dead (%d live worker(s) on job)",
+					2*c.opts.WedgeTimeout, c.liveRemoteWorkersFor(j.key))
+				j.noteRestart(err)
+				consecutive++
+				c.logf("job %s: %v (%d consecutive)", j.key, err, consecutive)
+				if consecutive >= c.opts.MaxAttempts {
+					return nil, &ParkedError{Attempts: consecutive, Err: err}
+				}
+				continue
+			}
 			// Coverage and heartbeats both frozen across two intervals:
 			// every worker is presumed wedged. Cancel the wave, abandon
 			// whatever refuses to exit (the lease expiry path hands its
@@ -226,7 +269,7 @@ func (c *Coordinator) supervise(ctx context.Context, j *job) ([]byte, error) {
 			cancels[wave]()
 			wave++
 			wctx = newWave()
-			for slot := 0; slot < c.opts.Workers; slot++ {
+			for slot := 0; slot < localWorkers; slot++ {
 				spawn(slot)
 			}
 		}
@@ -248,6 +291,22 @@ func (c *Coordinator) runWorker(ctx context.Context, j *job, id string) (err err
 	}
 	_, err = experiments.RunLeasedSweeps(ctx, j.exp, j.cfg, c.opts.Store, o)
 	return err
+}
+
+// remoteComplete reports whether the store's coverage of the job is
+// full — the completion signal when remote workers do the executing. A
+// store fault reads as "not yet": the watchdog escalates persistent ones.
+func (c *Coordinator) remoteComplete(j *job) (bool, error) {
+	progs, err := experiments.LeasedProgress(j.exp, j.cfg, c.opts.Store)
+	if err != nil {
+		return false, err
+	}
+	for _, p := range progs {
+		if !p.Complete() {
+			return false, nil
+		}
+	}
+	return len(progs) > 0, nil
 }
 
 // snapshot reads the job's total covered trials and summed lease

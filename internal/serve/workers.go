@@ -1,0 +1,262 @@
+package serve
+
+// The remote worker registry: the coordinator's view of a fleet of
+// sweepworker processes on the far side of a network. Registration is
+// soft state — a worker that stops polling past its TTL is merely
+// presumed dead and eventually forgotten; everything that matters for
+// correctness (grains, leases, completions) is durable in the shared
+// store under the lease protocol, which already tolerates executors
+// vanishing and reappearing. The registry exists for ASSIGNMENT (which
+// job should this worker pull?) and OBSERVABILITY (who is alive, who
+// went dark, who is stealing), never for safety.
+//
+// Polling doubles as the heartbeat: a worker mid-job keeps polling and
+// keeps receiving the same assignment idempotently. A worker that comes
+// back from a partition longer than 2×TTL finds itself forgotten (404),
+// re-registers under a fresh id and carries on — its half-done claims
+// expire under the lease protocol and are stolen or adopted, and if it
+// still finishes its old grains they deduplicate byte-identically.
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/sweep"
+)
+
+// ErrUnknownWorker rejects polls and reports from ids the registry does
+// not hold — never registered, expired past 2×TTL, or deregistered. The
+// worker's move is to register again.
+var ErrUnknownWorker = errors.New("serve: unknown or expired worker; register again")
+
+// WorkerInfo is the JSON shape of one registered remote worker, served
+// by GET /workers.
+type WorkerInfo struct {
+	ID   string `json:"id"`
+	Name string `json:"name"`
+	// Live is the TTL verdict: the worker polled within WorkerTTL.
+	Live bool `json:"live"`
+	// Job is the worker's current assignment, if any.
+	Job string `json:"job,omitempty"`
+	// Polls counts heartbeats over the registration's life.
+	Polls int64 `json:"polls"`
+	// Grains and Steals accumulate the lease stats of the worker's done
+	// reports.
+	Grains int `json:"grains"`
+	Steals int `json:"steals"`
+	// LastError is the worker's most recent reported run failure.
+	LastError string `json:"lastError,omitempty"`
+}
+
+// Assignment is what a poll hands a worker: one running job to execute
+// over the shared store. A nil assignment means "no work; poll again".
+type Assignment struct {
+	Job        string             `json:"job"`
+	Experiment string             `json:"experiment"`
+	Config     experiments.Config `json:"config"`
+	// Grains is the coordinator's grain quantization; workers must use it
+	// so their plans agree with every other executor's.
+	Grains int `json:"grains"`
+}
+
+// remoteWorker is one registration record.
+type remoteWorker struct {
+	id       string
+	name     string
+	lastBeat time.Time
+	job      string
+	polls    int64
+	grains   int
+	steals   int
+	lastErr  string
+}
+
+// sanitizeWorkerName keeps the store-name-safe characters of a
+// client-supplied name so worker ids can appear in lease records.
+func sanitizeWorkerName(name string) string {
+	var b strings.Builder
+	for _, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9',
+			r == '.', r == '_', r == '-':
+			b.WriteRune(r)
+		}
+	}
+	if b.Len() == 0 {
+		return "worker"
+	}
+	return b.String()
+}
+
+// RegisterWorker admits a remote worker and returns its registration.
+// The id is fresh per registration: a worker that re-registers after an
+// expiry is a new identity, so stale lease records never collide.
+func (c *Coordinator) RegisterWorker(name string) *WorkerInfo {
+	id := fmt.Sprintf("r%d-%s", c.workerSeq.Add(1), sanitizeWorkerName(name))
+	w := &remoteWorker{id: id, name: sanitizeWorkerName(name), lastBeat: time.Now()}
+	c.wmu.Lock()
+	c.workers[id] = w
+	c.wmu.Unlock()
+	c.remoteRegistered.Add(1)
+	c.logf("worker %s: registered", id)
+	return &WorkerInfo{ID: id, Name: w.name, Live: true}
+}
+
+// live reports the TTL verdict for a record at time now.
+func (c *Coordinator) live(w *remoteWorker, now time.Time) bool {
+	return now.Sub(w.lastBeat) <= c.opts.WorkerTTL
+}
+
+// expireWorkersLocked forgets workers dark past 2×TTL. Callers hold wmu.
+func (c *Coordinator) expireWorkersLocked(now time.Time) {
+	for id, w := range c.workers {
+		if now.Sub(w.lastBeat) > 2*c.opts.WorkerTTL {
+			delete(c.workers, id)
+			c.remoteExpired.Add(1)
+			c.logf("worker %s: expired (dark for %v)", id, now.Sub(w.lastBeat).Round(time.Millisecond))
+		}
+	}
+}
+
+// WorkerPoll is the fleet's pull loop: it heartbeats the registration
+// and returns the worker's assignment — the same one idempotently while
+// its job still runs, a fresh running job otherwise, nil when there is
+// no work. Unknown or expired ids get ErrUnknownWorker.
+func (c *Coordinator) WorkerPoll(id string) (*Assignment, error) {
+	now := time.Now()
+	// Lock order is mu → wmu everywhere both are held.
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	c.expireWorkersLocked(now)
+	w, ok := c.workers[id]
+	if !ok {
+		return nil, ErrUnknownWorker
+	}
+	w.lastBeat = now
+	w.polls++
+
+	if w.job != "" {
+		if j, ok := c.jobs[w.job]; ok && jobState(j) == StateRunning {
+			return c.assignmentLocked(j), nil
+		}
+		w.job = "" // finished, parked or gone: pull something new
+	}
+	j := c.pickJobLocked(now)
+	if j == nil {
+		return nil, nil
+	}
+	w.job = j.key
+	return c.assignmentLocked(j), nil
+}
+
+func jobState(j *job) State {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state
+}
+
+func (c *Coordinator) assignmentLocked(j *job) *Assignment {
+	return &Assignment{Job: j.key, Experiment: j.exp.ID, Config: j.cfg, Grains: c.opts.Grains}
+}
+
+// pickJobLocked chooses the running job with the fewest live remote
+// workers already on it (ties broken by key for determinism), spreading
+// the fleet instead of piling everyone on one job. Callers hold mu+wmu.
+func (c *Coordinator) pickJobLocked(now time.Time) *job {
+	load := make(map[string]int)
+	for _, w := range c.workers {
+		if w.job != "" && c.live(w, now) {
+			load[w.job]++
+		}
+	}
+	var best *job
+	for key, j := range c.jobs {
+		if jobState(j) != StateRunning {
+			continue
+		}
+		if best == nil || load[key] < load[best.key] ||
+			(load[key] == load[best.key] && key < best.key) {
+			best = j
+		}
+	}
+	return best
+}
+
+// WorkerDone records a worker's completion report for an assignment:
+// the lease stats it accumulated (steals feed the fleet counters) and
+// its error, if the run failed. The job's own completion is not decided
+// here — the store's coverage is the only authority; the supervisor's
+// completion poll merges when the trial space is covered.
+func (c *Coordinator) WorkerDone(id, jobKey string, stats sweep.LeaseStats, runErr string) error {
+	now := time.Now()
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	c.expireWorkersLocked(now)
+	w, ok := c.workers[id]
+	if !ok {
+		return ErrUnknownWorker
+	}
+	w.lastBeat = now
+	if w.job == jobKey {
+		w.job = ""
+	}
+	w.grains += stats.Grains
+	w.steals += stats.Steals
+	c.remoteSteals.Add(int64(stats.Steals))
+	if runErr != "" {
+		w.lastErr = runErr
+		c.logf("worker %s: job %s failed remotely: %s", id, jobKey, runErr)
+	}
+	return nil
+}
+
+// DeregisterWorker removes a registration — the drain path of a worker
+// exiting cleanly. Unknown ids are a no-op: deregistering twice (or
+// after an expiry) is fine.
+func (c *Coordinator) DeregisterWorker(id string) {
+	c.wmu.Lock()
+	if _, ok := c.workers[id]; ok {
+		delete(c.workers, id)
+		c.logf("worker %s: deregistered", id)
+	}
+	c.wmu.Unlock()
+}
+
+// Workers snapshots the registry, expired records pruned, sorted by id.
+func (c *Coordinator) Workers() []WorkerInfo {
+	now := time.Now()
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	c.expireWorkersLocked(now)
+	out := make([]WorkerInfo, 0, len(c.workers))
+	for _, w := range c.workers {
+		out = append(out, WorkerInfo{
+			ID: w.id, Name: w.name, Live: c.live(w, now), Job: w.job,
+			Polls: w.polls, Grains: w.grains, Steals: w.steals, LastError: w.lastErr,
+		})
+	}
+	sort.Slice(out, func(i, k int) bool { return out[i].ID < out[k].ID })
+	return out
+}
+
+// liveRemoteWorkersFor counts live workers assigned to a job — the
+// per-job fleet gauge in job status and /metrics. Safe to call with or
+// without mu held (it only takes wmu).
+func (c *Coordinator) liveRemoteWorkersFor(jobKey string) int {
+	now := time.Now()
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	n := 0
+	for _, w := range c.workers {
+		if w.job == jobKey && c.live(w, now) {
+			n++
+		}
+	}
+	return n
+}

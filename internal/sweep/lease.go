@@ -593,9 +593,12 @@ func (r *leaseRunner) loop(ctx context.Context) error {
 		}
 		sc, err := r.scanner.scan()
 		if err != nil {
-			// A faulting store gets StoreRetries backed-off rescans before
-			// the executor dies (and the supervisor counts the death).
-			if scanFaults++; scanFaults > r.opts.StoreRetries {
+			// A transiently faulting store gets StoreRetries backed-off
+			// rescans before the executor dies (and the supervisor counts
+			// the death); a final fault — vanished root, permission — kills
+			// the executor immediately, one predicate (IsRetryable)
+			// deciding for this loop and RetryStore alike.
+			if scanFaults++; !IsRetryable(err) || scanFaults > r.opts.StoreRetries {
 				return err
 			}
 			r.opts.Retry.Wait(ctx, scanFaults-1)
@@ -797,12 +800,17 @@ func (r *leaseRunner) executeLease(ctx context.Context, b Block, seq int64) erro
 		if err := EncodeCompletion(&buf, comp); err != nil {
 			return err
 		}
-		for attempt := 0; r.st.Put(key, buf.Bytes()) != nil; attempt++ {
-			// Bounded, backed-off retries ride out transient faults. A
-			// grain whose record still fails to land simply stays
-			// uncovered: some executor (possibly this one, next claim)
-			// re-runs it and overwrites whatever garbage the failed write
-			// left.
+		for attempt := 0; ; attempt++ {
+			// Bounded, backed-off retries ride out transient faults — the
+			// same IsRetryable predicate RetryStore applies, so a final
+			// fault (vanished root, permission) stops immediately. A grain
+			// whose record still fails to land simply stays uncovered: some
+			// executor (possibly this one, next claim) re-runs it and
+			// overwrites whatever garbage the failed write left.
+			perr := r.st.Put(key, buf.Bytes())
+			if perr == nil || !IsRetryable(perr) {
+				break
+			}
 			if attempt >= r.opts.StoreRetries || r.opts.Retry.Wait(ctx, attempt) != nil {
 				break
 			}
