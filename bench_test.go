@@ -195,6 +195,39 @@ func BenchmarkSweepRawSharded(b *testing.B)         { benchSweepRaw(b, 0, true) 
 func BenchmarkSweepRawAtlasSequential(b *testing.B) { benchSweepRaw(b, 1, false) }
 func BenchmarkSweepRawAtlasSharded(b *testing.B)    { benchSweepRaw(b, 0, false) }
 
+// benchSweepImplicit measures the implicit backend directly: closed-form
+// ball synthesis (no adjacency, no atlas, no CSR) serving the flat pruning
+// kernel over random permutations of a 65536-cycle — E2's average-radius
+// sweep at a size where the materialised atlas stops being the obvious
+// default. Tables are byte-identical to the atlas and builder backends;
+// this pair tracks the synthesis path's time and its O(workers) allocation
+// profile.
+func benchSweepImplicit(b *testing.B, workers int) {
+	b.Helper()
+	spec := sweep.Spec{
+		Seed:    9,
+		Sizes:   []int{65536},
+		Trials:  8,
+		Workers: workers,
+		Backend: sweep.BackendImplicit,
+		Graph:   func(n int, _ *rand.Rand) (graph.Graph, error) { return graph.NewCycle(n) },
+		Alg:     func(int, ids.Assignment) local.ViewAlgorithm { return largestid.Pruning{} },
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res, err := sweep.Run(context.Background(), spec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Sizes[0].Trials != 8 {
+			b.Fatal("incomplete sweep")
+		}
+	}
+}
+
+func BenchmarkSweepE2ImplicitSequential(b *testing.B) { benchSweepImplicit(b, 1) }
+func BenchmarkSweepE2ImplicitSharded(b *testing.B)    { benchSweepImplicit(b, 0) }
+
 // --- exact exhaustive enumeration: Heap baseline vs the sharded engine ---
 
 // exactBenchN is the enumeration benchmark size: 10! = 3 628 800

@@ -1,4 +1,4 @@
-// Command avgbench regenerates the paper's experiment tables (E1..E10, see
+// Command avgbench regenerates the paper's experiment tables (E1..E11, see
 // EXPERIMENTS.md for the index). Every experiment runs on the sharded sweep
 // engine (internal/sweep), so full-size tables use all cores; equal seeds
 // emit identical tables at any worker count.
@@ -15,6 +15,9 @@
 //	avgbench -e all -json          	# machine-readable output, with metadata
 //	avgbench -e E6 -noatlas         # force the ball-builder path (perf bisection)
 //	avgbench -e E6 -nokernels       # keep the atlas, skip the flat decision kernels
+//	avgbench -e E11 -backend implicit    # closed-form ball synthesis: O(workers) memory at n=10^7
+//	avgbench -e E2 -backend builder      # pin any backend; tables are byte-identical across them
+//	avgbench -e E2 -streamids            # streaming Feistel identifier draws (a different, backend-invariant family)
 //	avgbench -e E6 -cpuprofile cpu.pb.gz -memprofile mem.pb.gz
 //
 // Distributed runs (shardable experiments — those exposing their sweeps):
@@ -63,7 +66,7 @@ func main() {
 
 func run(args []string) error {
 	fs := flag.NewFlagSet("avgbench", flag.ContinueOnError)
-	expID := fs.String("e", "all", "experiment ID (E1..E10) or 'all'")
+	expID := fs.String("e", "all", "experiment ID (E1..E11) or 'all'")
 	seed := fs.Int64("seed", 1, "random seed (equal seeds reproduce tables)")
 	sizesFlag := fs.String("sizes", "", "comma-separated n sweep override")
 	trials := fs.Int("trials", 0, "permutations sampled per size (0 = default)")
@@ -74,6 +77,8 @@ func run(args []string) error {
 	list := fs.Bool("list", false, "list experiments and exit")
 	noAtlas := fs.Bool("noatlas", false, "disable the shared ball-atlas fast path (identical tables, builder-path timing)")
 	noKernels := fs.Bool("nokernels", false, "disable the flat decision kernels over the atlas (identical tables, view-path timing)")
+	backendFlag := fs.String("backend", "", "sweep ball-sourcing backend: atlas, builder, or implicit (empty = auto; identical tables across backends)")
+	streamIDs := fs.Bool("streamids", false, "draw identifiers from the streaming Feistel permutation family instead of the buffered shuffle (different, backend-invariant tables)")
 	cpuProfile := fs.String("cpuprofile", "", "write a pprof CPU profile of the runs to this file")
 	memProfile := fs.String("memprofile", "", "write a pprof heap profile to this file after the runs")
 	shardFlag := fs.String("shard", "", "run only shard I/M (0-based, e.g. 0/2) of one shardable experiment; requires -out")
@@ -96,7 +101,18 @@ func run(args []string) error {
 		return fmt.Errorf("-csv and -json are mutually exclusive")
 	}
 
-	cfg := experiments.Config{Seed: *seed, Trials: *trials, Workers: *workers, NoAtlas: *noAtlas, NoKernels: *noKernels}
+	// Backend names fail fast, before any sweep starts, with the typed
+	// error; the NoAtlas conflict mirrors the engine's own validation.
+	backend, err := sweep.ParseBackend(*backendFlag)
+	if err != nil {
+		return err
+	}
+	if *noAtlas && backend != sweep.BackendAuto && backend != sweep.BackendBuilder {
+		return fmt.Errorf("-noatlas conflicts with -backend %s; drop one of the two", backend)
+	}
+
+	cfg := experiments.Config{Seed: *seed, Trials: *trials, Workers: *workers,
+		NoAtlas: *noAtlas, NoKernels: *noKernels, Backend: string(backend), StreamIDs: *streamIDs}
 	if *sizesFlag != "" {
 		for _, part := range strings.Split(*sizesFlag, ",") {
 			n, err := strconv.Atoi(strings.TrimSpace(part))

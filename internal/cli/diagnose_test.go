@@ -46,6 +46,21 @@ func TestReportClassifiesAndNamesOffenders(t *testing.T) {
 				"caused by: sweep: store endpoint", "retry"},
 		},
 		{
+			name: "implicit-unsupported is configuration and lists qualifying families",
+			err: fmt.Errorf("E11: %w", &sweep.ImplicitUnsupportedError{
+				Graph: "*graph.CSRGraph", N: 10000000,
+				Qualifying: []string{"cycle (graph.Cycle)", "path (graph.Path)"}}),
+			wantCode: ExitFailure,
+			wantSubs: []string{"configuration", "*graph.CSRGraph", "n=10000000",
+				"cycle (graph.Cycle)", "path (graph.Path)", "drop -backend implicit"},
+		},
+		{
+			name:     "unknown backend is configuration and names the valid set",
+			err:      fmt.Errorf("avgbench: %w", &sweep.UnknownBackendError{Name: "csr"}),
+			wantCode: ExitFailure,
+			wantSubs: []string{"configuration", `"csr"`, "atlas, builder, implicit"},
+		},
+		{
 			name:     "anything else is generic",
 			err:      errors.New("no shard files given"),
 			wantCode: ExitFailure,

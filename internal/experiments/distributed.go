@@ -99,12 +99,15 @@ type runCheckpoint struct {
 }
 
 // normalizedConfig strips the fields that cannot change result bytes —
-// worker count and the perf toggles — so shards launched with different
-// parallelism still merge.
+// worker count, the perf toggles, and the ball-sourcing backend — so shards
+// launched with different parallelism or backends still merge. StreamIDs
+// stays: it selects a different permutation family and thus different
+// bytes.
 func normalizedConfig(cfg Config) Config {
 	cfg.Workers = 0
 	cfg.NoAtlas = false
 	cfg.NoKernels = false
+	cfg.Backend = ""
 	return cfg
 }
 
@@ -128,7 +131,7 @@ func runSweeps(ctx context.Context, e Experiment, cfg Config, shard sweep.Shard,
 	if !e.Shardable() {
 		return nil, fmt.Errorf("experiments: %s does not expose its sweeps; it cannot run sharded or checkpointed", e.ID)
 	}
-	specs, err := e.Sweeps(cfg)
+	specs, err := expandSweeps(e, cfg)
 	if err != nil {
 		return nil, fmt.Errorf("experiments: %s sweeps: %w", e.ID, err)
 	}
@@ -275,7 +278,7 @@ func RunShard(ctx context.Context, e Experiment, cfg Config, shard sweep.Shard, 
 // sweep and size — the explicit claim MergeShards checks for cross-file
 // disjointness.
 func shardRanges(e Experiment, cfg Config, shard sweep.Shard) ([][]sweep.TrialRange, error) {
-	specs, err := e.Sweeps(cfg)
+	specs, err := expandSweeps(e, cfg)
 	if err != nil {
 		return nil, fmt.Errorf("experiments: %s sweeps: %w", e.ID, err)
 	}
@@ -358,7 +361,7 @@ func MergeShards(files ...*ShardFile) (Experiment, *Table, error) {
 	// have — sweep count, sizes per sweep — so a forged or truncated file
 	// is rejected here with a descriptive error instead of panicking in
 	// the merge or in Tabulate.
-	specs, err := e.Sweeps(first.Config)
+	specs, err := expandSweeps(e, first.Config)
 	if err != nil {
 		return Experiment{}, nil, fmt.Errorf("experiments: %s sweeps: %w", e.ID, err)
 	}

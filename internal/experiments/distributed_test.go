@@ -266,7 +266,7 @@ func TestUnknownExperimentErrorListsIDs(t *testing.T) {
 			t.Errorf("error %q does not list %s", err, id)
 		}
 	}
-	if want := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10"}; len(ue.Known) != len(want) {
+	if want := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11"}; len(ue.Known) != len(want) {
 		t.Errorf("Known = %v, want %v", ue.Known, want)
 	}
 }

@@ -34,7 +34,7 @@ func e4() Experiment {
 			cvSpec := cycleSpec(cfg, defSizes, 1)
 			cvSpec.Alg = func(_ int, a ids.Assignment) local.ViewAlgorithm { return coloring.ForMaxID(a.MaxID()) }
 			cvSpec.Verify = verifyColoring
-			cvRes, err := sweep.Run(ctx, cvSpec)
+			cvRes, err := sweep.Run(ctx, configSpec(cvSpec, cfg))
 			if err != nil {
 				return nil, err
 			}
@@ -42,7 +42,7 @@ func e4() Experiment {
 			uniSpec := cycleSpec(cfg, defSizes, 1)
 			uniSpec.Alg = func(int, ids.Assignment) local.ViewAlgorithm { return coloring.Uniform{} }
 			uniSpec.Verify = verifyColoring
-			uniRes, err := sweep.Run(ctx, uniSpec)
+			uniRes, err := sweep.Run(ctx, configSpec(uniSpec, cfg))
 			if err != nil {
 				return nil, err
 			}
@@ -93,7 +93,7 @@ func e5() Experiment {
 			favSpec.Trials = 1
 			favSpec.Alg = alg
 			favSpec.Assign = assignFixed(func(n int) (ids.Assignment, error) { return ids.Identity(n), nil })
-			favRes, err := sweep.Run(ctx, favSpec)
+			favRes, err := sweep.Run(ctx, configSpec(favSpec, cfg))
 			if err != nil {
 				return nil, err
 			}
@@ -101,7 +101,7 @@ func e5() Experiment {
 			rndSpec := cycleSpec(cfg, defSizes, 1)
 			rndSpec.Trials = 1
 			rndSpec.Alg = alg
-			rndRes, err := sweep.Run(ctx, rndSpec)
+			rndRes, err := sweep.Run(ctx, configSpec(rndSpec, cfg))
 			if err != nil {
 				return nil, err
 			}
@@ -132,7 +132,7 @@ func e5() Experiment {
 					}
 				}
 			}
-			advRes, err := sweep.Run(ctx, advSpec)
+			advRes, err := sweep.Run(ctx, configSpec(advSpec, cfg))
 			if err != nil {
 				return nil, err
 			}

@@ -99,7 +99,7 @@ func e7() Experiment {
 				spec.Observe = func(sizeIdx, _ int, _ graph.Graph, _ ids.Assignment, res *local.Result) {
 					names[sizeIdx] = res.Algorithm
 				}
-				res, err := sweep.Run(ctx, spec)
+				res, err := sweep.Run(ctx, configSpec(spec, cfg))
 				if err != nil {
 					return nil, err
 				}

@@ -99,7 +99,7 @@ func runSynthesized(ctx context.Context, cfg Config, s int) (string, error) {
 		Verify:    verifyColoring,
 		Strict:    true,
 	}
-	res, err := sweep.Run(ctx, spec)
+	res, err := sweep.Run(ctx, configSpec(spec, cfg))
 	if err != nil {
 		return "", err
 	}

@@ -84,7 +84,7 @@ func e9() Experiment {
 						}
 					},
 				}
-				res, err := sweep.Run(ctx, spec)
+				res, err := sweep.Run(ctx, configSpec(spec, cfg))
 				if err != nil {
 					return nil, fmt.Errorf("E9 %s: %w", f.name, err)
 				}

@@ -38,6 +38,19 @@ type Config struct {
 	// of the flat decision kernels. Tables are byte-identical either way;
 	// like NoAtlas it exists for A/B profiling (avgbench -nokernels).
 	NoKernels bool `json:"noKernels,omitempty"`
+	// Backend names the sweep ball-sourcing backend ("", "atlas",
+	// "builder", "implicit" — see sweep.Backend). Tables are byte-identical
+	// across backends, so like the toggles above it never changes result
+	// bytes; the implicit backend is what fits n = 10^6..10^8 sweeps in
+	// O(workers) memory (avgbench -backend).
+	Backend string `json:"backend,omitempty"`
+	// StreamIDs switches the sampled identifier draws to the streaming
+	// permutation family (ids.StreamPerm). Unlike the perf toggles it
+	// CHANGES result bytes — the sampled permutations are a different
+	// seeded family — so it is part of the table's identity, like Seed.
+	// Sweeps without sampled draws (fixed Assign sources, exhaustive
+	// enumeration) are unaffected; see expandSweeps.
+	StreamIDs bool `json:"streamIDs,omitempty"`
 }
 
 // Experiment is one reproducible claim of the paper.
@@ -75,7 +88,7 @@ var registry = buildRegistry()
 
 func buildRegistry() map[string]Experiment {
 	all := []Experiment{
-		e1(), e2(), e3(), e4(), e5(), e6(), e7(), e8(), e9(), e10(),
+		e1(), e2(), e3(), e4(), e5(), e6(), e7(), e8(), e9(), e10(), e11(),
 	}
 	m := make(map[string]Experiment, len(all))
 	for _, e := range all {
@@ -175,6 +188,38 @@ func cycleSpec(cfg Config, defSizes []int, defTrials int) sweep.Spec {
 		NoKernels: cfg.NoKernels,
 		Graph:     func(n int, _ *rand.Rand) (graph.Graph, error) { return graph.NewCycle(n) },
 	}
+}
+
+// expandSweeps is how every runner obtains an experiment's specs: it calls
+// Sweeps and then applies the config's cross-cutting knobs — backend
+// selection and streaming identifier draws — uniformly, so E1–E11 all
+// honour -backend/-streamids without forwarding them one by one. A spec
+// that pinned its own backend (E11 defaulting to implicit) keeps it, and
+// StreamIDs only lands where sampled draws actually happen: a fixed
+// Assign source or exhaustive rank enumeration draws nothing, so the flag
+// is a no-op there rather than a conflict.
+func expandSweeps(e Experiment, cfg Config) ([]sweep.Spec, error) {
+	specs, err := e.Sweeps(cfg)
+	if err != nil {
+		return nil, err
+	}
+	for k := range specs {
+		specs[k] = configSpec(specs[k], cfg)
+	}
+	return specs, nil
+}
+
+// configSpec applies the config's backend and streaming-draw knobs to one
+// spec — the per-spec form of expandSweeps, for the custom-Run experiments
+// (E4, E5, E7, E8, E9) that call sweep.Run with inline specs.
+func configSpec(spec sweep.Spec, cfg Config) sweep.Spec {
+	if spec.Backend == sweep.BackendAuto {
+		spec.Backend = sweep.Backend(cfg.Backend)
+	}
+	if cfg.StreamIDs && spec.Assign == nil && !spec.Exhaustive {
+		spec.StreamIDs = true
+	}
+	return spec
 }
 
 // assignFixed adapts a deterministic per-size assignment constructor into a

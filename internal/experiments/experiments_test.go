@@ -3,8 +3,11 @@ package experiments
 import (
 	"context"
 	"encoding/csv"
+	"errors"
 	"strings"
 	"testing"
+
+	"repro/internal/sweep"
 )
 
 // smallCfg keeps experiment runs fast in unit tests; the full sweeps run in
@@ -14,7 +17,7 @@ func smallCfg() Config {
 }
 
 func TestRegistryComplete(t *testing.T) {
-	want := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10"}
+	want := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11"}
 	all := All()
 	if len(all) != len(want) {
 		t.Fatalf("registry has %d experiments, want %d", len(all), len(want))
@@ -240,5 +243,66 @@ func TestTableRenderAndCSV(t *testing.T) {
 	lines := strings.Count(strings.TrimSpace(sb.String()), "\n") + 1
 	if lines != 3 {
 		t.Errorf("csv has %d lines, want 3", lines)
+	}
+}
+
+// TestConfigKnobsReachEveryExperiment pins the expandSweeps/configSpec
+// contract: -backend and -streamids act uniformly whether an experiment
+// exposes Sweeps or runs inline specs. The implicit backend must fail
+// typed on E9's non-implicit families, must leave bytes alone where it is
+// servable, and -streamids must be a no-op (not a conflict) on sweeps
+// without sampled draws — E2's fixed worst permutation, E10's exhaustive
+// enumeration.
+func TestConfigKnobsReachEveryExperiment(t *testing.T) {
+	ctx := context.Background()
+
+	e9, err := Get("E9")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := smallCfg()
+	cfg.Backend = "implicit"
+	if _, err := e9.Run(ctx, cfg); err == nil {
+		t.Fatal("E9 with the implicit backend ran; want ImplicitUnsupportedError for the grid family")
+	} else {
+		var iu *sweep.ImplicitUnsupportedError
+		if !errors.As(err, &iu) {
+			t.Fatalf("E9 implicit error = %v, want *sweep.ImplicitUnsupportedError", err)
+		}
+	}
+
+	for _, id := range []string{"E2", "E10", "E5", "E8"} {
+		e, err := Get(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		base, err := e.Run(ctx, smallCfg())
+		if err != nil {
+			t.Fatalf("%s base: %v", id, err)
+		}
+		cfg := smallCfg()
+		cfg.Backend = "builder"
+		viaBuilder, err := e.Run(ctx, cfg)
+		if err != nil {
+			t.Fatalf("%s -backend builder: %v", id, err)
+		}
+		if base.Render() != viaBuilder.Render() {
+			t.Errorf("%s: builder backend changed the bytes", id)
+		}
+	}
+
+	// StreamIDs applies only to sampled draws: E2 (sweep 0 fixed Assign)
+	// and E10 (exhaustive + sampled comparison) must run, and E2's
+	// sampled column must change while the exact column stays pinned.
+	for _, id := range []string{"E2", "E10"} {
+		e, err := Get(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := smallCfg()
+		cfg.StreamIDs = true
+		if _, err := e.Run(ctx, cfg); err != nil {
+			t.Fatalf("%s with StreamIDs: %v", id, err)
+		}
 	}
 }

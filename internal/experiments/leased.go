@@ -105,7 +105,7 @@ func RunLeasedSweeps(ctx context.Context, e Experiment, cfg Config, st sweep.Sto
 	if !e.Shardable() {
 		return total, fmt.Errorf("experiments: %s does not expose its sweeps; it cannot run leased", e.ID)
 	}
-	specs, err := e.Sweeps(cfg)
+	specs, err := expandSweeps(e, cfg)
 	if err != nil {
 		return total, fmt.Errorf("experiments: %s sweeps: %w", e.ID, err)
 	}
@@ -133,7 +133,7 @@ func MergeLeased(e Experiment, cfg Config, st sweep.Store) (*Table, error) {
 	if !e.Shardable() {
 		return nil, fmt.Errorf("experiments: %s does not expose its sweeps; it cannot merge a leased run", e.ID)
 	}
-	specs, err := e.Sweeps(cfg)
+	specs, err := expandSweeps(e, cfg)
 	if err != nil {
 		return nil, fmt.Errorf("experiments: %s sweeps: %w", e.ID, err)
 	}
@@ -206,7 +206,7 @@ func LeasedProgress(e Experiment, cfg Config, st sweep.Store) ([]*sweep.Progress
 	if !e.Shardable() {
 		return nil, fmt.Errorf("experiments: %s does not expose its sweeps; it has no leased progress", e.ID)
 	}
-	specs, err := e.Sweeps(cfg)
+	specs, err := expandSweeps(e, cfg)
 	if err != nil {
 		return nil, fmt.Errorf("experiments: %s sweeps: %w", e.ID, err)
 	}

@@ -1,6 +1,8 @@
 package graph
 
 import (
+	"fmt"
+	"math"
 	"sync"
 	"sync/atomic"
 )
@@ -59,6 +61,33 @@ type BallAtlas struct {
 	csrOnce sync.Once
 	csrOff  []int32
 	csrAdj  []int32
+	csrErr  atomic.Pointer[CSROverflowError]
+}
+
+// CSROverflowError is the typed refusal of an atlas whose graph cannot be
+// CSR-flattened with int32 offsets (more than 2^31-1 vertices or edge
+// endpoints). The atlas then behaves exactly like a memory-capped one —
+// Ensure returns nil, callers fall back to the ball builder — but Err
+// names the real cause instead of silently wrapping it into "exhausted".
+// Graphs that large should run through the Implicit backend, which never
+// builds a CSR.
+type CSROverflowError struct {
+	// Verts is the graph's vertex count.
+	Verts int
+	// EdgeEnds is Σ_v Degree(v), the adjacency array length the CSR would
+	// have needed.
+	EdgeEnds int64
+}
+
+func (e *CSROverflowError) Error() string {
+	return fmt.Sprintf("graph: atlas CSR offsets overflow int32: %d vertices, %d edge endpoints (use the implicit backend at this scale)",
+		e.Verts, e.EdgeEnds)
+}
+
+// csrFits reports whether a graph with n vertices and edgeEnds adjacency
+// entries can be CSR-flattened with int32 offsets.
+func csrFits(n int, edgeEnds int64) bool {
+	return int64(n) < math.MaxInt32 && edgeEnds <= math.MaxInt32
 }
 
 // vertexAtlas is one centre's slot: a mutex serialising growth and the
@@ -235,16 +264,37 @@ func (a *BallAtlas) MemUsed() int64 {
 	return used
 }
 
-// Exhausted reports whether the atlas hit its memory cap; once true, no
-// further layers will ever be materialised.
+// Exhausted reports whether the atlas hit its memory cap (or refused its
+// CSR, see Err); once true, no further layers will ever be materialised.
 func (a *BallAtlas) Exhausted() bool { return a.exhausted.Load() }
 
+// Err returns the typed reason materialisation is structurally impossible
+// — currently only *CSROverflowError — or nil. A merely memory-capped
+// atlas reports Exhausted with a nil Err.
+func (a *BallAtlas) Err() error {
+	if e := a.csrErr.Load(); e != nil {
+		return e
+	}
+	return nil
+}
+
 // csr lazily flattens the graph into offset/adjacency arrays shared by all
-// growth. The copy costs O(n + E) once and is charged to the budget.
+// growth. The copy costs O(n + E) once and is charged to the budget. On
+// int32 offset overflow nothing is built: the atlas marks itself exhausted
+// with a typed CSROverflowError (see Err) and returns nil arrays.
 func (a *BallAtlas) csr() ([]int32, []int32) {
 	a.csrOnce.Do(func() {
 		g := a.g
 		n := g.N()
+		var edgeEnds int64
+		for v := 0; v < n; v++ {
+			edgeEnds += int64(g.Degree(v))
+		}
+		if !csrFits(n, edgeEnds) {
+			a.csrErr.Store(&CSROverflowError{Verts: n, EdgeEnds: edgeEnds})
+			a.exhausted.Store(true)
+			return
+		}
 		off := make([]int32, n+1)
 		for v := 0; v < n; v++ {
 			off[v+1] = off[v] + int32(g.Degree(v))
@@ -323,6 +373,11 @@ func lookahead(st *AtlasBall, r int) int {
 // concurrent readers of older snapshots are undisturbed.
 func (a *BallAtlas) grow(center int, st *AtlasBall, target int) *AtlasBall {
 	csrOff, csrAdj := a.csr()
+	if csrOff == nil {
+		// CSR refused (int32 offset overflow): csr has already marked the
+		// atlas exhausted with a typed Err; nothing can ever materialise.
+		return st
+	}
 	sc := a.getScratch()
 	defer a.scratch.Put(sc)
 

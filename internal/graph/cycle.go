@@ -76,3 +76,54 @@ func (c Cycle) Dist(a, b int) int {
 	}
 	return d
 }
+
+// Cycle's BFS structure is closed-form, so it implements Implicit: the
+// radius-r layer around any centre is {c+r, c-r} mod n (collapsing to one
+// vertex at the even-n antipode), and the eccentricity is floor(n/2).
+var _ Implicit = Cycle{}
+
+// ImplicitFamily implements Implicit.
+func (Cycle) ImplicitFamily() string { return "cycle" }
+
+// EccentricityOf implements Implicit: every centre sees the whole ring at
+// radius floor(n/2).
+func (c Cycle) EccentricityOf(int) int { return c.n / 2 }
+
+// DistTo implements Implicit.
+func (c Cycle) DistTo(center, v int) int { return c.Dist(center, v) }
+
+// LayerSize implements Implicit: 2 vertices per layer until the antipode,
+// which is a single vertex when n is even.
+func (c Cycle) LayerSize(_, r int) int {
+	switch {
+	case r == 0:
+		return 1
+	case r > c.n/2:
+		return 0
+	case 2*r == c.n:
+		return 1
+	default:
+		return 2
+	}
+}
+
+// AppendLayer implements Implicit, successor side first — the BFS discovery
+// order of the port numbering (port 0 is the successor).
+func (c Cycle) AppendLayer(buf []int, center, r int) []int {
+	if r < 1 || r > c.n/2 {
+		return buf
+	}
+	fw := center + r
+	if fw >= c.n {
+		fw -= c.n
+	}
+	buf = append(buf, fw)
+	if 2*r < c.n {
+		bw := center - r
+		if bw < 0 {
+			bw += c.n
+		}
+		buf = append(buf, bw)
+	}
+	return buf
+}

@@ -1,0 +1,227 @@
+package graph
+
+import "fmt"
+
+// ImplicitTree is the complete b-ary tree of the given depth in BFS (heap)
+// numbering: vertex 0 is the root, vertex v's children are v*b+1 .. v*b+b,
+// its parent is (v-1)/b, and every leaf sits at exactly depth levels below
+// the root. The heap numbering makes a node's depth-j descendants one
+// CONTIGUOUS index range, so per-centre BFS layers decompose into O(depth)
+// ranges — closed-form, zero storage, hence Implicit.
+//
+// Ports: the root numbers its b children 0..b-1; every other internal
+// vertex uses port 0 for its parent and ports 1..b for its children; a
+// leaf has only port 0 (parent).
+type ImplicitTree struct {
+	b, depth, n int
+}
+
+var _ Implicit = ImplicitTree{}
+
+// maxImplicitTreeN bounds the vertex count so every index and range
+// computation stays far from int64 overflow.
+const maxImplicitTreeN = int(1) << 47
+
+// NewImplicitTree constructs the complete branching-ary tree of the given
+// depth (depth 0 is the single root). branching must be at least 2 — a
+// 1-ary "tree" is Path — and the vertex count must stay below 2^47.
+func NewImplicitTree(branching, depth int) (ImplicitTree, error) {
+	if branching < 2 {
+		return ImplicitTree{}, fmt.Errorf("graph: implicit tree needs branching >= 2, got %d (use Path for chains)", branching)
+	}
+	if depth < 0 {
+		return ImplicitTree{}, fmt.Errorf("graph: implicit tree needs depth >= 0, got %d", depth)
+	}
+	n, width := 1, 1
+	for l := 1; l <= depth; l++ {
+		width *= branching
+		n += width
+		if n > maxImplicitTreeN {
+			return ImplicitTree{}, fmt.Errorf("graph: implicit tree %d^%d exceeds %d vertices", branching, depth, maxImplicitTreeN)
+		}
+	}
+	return ImplicitTree{b: branching, depth: depth, n: n}, nil
+}
+
+// MustImplicitTree is NewImplicitTree for static parameters known to be
+// valid.
+func MustImplicitTree(branching, depth int) ImplicitTree {
+	t, err := NewImplicitTree(branching, depth)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// Branching reports the arity b.
+func (t ImplicitTree) Branching() int { return t.b }
+
+// Depth reports the leaf depth.
+func (t ImplicitTree) Depth() int { return t.depth }
+
+// N reports the number of vertices.
+func (t ImplicitTree) N() int { return t.n }
+
+// Degree is b at the root, 1 at leaves, b+1 in between (0 for the
+// single-vertex tree).
+func (t ImplicitTree) Degree(v int) int {
+	switch {
+	case t.n == 1:
+		return 0
+	case v == 0:
+		return t.b
+	case v*t.b+1 >= t.n: // no children: a leaf
+		return 1
+	default:
+		return t.b + 1
+	}
+}
+
+// Neighbor follows the port convention documented on ImplicitTree.
+func (t ImplicitTree) Neighbor(v, p int) int {
+	if p < 0 || p >= t.Degree(v) {
+		panic(fmt.Sprintf("graph: implicit tree vertex %d port %d out of range", v, p))
+	}
+	if v == 0 {
+		return p + 1
+	}
+	if p == 0 {
+		return (v - 1) / t.b
+	}
+	return v*t.b + p // child p-1 is v*b+1+(p-1)
+}
+
+// ImplicitFamily implements Implicit.
+func (ImplicitTree) ImplicitFamily() string { return "tree" }
+
+// depthOf returns v's depth below the root by walking level boundaries.
+func (t ImplicitTree) depthOf(v int) int {
+	start, width, d := 0, 1, 0
+	for v >= start+width {
+		start += width
+		width *= t.b
+		d++
+	}
+	return d
+}
+
+// DistTo implements Implicit: lift the deeper endpoint, then both, to the
+// lowest common ancestor, counting steps.
+func (t ImplicitTree) DistTo(center, v int) int {
+	dc, dv := t.depthOf(center), t.depthOf(v)
+	dist := 0
+	for dc > dv {
+		center = (center - 1) / t.b
+		dc--
+		dist++
+	}
+	for dv > dc {
+		v = (v - 1) / t.b
+		dv--
+		dist++
+	}
+	for center != v {
+		center = (center - 1) / t.b
+		v = (v - 1) / t.b
+		dist += 2
+	}
+	return dist
+}
+
+// EccentricityOf implements Implicit: the farthest vertex from a non-root
+// centre is a full-depth leaf in a different root subtree (the root has at
+// least two, each complete), at distance depth(center) + depth; the root
+// itself sees everything within depth.
+func (t ImplicitTree) EccentricityOf(center int) int {
+	if center == 0 {
+		return t.depth
+	}
+	return t.depthOf(center) + t.depth
+}
+
+// LayerSize implements Implicit: distance-r vertices are the centre's own
+// depth-r descendants plus, for each proper ancestor u at height k, u
+// itself (k == r) or u's depth-(r-k) descendants outside the subtree the
+// centre came from.
+func (t ImplicitTree) LayerSize(center, r int) int {
+	if r == 0 {
+		return 1
+	}
+	dc := t.depthOf(center)
+	total := 0
+	if dc+r <= t.depth {
+		total += t.pow(r)
+	}
+	u := center
+	for k := 1; k <= dc && k <= r; k++ {
+		u = (u - 1) / t.b
+		j := r - k
+		if j == 0 {
+			total++
+			continue
+		}
+		if (dc-k)+j <= t.depth {
+			total += (t.b - 1) * t.pow(j-1)
+		}
+	}
+	return total
+}
+
+// AppendLayer implements Implicit: descendant ranges first (ascending
+// index within each range), then per ancestor. Deterministic but not BFS
+// discovery order — see the Implicit contract.
+func (t ImplicitTree) AppendLayer(buf []int, center, r int) []int {
+	if r < 1 {
+		return buf
+	}
+	dc := t.depthOf(center)
+	if dc+r <= t.depth {
+		lo := t.leftDesc(center, r)
+		for v, hi := lo, lo+t.pow(r); v < hi; v++ {
+			buf = append(buf, v)
+		}
+	}
+	child, u := center, center
+	for k := 1; k <= dc && k <= r; k++ {
+		child = u
+		u = (u - 1) / t.b
+		j := r - k
+		if j == 0 {
+			buf = append(buf, u)
+			continue
+		}
+		if (dc-k)+j > t.depth {
+			continue
+		}
+		// u's depth-j descendants minus those under child (the subtree the
+		// centre sits in): two contiguous ranges around the excluded one.
+		lo := t.leftDesc(u, j)
+		hi := lo + t.pow(j)
+		exLo := t.leftDesc(child, j-1)
+		exHi := exLo + t.pow(j-1)
+		for v := lo; v < exLo; v++ {
+			buf = append(buf, v)
+		}
+		for v := exHi; v < hi; v++ {
+			buf = append(buf, v)
+		}
+	}
+	return buf
+}
+
+// pow returns b^e; callers only ask for exponents whose ranges exist in
+// the tree, so the result is bounded by n.
+func (t ImplicitTree) pow(e int) int {
+	p := 1
+	for i := 0; i < e; i++ {
+		p *= t.b
+	}
+	return p
+}
+
+// leftDesc returns the leftmost depth-j descendant of u:
+// u*b^j + (b^j-1)/(b-1), the j-fold leftChild map.
+func (t ImplicitTree) leftDesc(u, j int) int {
+	bj := t.pow(j)
+	return u*bj + (bj-1)/(t.b-1)
+}

@@ -46,6 +46,60 @@ func (p Path) Degree(v int) int {
 	return 2
 }
 
+// Path's BFS structure is closed-form, so it implements Implicit: the
+// radius-r layer around c is {c+r, c-r} ∩ [0, n).
+var _ Implicit = Path{}
+
+// ImplicitFamily implements Implicit.
+func (Path) ImplicitFamily() string { return "path" }
+
+// EccentricityOf implements Implicit: the farther endpoint.
+func (p Path) EccentricityOf(center int) int {
+	if center > p.n-1-center {
+		return center
+	}
+	return p.n - 1 - center
+}
+
+// DistTo implements Implicit.
+func (Path) DistTo(center, v int) int {
+	if v < center {
+		return center - v
+	}
+	return v - center
+}
+
+// LayerSize implements Implicit: one vertex per in-range side.
+func (p Path) LayerSize(center, r int) int {
+	if r == 0 {
+		return 1
+	}
+	size := 0
+	if center+r < p.n {
+		size++
+	}
+	if center-r >= 0 {
+		size++
+	}
+	return size
+}
+
+// AppendLayer implements Implicit, ascending side first — the BFS discovery
+// order of the port numbering (port 0 walks toward n-1 at interior
+// vertices).
+func (p Path) AppendLayer(buf []int, center, r int) []int {
+	if r < 1 {
+		return buf
+	}
+	if center+r < p.n {
+		buf = append(buf, center+r)
+	}
+	if center-r >= 0 {
+		buf = append(buf, center-r)
+	}
+	return buf
+}
+
 // Neighbor follows the port convention documented on Path.
 func (p Path) Neighbor(v, port int) int {
 	switch {

@@ -1,0 +1,183 @@
+package graph
+
+import "fmt"
+
+// Torus is the rows×cols discrete torus: vertex r*cols+c sits at (row r,
+// col c) and is adjacent to its four wraparound grid neighbours. Distances
+// decompose as the sum of two independent ring distances, which makes every
+// ball closed-form — Torus is the smallest two-dimensional member of the
+// Implicit backend, where the per-layer count grows linearly in r instead
+// of the ring's constant 2.
+//
+// Ports: 0 = right (col+1), 1 = down (row+1), 2 = left, 3 = up, all modulo
+// the respective dimension. Both dimensions must be at least 3 so the
+// wraparound neighbours stay distinct (no parallel edges).
+type Torus struct {
+	rows, cols int
+}
+
+var _ Implicit = Torus{}
+
+// NewTorus constructs the rows×cols torus; both dimensions must be >= 3.
+func NewTorus(rows, cols int) (Torus, error) {
+	if rows < 3 || cols < 3 {
+		return Torus{}, fmt.Errorf("graph: torus needs rows, cols >= 3, got %dx%d", rows, cols)
+	}
+	return Torus{rows: rows, cols: cols}, nil
+}
+
+// MustTorus is NewTorus for static dimensions known to be valid.
+func MustTorus(rows, cols int) Torus {
+	t, err := NewTorus(rows, cols)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// Rows reports the number of rows.
+func (t Torus) Rows() int { return t.rows }
+
+// Cols reports the number of columns.
+func (t Torus) Cols() int { return t.cols }
+
+// N reports the number of vertices.
+func (t Torus) N() int { return t.rows * t.cols }
+
+// Degree is 4 everywhere.
+func (t Torus) Degree(int) int { return 4 }
+
+// Neighbor follows the port convention documented on Torus.
+func (t Torus) Neighbor(v, p int) int {
+	row, col := v/t.cols, v%t.cols
+	switch p {
+	case 0:
+		col++
+		if col == t.cols {
+			col = 0
+		}
+	case 1:
+		row++
+		if row == t.rows {
+			row = 0
+		}
+	case 2:
+		col--
+		if col < 0 {
+			col = t.cols - 1
+		}
+	case 3:
+		row--
+		if row < 0 {
+			row = t.rows - 1
+		}
+	default:
+		panic(fmt.Sprintf("graph: torus port %d out of range", p))
+	}
+	return row*t.cols + col
+}
+
+// ImplicitFamily implements Implicit.
+func (Torus) ImplicitFamily() string { return "torus" }
+
+// EccentricityOf implements Implicit: the two ring eccentricities add.
+func (t Torus) EccentricityOf(int) int { return t.rows/2 + t.cols/2 }
+
+// DistTo implements Implicit: the L1 distance under both wraparounds.
+func (t Torus) DistTo(center, v int) int {
+	return ringDist(t.rows, center/t.cols, v/t.cols) + ringDist(t.cols, center%t.cols, v%t.cols)
+}
+
+// LayerSize implements Implicit by summing, over each feasible row
+// distance a, the ring multiplicities of a and of the residual column
+// distance r-a. O(min(r, rows)) — within the O(layer) budget synthesis
+// already pays.
+func (t Torus) LayerSize(_, r int) int {
+	if r == 0 {
+		return 1
+	}
+	total := 0
+	maxA := r
+	if maxA > t.rows/2 {
+		maxA = t.rows / 2
+	}
+	for a := 0; a <= maxA; a++ {
+		b := r - a
+		if b > t.cols/2 {
+			continue
+		}
+		total += ringMult(t.rows, a) * ringMult(t.cols, b)
+	}
+	return total
+}
+
+// AppendLayer implements Implicit: row offsets ±a (ascending a), and for
+// each the column offsets ±(r-a). The order is deterministic but not BFS
+// discovery order — see the Implicit contract.
+func (t Torus) AppendLayer(buf []int, center, r int) []int {
+	if r < 1 {
+		return buf
+	}
+	crow, ccol := center/t.cols, center%t.cols
+	maxA := r
+	if maxA > t.rows/2 {
+		maxA = t.rows / 2
+	}
+	for a := 0; a <= maxA; a++ {
+		b := r - a
+		if b > t.cols/2 {
+			continue
+		}
+		rowOff, rowN := ringOffsets(t.rows, crow, a), ringMult(t.rows, a)
+		colOff, colN := ringOffsets(t.cols, ccol, b), ringMult(t.cols, b)
+		for ri := 0; ri < rowN; ri++ {
+			for ci := 0; ci < colN; ci++ {
+				buf = append(buf, rowOff[ri]*t.cols+colOff[ci])
+			}
+		}
+	}
+	return buf
+}
+
+// ringDist is the distance between positions a and b on an n-ring.
+func ringDist(n, a, b int) int {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	if other := n - d; other < d {
+		return other
+	}
+	return d
+}
+
+// ringMult counts the positions of an n-ring at distance d from a fixed
+// one: 1 at distance 0, 2 strictly inside, 1 at the even antipode, 0
+// beyond.
+func ringMult(n, d int) int {
+	switch {
+	case d == 0:
+		return 1
+	case 2*d < n:
+		return 2
+	case 2*d == n:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// ringOffsets returns the ring positions at distance d from c on an
+// n-ring, forward first; only the first ringMult(n, d) entries are
+// meaningful.
+func ringOffsets(n, c, d int) [2]int {
+	fw := c + d
+	if fw >= n {
+		fw -= n
+	}
+	bw := c - d
+	if bw < 0 {
+		bw += n
+	}
+	return [2]int{fw, bw}
+}

@@ -1,0 +1,73 @@
+package ids
+
+import (
+	"errors"
+	"testing"
+)
+
+// TestFactorialBoundary is the table-driven boundary check of the typed
+// rank-space overflow errors, straddling MaxRankN on both sides.
+func TestFactorialBoundary(t *testing.T) {
+	cases := []struct {
+		name string
+		n    int
+		ok   bool
+	}{
+		{"zero", 0, true},
+		{"one", 1, true},
+		{"at bound", MaxRankN, true},
+		{"past bound", MaxRankN + 1, false},
+		{"far past bound", 1000, false},
+		{"negative", -1, false},
+	}
+	for _, tc := range cases {
+		_, err := Factorial(tc.n)
+		if tc.ok {
+			if err != nil {
+				t.Errorf("%s: Factorial(%d): %v", tc.name, tc.n, err)
+			}
+			continue
+		}
+		var fr *FactorialRangeError
+		if !errors.As(err, &fr) {
+			t.Errorf("%s: Factorial(%d) = %v, want *FactorialRangeError", tc.name, tc.n, err)
+		} else if fr.N != tc.n {
+			t.Errorf("%s: error carries N=%d, want %d", tc.name, fr.N, tc.n)
+		}
+	}
+}
+
+// TestRankUnrankBoundary pins the typed errors at the edges of the rank
+// space: the last valid rank round-trips, n! itself is a *RankRangeError,
+// and over-long permutations surface *FactorialRangeError through Rank.
+func TestRankUnrankBoundary(t *testing.T) {
+	const n = 6
+	f, err := Factorial(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	last, err := Unrank(f-1, n)
+	if err != nil {
+		t.Fatalf("Unrank(n!-1): %v", err)
+	}
+	if r, err := last.Rank(); err != nil || r != f-1 {
+		t.Fatalf("Rank(Unrank(n!-1)) = %d, %v", r, err)
+	}
+	var rr *RankRangeError
+	if _, err := Unrank(f, n); !errors.As(err, &rr) {
+		t.Fatalf("Unrank(n!) = %v, want *RankRangeError", err)
+	} else if rr.Rank != f || rr.Max != f || rr.N != n {
+		t.Fatalf("RankRangeError carries %+v", rr)
+	}
+
+	tooLong := make(Assignment, MaxRankN+1)
+	for i := range tooLong {
+		tooLong[i] = i
+	}
+	var fr *FactorialRangeError
+	if _, err := tooLong.Rank(); !errors.As(err, &fr) {
+		t.Fatalf("Rank of %d-permutation = %v, want wrapped *FactorialRangeError", len(tooLong), err)
+	} else if fr.N != MaxRankN+1 {
+		t.Fatalf("wrapped error carries N=%d", fr.N)
+	}
+}

@@ -14,10 +14,36 @@ import "fmt"
 // 21! overflows int64 and is hopeless to enumerate anyway).
 const MaxRankN = 20
 
-// Factorial returns n! for 0 <= n <= MaxRankN.
+// FactorialRangeError reports an n whose factorial (and hence rank space)
+// does not fit uint64 — the typed form callers match with errors.As to
+// distinguish "too big to enumerate" from malformed input.
+type FactorialRangeError struct {
+	// N is the requested permutation length.
+	N int
+}
+
+func (e *FactorialRangeError) Error() string {
+	return fmt.Sprintf("ids: factorial of %d outside [0,%d]: %d! overflows the uint64 rank space", e.N, MaxRankN, e.N)
+}
+
+// RankRangeError reports a rank at or beyond n!, the end of the
+// lexicographic permutation space.
+type RankRangeError struct {
+	// Rank is the offending rank, Max the exclusive bound n!.
+	Rank, Max uint64
+	// N is the permutation length whose space Rank missed.
+	N int
+}
+
+func (e *RankRangeError) Error() string {
+	return fmt.Sprintf("ids: rank %d out of range [0,%d): the %d-permutation space ends at %d!-1", e.Rank, e.Max, e.N, e.N)
+}
+
+// Factorial returns n! for 0 <= n <= MaxRankN; outside that range the error
+// is a *FactorialRangeError.
 func Factorial(n int) (uint64, error) {
 	if n < 0 || n > MaxRankN {
-		return 0, fmt.Errorf("ids: factorial of %d outside [0,%d]", n, MaxRankN)
+		return 0, &FactorialRangeError{N: n}
 	}
 	f := uint64(1)
 	for i := 2; i <= n; i++ {
@@ -34,7 +60,7 @@ func Factorial(n int) (uint64, error) {
 func (a Assignment) Rank() (uint64, error) {
 	n := len(a)
 	if n > MaxRankN {
-		return 0, fmt.Errorf("ids: rank of %d-permutation exceeds MaxRankN=%d", n, MaxRankN)
+		return 0, fmt.Errorf("ids: rank of %d-permutation: %w", n, &FactorialRangeError{N: n})
 	}
 	var seen [MaxRankN]bool
 	for v, id := range a {
@@ -67,7 +93,7 @@ func Unrank(rank uint64, n int) (Assignment, error) {
 		return nil, err
 	}
 	if rank >= f {
-		return nil, fmt.Errorf("ids: rank %d out of range [0,%d!)", rank, n)
+		return nil, &RankRangeError{Rank: rank, Max: f, N: n}
 	}
 	return UnrankInto(make([]int, n), rank), nil
 }

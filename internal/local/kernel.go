@@ -38,10 +38,15 @@ const KernelUnserved = -1
 // alias the engine's result buffers; Assign and the atlas are shared and
 // read-only.
 type KernelRun struct {
-	// Atlas is the ball store of the graph under execution. Kernels grow
-	// it with Ensure exactly like the view path, so materialisation stays
-	// within the same lookahead policy either way.
-	Atlas *graph.BallAtlas
+	// Atlas is the ball source of the graph under execution — a shared
+	// *graph.BallAtlas on the materialised path, a per-worker
+	// *graph.ImplicitBalls on the implicit one. Kernels grow it with
+	// Ensure exactly like the view path; a nil snapshot means the source
+	// cannot serve the vertex (memory-capped atlas) and the kernel marks
+	// it KernelUnserved. Snapshots must be re-read after every Ensure and
+	// never retained across centres: implicit sources reuse one scratch
+	// snapshot per centre.
+	Atlas graph.BallSource
 	// Assign is the trial's identifier assignment, indexed by original
 	// vertex name (the atlas skeleton's Verts entries).
 	Assign ids.Assignment

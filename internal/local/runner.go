@@ -29,14 +29,23 @@ import (
 // Kernel; WithoutKernels pins the view path). Results are byte-identical
 // to the builder path either way.
 type Runner struct {
-	bb    *graph.BallBuilder
+	bb *graph.BallBuilder
+	// src is the attached ball source serving kernel runs: a shared
+	// *graph.BallAtlas (SetAtlas) or any other graph.BallSource such as a
+	// per-worker implicit synthesizer (SetSource).
+	src graph.BallSource
+	// atlas is src when it is a materialised *graph.BallAtlas, nil
+	// otherwise. Only a materialised atlas can serve the per-vertex VIEW
+	// path (views enumerate adjacency rows, which synthesized skeletons do
+	// not carry); non-kernel runs under any other source use the ball
+	// builder — byte-identical, just without the shared-layer speedup.
 	atlas *graph.BallAtlas
-	// atlasG is the atlas's graph when that graph is comparable, nil
-	// otherwise — precomputed by SetAtlas so the per-run atlas check is a
-	// single interface comparison (always safe: atlasG's dynamic type is
+	// srcG is the source's graph when that graph is comparable, nil
+	// otherwise — precomputed by SetSource so the per-run source check is a
+	// single interface comparison (always safe: srcG's dynamic type is
 	// comparable, and comparing against a value of any other type answers
 	// false without inspecting the data).
-	atlasG  graph.Graph
+	srcG    graph.Graph
 	aball   graph.Ball // scratch ball whose slices window the atlas
 	av      atlasView  // scratch atlas context referenced by served views
 	ids     []int
@@ -60,14 +69,29 @@ func NewRunner() *Runner { return &Runner{} }
 // only when its graph is the one passed to Run; vertices the atlas cannot
 // serve (memory cap) transparently fall back to the ball-builder path.
 func (r *Runner) SetAtlas(a *graph.BallAtlas) {
-	r.atlas = a
-	r.atlasG = nil
-	if a != nil {
+	if a == nil {
+		r.SetSource(nil)
+		return
+	}
+	r.SetSource(a)
+}
+
+// SetSource attaches any ball source (nil detaches). A *graph.BallAtlas
+// serves both the kernel fast path and the per-vertex view path; every
+// other source (implicit synthesizers) serves kernels only — non-kernel
+// runs need adjacency rows, which only a materialised atlas carries, and
+// fall back to the ball builder. The source is consulted only when its
+// graph is the one passed to Run.
+func (r *Runner) SetSource(src graph.BallSource) {
+	r.src = src
+	r.atlas, _ = src.(*graph.BallAtlas)
+	r.srcG = nil
+	if src != nil {
 		// Interface equality panics for non-comparable dynamic graph
 		// types, so those conservatively never match (and fall back to
 		// the builder path).
-		if ag := a.Graph(); ag != nil && reflect.TypeOf(ag).Comparable() {
-			r.atlasG = ag
+		if sg := src.Graph(); sg != nil && reflect.TypeOf(sg).Comparable() {
+			r.srcG = sg
 		}
 	}
 }
@@ -98,11 +122,11 @@ func (r *Runner) Run(g graph.Graph, a ids.Assignment, alg ViewAlgorithm, opts ..
 	r.res.Algorithm = alg.Name()
 	r.res.Outputs = resizeInts(r.res.Outputs, n)
 	r.res.Radii = resizeInts(r.res.Radii, n)
-	useAtlas := g == r.atlasG
-	if useAtlas && !cfg.noKernels && cfg.observer == nil {
-		// Kernel fast path: one flat pass over the atlas skeleton. Progress
-		// observers need the per-radius callbacks only the view path makes,
-		// so their runs stay there.
+	useSrc := g == r.srcG
+	if useSrc && !cfg.noKernels && cfg.observer == nil {
+		// Kernel fast path: one flat pass over the source's skeletons.
+		// Progress observers need the per-radius callbacks only the view
+		// path makes, so their runs stay there.
 		if k, ok := alg.(Kernel); ok {
 			served, err := r.runKernel(g, a, alg, k, cfg)
 			if err != nil {
@@ -113,6 +137,9 @@ func (r *Runner) Run(g graph.Graph, a ids.Assignment, alg ViewAlgorithm, opts ..
 			}
 		}
 	}
+	// The view path reads adjacency rows, so it is served only from a
+	// materialised atlas; other sources degrade to the ball builder.
+	useAtlas := useSrc && r.atlas != nil
 	for v := 0; v < n; v++ {
 		if cfg.ctx != nil && v&0xff == 0 {
 			if err := cfg.ctx.Err(); err != nil {
@@ -149,7 +176,7 @@ func (r *Runner) runKernel(g graph.Graph, a ids.Assignment, alg ViewAlgorithm, k
 	// through the interface call would force one heap escape per trial.
 	// Fields are reset individually — the kernel's scratch survives (grown
 	// once per Runner, not once per trial), and no struct temp is copied.
-	r.krun.Atlas = r.atlas
+	r.krun.Atlas = r.src
 	r.krun.Assign = a
 	r.krun.Outs = r.res.Outputs
 	r.krun.Radii = r.res.Radii

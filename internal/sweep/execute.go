@@ -33,9 +33,15 @@ type worker struct {
 	// buffer, which Rand.Seed resets — without the two allocations per
 	// trial.
 	rng *rand.Rand
-	// assign is the caller-owned permutation storage ids.RandomInto fills
-	// when Spec.Assign is unset.
+	// assign is the caller-owned permutation storage ids.RandomInto (or
+	// ids.StreamInto) fills when Spec.Assign is unset.
 	assign []int
+	// impl is the worker's implicit-backend ball synthesizer, built lazily
+	// and cached by graph identity (implG): consecutive blocks at the same
+	// size reuse it, so its scratch skeleton survives across blocks exactly
+	// like the runner's buffers. Nil outside the implicit backend.
+	impl  *graph.ImplicitBalls
+	implG graph.Graph
 }
 
 // execute runs the planned blocks across the worker pool and merges the
@@ -180,7 +186,17 @@ func initWorker(w *worker, spec Spec, opts []local.Option, shard []SizeStats, ma
 // ran to completion — handed to the hook. The hot path (OnBlock nil) folds
 // straight into the shard exactly as before the plan/execute split.
 func (w *worker) runBlock(ctx context.Context, spec Spec, g graph.Graph, atlas *graph.BallAtlas, b Block) error {
-	w.runner.SetAtlas(atlas)
+	if spec.Backend == BackendImplicit {
+		// Run validated every graph as a comparable graph.Implicit, so the
+		// assertion and the identity comparison are both safe here.
+		if w.implG != g {
+			w.impl = graph.NewImplicitBalls(g.(graph.Implicit))
+			w.implG = g
+		}
+		w.runner.SetSource(w.impl)
+	} else {
+		w.runner.SetAtlas(atlas)
+	}
 	n := g.N()
 	if spec.Assign == nil && cap(w.assign) < n {
 		w.assign = make([]int, n)
@@ -228,6 +244,10 @@ func (w *worker) runBlock(ctx context.Context, spec Spec, g graph.Graph, atlas *
 				w.flushBlock(b, blockStats)
 				return fmt.Errorf("sweep: assign size %d trial %d: %w", n, trial, err)
 			}
+		case spec.StreamIDs:
+			// The streaming draw needs no rng at all: the Feistel keys
+			// derive from the same (size, trial) seed coordinates.
+			a = ids.StreamInto(w.assign[:n], uint64(trialSeed(spec.Seed, b.SizeIdx, trial)))
 		default:
 			w.rng.Seed(trialSeed(spec.Seed, b.SizeIdx, trial))
 			a = ids.RandomInto(w.assign[:n], w.rng)
@@ -252,6 +272,11 @@ func (w *worker) runBlock(ctx context.Context, spec Spec, g graph.Graph, atlas *
 			}
 		}
 		hist := w.hist[:maxR+1]
+		sum := summarizeHist(hist)
+		if err := dst.checkFold(maxR, sum); err != nil {
+			w.flushBlock(b, blockStats)
+			return fmt.Errorf("sweep: fold size %d trial %d: %w", n, trial, err)
+		}
 
 		verifyFailed := false
 		if spec.Verify != nil {
@@ -266,7 +291,7 @@ func (w *worker) runBlock(ctx context.Context, spec Spec, g graph.Graph, atlas *
 		if spec.Observe != nil {
 			spec.Observe(b.SizeIdx, trial, g, a, res)
 		}
-		dst.addTrial(trial, summarizeHist(hist), hist, verifyFailed)
+		dst.addTrial(trial, sum, hist, verifyFailed)
 		for _, r := range res.Radii {
 			hist[r] = 0
 		}

@@ -1,10 +1,54 @@
 package sweep
 
 import (
+	"fmt"
 	"math"
 
 	"repro/internal/measure"
 )
+
+// maxHistRadius bounds the radius the pooled histogram will materialise a
+// bucket for: one int64 bucket per radius up to 2^31 is already a 16 GiB
+// histogram, and every realisable radius is at most the graph's diameter —
+// so crossing this bound means a corrupted radius, not a big sweep.
+const maxHistRadius = math.MaxInt32
+
+// AggregateOverflowError reports a trial whose fold would overflow the
+// streaming aggregate: a histogram bucket index past maxHistRadius, or an
+// int64 total that would wrap. Typed so sweep drivers can distinguish the
+// aggregate ceiling from algorithm failures.
+type AggregateOverflowError struct {
+	// Radius is the offending bucket index, or -1 when the totals overflow.
+	Radius int
+	// Total and Add are the int64 accumulator and addend at the wrap point
+	// (zero when Radius is the offender).
+	Total, Add int64
+}
+
+func (e *AggregateOverflowError) Error() string {
+	if e.Radius >= 0 {
+		return fmt.Sprintf("radius %d exceeds the %d histogram bucket bound", e.Radius, maxHistRadius)
+	}
+	return fmt.Sprintf("folding %d into aggregate total %d overflows int64", e.Add, e.Total)
+}
+
+// checkFold validates one trial's fold into the aggregate before addTrial
+// commits it: the histogram stays addressable and the integer totals stay
+// exact. Radii are bounded by graph diameters in every sweep Run plans, so
+// a failure here indicates corrupted inputs; the guard exists so the
+// corruption surfaces as a typed error instead of silent wraparound.
+func (s *SizeStats) checkFold(maxR int, sum measure.Summary) error {
+	if maxR > maxHistRadius {
+		return &AggregateOverflowError{Radius: maxR}
+	}
+	if int64(sum.Sum) > math.MaxInt64-s.TotalSum {
+		return &AggregateOverflowError{Radius: -1, Total: s.TotalSum, Add: int64(sum.Sum)}
+	}
+	if int64(sum.Max) > math.MaxInt64-s.TotalMax {
+		return &AggregateOverflowError{Radius: -1, Total: s.TotalMax, Add: int64(sum.Max)}
+	}
+	return nil
+}
 
 // SizeStats is the streaming aggregate of every trial executed at one sweep
 // size. It is O(max radius) in memory — not O(trials) — because trials fold

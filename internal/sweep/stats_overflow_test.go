@@ -1,0 +1,58 @@
+package sweep
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/measure"
+)
+
+// TestCheckFoldBoundary is the table-driven boundary check of the streaming
+// aggregate's overflow guard: bucket indices straddling maxHistRadius and
+// int64 totals straddling the wrap point.
+func TestCheckFoldBoundary(t *testing.T) {
+	cases := []struct {
+		name     string
+		maxR     int
+		sum      measure.Summary
+		totalSum int64
+		totalMax int64
+		ok       bool
+	}{
+		{"small", 5, measure.Summary{Sum: 10, Max: 5}, 100, 20, true},
+		{"radius at bound", maxHistRadius, measure.Summary{}, 0, 0, true},
+		{"radius past bound", maxHistRadius + 1, measure.Summary{}, 0, 0, false},
+		{"sum at bound", 1, measure.Summary{Sum: 1}, math.MaxInt64 - 1, 0, true},
+		{"sum past bound", 1, measure.Summary{Sum: 2}, math.MaxInt64 - 1, 0, false},
+		{"max at bound", 1, measure.Summary{Max: 3}, 0, math.MaxInt64 - 3, true},
+		{"max past bound", 1, measure.Summary{Max: 4}, 0, math.MaxInt64 - 3, false},
+	}
+	for _, tc := range cases {
+		s := &SizeStats{TotalSum: tc.totalSum, TotalMax: tc.totalMax}
+		err := s.checkFold(tc.maxR, tc.sum)
+		if tc.ok {
+			if err != nil {
+				t.Errorf("%s: checkFold rejected: %v", tc.name, err)
+			}
+			continue
+		}
+		var ov *AggregateOverflowError
+		if !errors.As(err, &ov) {
+			t.Errorf("%s: checkFold = %v, want *AggregateOverflowError", tc.name, err)
+		}
+	}
+}
+
+// TestCheckFoldErrorShape pins the two message forms' carried fields.
+func TestCheckFoldErrorShape(t *testing.T) {
+	s := &SizeStats{}
+	var ov *AggregateOverflowError
+	if err := s.checkFold(maxHistRadius+1, measure.Summary{}); !errors.As(err, &ov) || ov.Radius != maxHistRadius+1 {
+		t.Fatalf("radius overflow = %v carrying %+v", err, ov)
+	}
+	s = &SizeStats{TotalSum: math.MaxInt64}
+	if err := s.checkFold(1, measure.Summary{Sum: 1}); !errors.As(err, &ov) || ov.Radius != -1 || ov.Total != math.MaxInt64 || ov.Add != 1 {
+		t.Fatalf("total overflow = %v carrying %+v", err, ov)
+	}
+}

@@ -134,6 +134,24 @@ type Spec struct {
 	// graph.DefaultAtlasMemLimit, negative disables the cap. A capped
 	// atlas transparently degrades to the ball-builder path.
 	AtlasMemLimit int64
+	// Backend selects how workers source balls: the shared materialised
+	// atlas (default), the per-worker ball builder, or closed-form implicit
+	// synthesis for graph.Implicit families — see the Backend constants.
+	// Results are byte-identical across backends for equal seeds; the
+	// implicit backend is what holds sweep memory to O(workers) at
+	// n = 10^6..10^8. BackendImplicit requires every size's graph to
+	// implement graph.Implicit with a comparable dynamic type, and explicit
+	// non-builder backends conflict with NoAtlas.
+	Backend Backend
+	// StreamIDs replaces the default buffered identifier draw
+	// (ids.RandomInto) with the streaming permutation family
+	// (ids.StreamInto): each trial's assignment is a seeded O(1)-per-vertex
+	// Feistel bijection, deterministic across workers, shards and backends.
+	// The permutations differ from the default family's, so StreamIDs
+	// changes result bytes — it is part of the sweep's identity, like Seed.
+	// Incompatible with Assign and Exhaustive (both already define their
+	// own draws).
+	StreamIDs bool
 }
 
 // Result is a completed (or cancelled) sweep: one aggregate per size, in
@@ -165,6 +183,14 @@ func Run(ctx context.Context, spec Spec) (*Result, error) {
 	}
 	if err := spec.Shard.validate(); err != nil {
 		return nil, err
+	}
+	if spec.StreamIDs {
+		if spec.Assign != nil {
+			return nil, fmt.Errorf("sweep: StreamIDs replaces the default identifier draw; Assign must be nil")
+		}
+		if spec.Exhaustive {
+			return nil, fmt.Errorf("sweep: StreamIDs and Exhaustive both define the trial's permutation; pick one")
+		}
 	}
 	workers := spec.Workers
 	if workers <= 0 {
@@ -214,12 +240,22 @@ func Run(ctx context.Context, spec Spec) (*Result, error) {
 		return nil, err
 	}
 
+	// Resolve the ball-sourcing backend against the built graphs, then pin
+	// the resolved value into the spec copy so EXECUTE never re-derives it.
+	backend, err := resolveBackend(&spec, graphs)
+	if err != nil {
+		return nil, err
+	}
+	spec.Backend = backend
+
 	// One shared ball atlas per size: BFS layers depend only on the graph,
 	// so all trials and workers reuse them; layers grow lazily inside the
 	// atlas under its own synchronisation, and atlases for comparable
-	// graph values are shared across sweep runs (see atlasFor).
+	// graph values are shared across sweep runs (see atlasFor). The
+	// builder backend runs without them, and the implicit backend replaces
+	// them with per-worker synthesizers attached in runBlock.
 	atlases := make([]*graph.BallAtlas, len(graphs))
-	if !spec.NoAtlas {
+	if backend == BackendAtlas {
 		for i, g := range graphs {
 			atlases[i] = atlasFor(g, spec.AtlasMemLimit)
 		}
