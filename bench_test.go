@@ -252,13 +252,15 @@ func BenchmarkExactCycleSequential(b *testing.B) {
 
 // BenchmarkExactCycleSharded runs the same enumeration through the sweep
 // engine — rank-block sharding over all cores, shared atlas, flat pruning
-// kernel — including the closed-form cross-check. Single-core the engine
-// costs ~1.5× the closed-form fold per permutation, so the speedup is
-// ~cores/1.5 (≳3× from 5 cores up; run on a multicore machine to see it).
+// kernel — including the closed-form cross-check. NoQuotient pins the full
+// n! fold: this row is the baseline the quotient pair below is measured
+// against. Single-core the engine costs ~1.5× the closed-form fold per
+// permutation, so the speedup is ~cores/1.5 (≳3× from 5 cores up; run on a
+// multicore machine to see it).
 func BenchmarkExactCycleSharded(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		st, err := exact.CycleStats(context.Background(), exactBenchN, exact.Options{})
+		st, err := exact.CycleStats(context.Background(), exactBenchN, exact.Options{NoQuotient: true})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -267,6 +269,31 @@ func BenchmarkExactCycleSharded(b *testing.B) {
 		}
 	}
 }
+
+// benchExactQuotient enumerates the same instance over canonical orbit
+// representatives only: n!/2n executions folded with weight 2n, returning
+// Stats bit-identical to the full fold. At n=10 that is 181 440
+// representatives instead of 3 628 800 permutations — a structural 2n=20×
+// work reduction the BENCH_sweep.json guard tracks against the
+// ExactCycleSharded baseline (the acceptance floor is n×).
+func benchExactQuotient(b *testing.B, workers int) {
+	b.Helper()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		st, err := exact.CycleStats(context.Background(), exactBenchN, exact.Options{Workers: workers})
+		if err != nil {
+			b.Fatal(err)
+		}
+		// Perms is orbit-weighted: the quotient run still accounts for every
+		// one of the n! permutations.
+		if st.Perms != 3628800 {
+			b.Fatalf("accounted %d permutations", st.Perms)
+		}
+	}
+}
+
+func BenchmarkExactCycleQuotientSequential(b *testing.B) { benchExactQuotient(b, 1) }
+func BenchmarkExactCycleQuotientSharded(b *testing.B)    { benchExactQuotient(b, 0) }
 
 // --- simulator hot paths ---
 

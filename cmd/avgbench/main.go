@@ -1,4 +1,4 @@
-// Command avgbench regenerates the paper's experiment tables (E1..E11, see
+// Command avgbench regenerates the paper's experiment tables (E1..E12, see
 // EXPERIMENTS.md for the index). Every experiment runs on the sharded sweep
 // engine (internal/sweep), so full-size tables use all cores; equal seeds
 // emit identical tables at any worker count.
@@ -18,6 +18,8 @@
 //	avgbench -e E11 -backend implicit    # closed-form ball synthesis: O(workers) memory at n=10^7
 //	avgbench -e E2 -backend builder      # pin any backend; tables are byte-identical across them
 //	avgbench -e E2 -streamids            # streaming Feistel identifier draws (a different, backend-invariant family)
+//	avgbench -e E10 -sizes 13,14 -quotient   # symmetry-quotient enumeration: bit-identical tables, n!/2n of the work
+//	avgbench -e E12                      # quotient vs full n! fold, diffed field by field
 //	avgbench -e E6 -cpuprofile cpu.pb.gz -memprofile mem.pb.gz
 //
 // Distributed runs (shardable experiments — those exposing their sweeps):
@@ -66,7 +68,7 @@ func main() {
 
 func run(args []string) error {
 	fs := flag.NewFlagSet("avgbench", flag.ContinueOnError)
-	expID := fs.String("e", "all", "experiment ID (E1..E11) or 'all'")
+	expID := fs.String("e", "all", "experiment ID (E1..E12) or 'all'")
 	seed := fs.Int64("seed", 1, "random seed (equal seeds reproduce tables)")
 	sizesFlag := fs.String("sizes", "", "comma-separated n sweep override")
 	trials := fs.Int("trials", 0, "permutations sampled per size (0 = default)")
@@ -79,6 +81,7 @@ func run(args []string) error {
 	noKernels := fs.Bool("nokernels", false, "disable the flat decision kernels over the atlas (identical tables, view-path timing)")
 	backendFlag := fs.String("backend", "", "sweep ball-sourcing backend: atlas, builder, or implicit (empty = auto; identical tables across backends)")
 	streamIDs := fs.Bool("streamids", false, "draw identifiers from the streaming Feistel permutation family instead of the buffered shuffle (different, backend-invariant tables)")
+	quotient := fs.Bool("quotient", false, "enumerate exhaustive sweeps over canonical orbit representatives only (symmetric families; bit-identical tables, n!/|G| of the work, lifts E10's size cap to 14)")
 	cpuProfile := fs.String("cpuprofile", "", "write a pprof CPU profile of the runs to this file")
 	memProfile := fs.String("memprofile", "", "write a pprof heap profile to this file after the runs")
 	shardFlag := fs.String("shard", "", "run only shard I/M (0-based, e.g. 0/2) of one shardable experiment; requires -out")
@@ -112,7 +115,8 @@ func run(args []string) error {
 	}
 
 	cfg := experiments.Config{Seed: *seed, Trials: *trials, Workers: *workers,
-		NoAtlas: *noAtlas, NoKernels: *noKernels, Backend: string(backend), StreamIDs: *streamIDs}
+		NoAtlas: *noAtlas, NoKernels: *noKernels, Backend: string(backend),
+		StreamIDs: *streamIDs, Quotient: *quotient}
 	if *sizesFlag != "" {
 		for _, part := range strings.Split(*sizesFlag, ",") {
 			n, err := strconv.Atoi(strings.TrimSpace(part))

@@ -51,14 +51,26 @@ func main() {
 	baseline := flag.String("baseline", "", "baseline JSON (a previous bench2json output) to guard against")
 	tolerance := flag.Float64("tolerance", 1.3, "fail when allocs/op exceeds baseline × tolerance (and ns/op, unless -time-tolerance overrides)")
 	timeTolerance := flag.Float64("time-tolerance", 0, "separate tolerance for ns/op (0 = use -tolerance); wall-clock on shared runners is noisier than allocation counts")
+	var speedups speedupFlags
+	flag.Var(&speedups, "speedup", "assert a cross-row ratio on the CURRENT run, \"Slow/Fast>=R\": fail unless Slow's ns/op is at least R× Fast's; repeatable")
 	flag.Parse()
-	if err := run(os.Stdin, os.Stdout, os.Stderr, *baseline, *tolerance, *timeTolerance); err != nil {
+	if err := run(os.Stdin, os.Stdout, os.Stderr, *baseline, *tolerance, *timeTolerance, speedups); err != nil {
 		fmt.Fprintln(os.Stderr, "bench2json:", err)
 		os.Exit(1)
 	}
 }
 
-func run(in io.Reader, out, errOut io.Writer, baseline string, tolerance, timeTolerance float64) error {
+// speedupFlags collects repeated -speedup specs.
+type speedupFlags []string
+
+func (s *speedupFlags) String() string { return strings.Join(*s, ",") }
+
+func (s *speedupFlags) Set(v string) error {
+	*s = append(*s, v)
+	return nil
+}
+
+func run(in io.Reader, out, errOut io.Writer, baseline string, tolerance, timeTolerance float64, speedups []string) error {
 	results, err := Parse(bufio.NewScanner(in))
 	if err != nil {
 		return err
@@ -67,6 +79,16 @@ func run(in io.Reader, out, errOut io.Writer, baseline string, tolerance, timeTo
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(results); err != nil {
 		return err
+	}
+	// Speedup assertions judge the current run against itself, so they
+	// hold even while a perf improvement is being adopted (the baseline
+	// temporarily lags) and the comparison never mixes runner shapes.
+	failed, err := Speedups(errOut, results, speedups)
+	if err != nil {
+		return err
+	}
+	if len(failed) > 0 {
+		return fmt.Errorf("%d speedup assertion(s) failed: %s", len(failed), strings.Join(failed, "; "))
 	}
 	if baseline == "" {
 		return nil
@@ -109,6 +131,52 @@ func run(in io.Reader, out, errOut io.Writer, baseline string, tolerance, timeTo
 	fmt.Fprintf(errOut, "bench2json: %d benchmark(s) within %.2fx time / %.2fx allocs of %s\n",
 		compared(base, results), timeTolerance, tolerance, baseline)
 	return nil
+}
+
+// Speedups evaluates "Slow/Fast>=R" assertions against the parsed
+// results, logging the achieved ratio for each and returning the specs
+// that failed. Names use the bare benchmark name (no GOMAXPROCS suffix).
+// A spec naming a benchmark absent from the input is an error, not a
+// pass: an assertion that matches nothing asserts nothing.
+func Speedups(w io.Writer, results []Result, specs []string) (failed []string, err error) {
+	byName := make(map[string]Result, len(results))
+	for _, r := range results {
+		byName[r.Name] = r
+	}
+	for _, spec := range specs {
+		names, thresh, ok := strings.Cut(spec, ">=")
+		if !ok {
+			return nil, fmt.Errorf("-speedup %q: want \"Slow/Fast>=R\"", spec)
+		}
+		slowName, fastName, ok := strings.Cut(names, "/")
+		if !ok {
+			return nil, fmt.Errorf("-speedup %q: want \"Slow/Fast>=R\"", spec)
+		}
+		want, perr := strconv.ParseFloat(strings.TrimSpace(thresh), 64)
+		if perr != nil || want <= 0 {
+			return nil, fmt.Errorf("-speedup %q: ratio %q is not a positive number", spec, thresh)
+		}
+		slow, ok := byName[strings.TrimSpace(slowName)]
+		if !ok {
+			return nil, fmt.Errorf("-speedup %q: benchmark %q not in the input", spec, slowName)
+		}
+		fast, ok := byName[strings.TrimSpace(fastName)]
+		if !ok {
+			return nil, fmt.Errorf("-speedup %q: benchmark %q not in the input", spec, fastName)
+		}
+		if fast.NsPerOp <= 0 || slow.NsPerOp <= 0 {
+			return nil, fmt.Errorf("-speedup %q: missing ns/op on one side", spec)
+		}
+		got := slow.NsPerOp / fast.NsPerOp
+		verdict := "ok"
+		if got < want {
+			verdict = "FAILED"
+			failed = append(failed, fmt.Sprintf("%s (got %.2fx)", spec, got))
+		}
+		fmt.Fprintf(w, "bench2json: speedup %s over %s: %.2fx (want >= %.2fx) %s\n",
+			fast.Name, slow.Name, got, want, verdict)
+	}
+	return failed, nil
 }
 
 // Report writes one line per compared benchmark with the measured-vs-

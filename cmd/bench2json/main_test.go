@@ -102,7 +102,7 @@ func TestRunBaselineGuard(t *testing.T) {
 	}
 	bench := "BenchmarkX   3   110 ns/op   80 B/op   5 allocs/op\n"
 	var out, errOut strings.Builder
-	if err := run(strings.NewReader(bench), &out, &errOut, baseline, 1.3, 0); err != nil {
+	if err := run(strings.NewReader(bench), &out, &errOut, baseline, 1.3, 0, nil); err != nil {
 		t.Fatalf("within-tolerance run failed: %v (stderr %q)", err, errOut.String())
 	}
 	if !strings.Contains(out.String(), "BenchmarkX") {
@@ -117,7 +117,7 @@ func TestRunBaselineGuard(t *testing.T) {
 	bench = "BenchmarkX   3   500 ns/op   80 B/op   5 allocs/op\n"
 	out.Reset()
 	errOut.Reset()
-	err := run(strings.NewReader(bench), &out, &errOut, baseline, 1.3, 0)
+	err := run(strings.NewReader(bench), &out, &errOut, baseline, 1.3, 0, nil)
 	if err == nil {
 		t.Fatal("regressed run returned nil error")
 	}
@@ -160,7 +160,7 @@ func TestRunBaselineMissingEntryFails(t *testing.T) {
 		t.Fatal(err)
 	}
 	var out, errOut strings.Builder
-	err := run(strings.NewReader("BenchmarkX   3   100 ns/op   80 B/op   5 allocs/op\n"), &out, &errOut, baseline, 1.3, 0)
+	err := run(strings.NewReader("BenchmarkX   3   100 ns/op   80 B/op   5 allocs/op\n"), &out, &errOut, baseline, 1.3, 0, nil)
 	if err == nil || !strings.Contains(err.Error(), "BenchmarkGone") {
 		t.Fatalf("missing baseline entry not reported: %v", err)
 	}
@@ -176,7 +176,7 @@ func TestRunBaselineNoMatchFails(t *testing.T) {
 		t.Fatal(err)
 	}
 	var out, errOut strings.Builder
-	err := run(strings.NewReader("BenchmarkX   3   110 ns/op\n"), &out, &errOut, baseline, 1.3, 0)
+	err := run(strings.NewReader("BenchmarkX   3   110 ns/op\n"), &out, &errOut, baseline, 1.3, 0, nil)
 	if err == nil || !strings.Contains(err.Error(), "no benchmark") {
 		t.Fatalf("zero-match guard passed silently: %v", err)
 	}
@@ -187,13 +187,48 @@ func TestRunBaselineNoMatchFails(t *testing.T) {
 	// 1.8x slower: fails at the default 1.3 but passes with -time-tolerance 2.
 	out.Reset()
 	errOut.Reset()
-	if err := run(strings.NewReader("BenchmarkX   3   180 ns/op   80 B/op   5 allocs/op\n"), &out, &errOut, baseline, 1.3, 2.0); err != nil {
+	if err := run(strings.NewReader("BenchmarkX   3   180 ns/op   80 B/op   5 allocs/op\n"), &out, &errOut, baseline, 1.3, 2.0, nil); err != nil {
 		t.Fatalf("time-tolerance override not applied: %v", err)
 	}
 	// ...but allocs still fail at the strict tolerance.
 	out.Reset()
 	errOut.Reset()
-	if err := run(strings.NewReader("BenchmarkX   3   100 ns/op   80 B/op   50 allocs/op\n"), &out, &errOut, baseline, 1.3, 2.0); err == nil {
+	if err := run(strings.NewReader("BenchmarkX   3   100 ns/op   80 B/op   50 allocs/op\n"), &out, &errOut, baseline, 1.3, 2.0, nil); err == nil {
 		t.Fatal("alloc regression passed under loose time tolerance")
+	}
+}
+
+// TestRunSpeedupAssertions: -speedup judges cross-row ratios of the
+// current run itself, independent of any baseline.
+func TestRunSpeedupAssertions(t *testing.T) {
+	bench := "BenchmarkSlow   3   1000 ns/op\nBenchmarkFast-2   3   80 ns/op\n"
+	var out, errOut strings.Builder
+	spec := []string{"BenchmarkSlow/BenchmarkFast>=10"}
+	if err := run(strings.NewReader(bench), &out, &errOut, "", 1.3, 0, spec); err != nil {
+		t.Fatalf("12.5x run failed a >=10x assertion: %v (stderr %q)", err, errOut.String())
+	}
+	if !strings.Contains(errOut.String(), "12.50x (want >= 10.00x) ok") {
+		t.Fatalf("stderr missing achieved ratio: %q", errOut.String())
+	}
+	out.Reset()
+	errOut.Reset()
+	spec = []string{"BenchmarkSlow/BenchmarkFast>=20"}
+	err := run(strings.NewReader(bench), &out, &errOut, "", 1.3, 0, spec)
+	if err == nil || !strings.Contains(err.Error(), "speedup assertion") {
+		t.Fatalf("12.5x run passed a >=20x assertion: %v", err)
+	}
+	// A spec naming an absent benchmark must error, not silently pass.
+	out.Reset()
+	errOut.Reset()
+	spec = []string{"BenchmarkSlow/BenchmarkGone>=2"}
+	err = run(strings.NewReader(bench), &out, &errOut, "", 1.3, 0, spec)
+	if err == nil || !strings.Contains(err.Error(), `"BenchmarkGone"`) {
+		t.Fatalf("assertion on absent benchmark did not error: %v", err)
+	}
+	// Malformed specs are configuration errors.
+	for _, bad := range []string{"BenchmarkSlow>=2", "BenchmarkSlow/BenchmarkFast", "BenchmarkSlow/BenchmarkFast>=-1"} {
+		if err := run(strings.NewReader(bench), &out, &errOut, "", 1.3, 0, []string{bad}); err == nil {
+			t.Errorf("malformed -speedup %q accepted", bad)
+		}
 	}
 }

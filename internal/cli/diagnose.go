@@ -47,7 +47,20 @@ func Report(w io.Writer, tool string, err error) int {
 	var un *sweep.UnreachableError
 	var impl *sweep.ImplicitUnsupportedError
 	var ub *sweep.UnknownBackendError
+	var quo *sweep.QuotientUnsupportedError
+	var conf *sweep.SpecConflictError
 	switch {
+	case errors.As(err, &quo):
+		fmt.Fprintf(w, "%s: diagnosis: configuration — symmetry-quotient enumeration needs a graph family declaring its automorphism group, and %s (n=%d) declines", tool, quo.Graph, quo.N)
+		if len(quo.Qualifying) > 0 {
+			fmt.Fprintf(w, "; qualifying families: %s", strings.Join(quo.Qualifying, ", "))
+		}
+		fmt.Fprintf(w, "; pick one of them or drop -quotient (exit %d)\n", ExitFailure)
+		return ExitFailure
+	case errors.As(err, &conf):
+		fmt.Fprintf(w, "%s: diagnosis: configuration — conflicting sweep options %s: %s (exit %d)\n",
+			tool, strings.Join(conf.Fields, " and "), conf.Reason, ExitFailure)
+		return ExitFailure
 	case errors.As(err, &impl):
 		fmt.Fprintf(w, "%s: diagnosis: configuration — the implicit backend needs a graph family with closed-form balls, and %s (n=%d) has none", tool, impl.Graph, impl.N)
 		if len(impl.Qualifying) > 0 {

@@ -61,6 +61,23 @@ func TestReportClassifiesAndNamesOffenders(t *testing.T) {
 			wantSubs: []string{"configuration", `"csr"`, "atlas, builder, implicit"},
 		},
 		{
+			name: "quotient-unsupported is configuration and lists qualifying families",
+			err: fmt.Errorf("E10: %w", &sweep.QuotientUnsupportedError{
+				Graph: "*graph.Adj", N: 12,
+				Qualifying: []string{"cycle (graph.Cycle)", "torus (graph.Torus)"}}),
+			wantCode: ExitFailure,
+			wantSubs: []string{"configuration", "*graph.Adj", "n=12",
+				"cycle (graph.Cycle)", "torus (graph.Torus)", "drop -quotient"},
+		},
+		{
+			name: "spec conflict is configuration and names both fields",
+			err: fmt.Errorf("avgbench: %w", &sweep.SpecConflictError{
+				Fields: []string{"Quotient", "Exhaustive"},
+				Reason: "Quotient compresses the exhaustive rank space; set Exhaustive too"}),
+			wantCode: ExitFailure,
+			wantSubs: []string{"configuration", "Quotient and Exhaustive", "rank space"},
+		},
+		{
 			name:     "anything else is generic",
 			err:      errors.New("no shard files given"),
 			wantCode: ExitFailure,

@@ -28,11 +28,21 @@ import (
 	"repro/internal/sweep"
 )
 
-// MaxEnumerationN bounds full permutation enumeration (n! growth): 12! ≈
-// 4.8e8 executions, feasible under parallel enumeration on a multicore
-// machine. There is no internal wall-clock guard beyond the cap — bound
-// long runs with the context handed to Distribution.
-const MaxEnumerationN = 12
+// MaxEnumerationN bounds exact enumeration. For graph families declaring
+// their automorphism group (graph.Automorphisms: cycle, torus, complete
+// graph, complete b-ary tree) Distribution enumerates only canonical orbit
+// representatives — n!/|G| executions instead of n!, a 2n× reduction on
+// the cycle — which lifts the ceiling to 14: 14!/28 ≈ 3.1e9 representative
+// executions, feasible under parallel enumeration on a multicore machine.
+// There is no internal wall-clock guard beyond the cap — bound long runs
+// with the context handed to Distribution.
+const MaxEnumerationN = 14
+
+// MaxFullEnumerationN bounds the full n!-fold path — families without a
+// declared automorphism group, and runs pinning Options.NoQuotient: 12! ≈
+// 4.8e8 executions. Beyond it only the quotient path is feasible, so
+// larger instances without one fail with ErrTooLarge.
+const MaxFullEnumerationN = 12
 
 // ErrTooLarge marks instances beyond MaxEnumerationN. Callers distinguish
 // it (errors.Is) from execution failures: "fall back to sampling" is the
@@ -61,6 +71,14 @@ type Options struct {
 	// profiling, exactly as in sweep.Spec.
 	NoAtlas   bool
 	NoKernels bool
+	// NoQuotient disables the symmetry-quotient fast path even for graphs
+	// declaring automorphisms, forcing the full n! fold — the A/B baseline
+	// the quotient's bit-identity is benchmarked and tested against. With
+	// it set, n is capped at MaxFullEnumerationN. The quotient path is only
+	// sound for automorphism-invariant algorithms (see graph.Automorphisms);
+	// pin NoQuotient when enumerating a port-sensitive algorithm on a
+	// symmetric family.
+	NoQuotient bool
 }
 
 // PruningRadii computes the pruning algorithm's decision radii on a cycle
@@ -169,24 +187,42 @@ func (s Stats) Merge(o Stats) (Stats, error) {
 	return out, nil
 }
 
-// Distribution enumerates ALL n! identifier permutations of g through the
-// sharded sweep engine and returns the exact radius-sum statistics of alg.
-// The enumeration reuses the engine's shared ball atlas and flat decision
-// kernels, so it parallelises across all cores and the result is
-// byte-identical at any worker count. n is capped at MaxEnumerationN
-// (ErrTooLarge beyond); a cancelled context aborts with the sweep's
-// partial-results error.
+// quotientEligible reports whether g declares an automorphism group the
+// quotient path can exploit at its size.
+func quotientEligible(g graph.Graph) bool {
+	a, ok := g.(graph.Automorphisms)
+	return ok && a.Automorphisms().Declares()
+}
+
+// Distribution enumerates every identifier permutation of g through the
+// sharded sweep engine and returns the exact radius-sum statistics of alg
+// over the full n! space. When g declares its automorphism group
+// (graph.Automorphisms) and Options.NoQuotient is unset, the engine
+// executes only the n!/|G| canonical orbit representatives and folds each
+// with orbit weight — the returned Stats are bit-for-bit identical to the
+// full fold, just 2n× (cycle) cheaper to compute. The enumeration reuses
+// the engine's shared ball atlas and flat decision kernels, so it
+// parallelises across all cores and the result is byte-identical at any
+// worker count. n is capped at MaxEnumerationN on the quotient path and
+// MaxFullEnumerationN on the full path (ErrTooLarge beyond); a cancelled
+// context aborts with the sweep's partial-results error.
 func Distribution(ctx context.Context, g graph.Graph, alg Algorithm, opt Options) (Stats, error) {
 	n := g.N()
 	if n < 1 {
 		return Stats{}, fmt.Errorf("exact: empty graph")
 	}
+	quotient := quotientEligible(g) && !opt.NoQuotient
 	if n > MaxEnumerationN {
 		return Stats{}, fmt.Errorf("exact: n=%d beyond %d: %w", n, MaxEnumerationN, ErrTooLarge)
+	}
+	if !quotient && n > MaxFullEnumerationN {
+		return Stats{}, fmt.Errorf("exact: n=%d beyond %d without a symmetry quotient: %w",
+			n, MaxFullEnumerationN, ErrTooLarge)
 	}
 	res, err := sweep.Run(ctx, sweep.Spec{
 		Sizes:      []int{n},
 		Exhaustive: true,
+		Quotient:   quotient,
 		Shard:      opt.Shard,
 		Workers:    opt.Workers,
 		NoAtlas:    opt.NoAtlas,
@@ -252,8 +288,8 @@ func CycleStatsSequential(n int) (Stats, error) {
 	if n < 3 {
 		return Stats{}, fmt.Errorf("exact: need n >= 3, got %d", n)
 	}
-	if n > MaxEnumerationN {
-		return Stats{}, fmt.Errorf("exact: n=%d beyond %d: %w", n, MaxEnumerationN, ErrTooLarge)
+	if n > MaxFullEnumerationN {
+		return Stats{}, fmt.Errorf("exact: n=%d beyond %d: %w", n, MaxFullEnumerationN, ErrTooLarge)
 	}
 	perm := make(ids.Assignment, n)
 	for i := range perm {

@@ -184,9 +184,12 @@ func TestDistributionOtherAlgorithms(t *testing.T) {
 		t.Errorf("Uniform stats inconsistent: %+v", uni)
 	}
 
+	// ForMaxID-derived coloring consumes the ring orientation, so it is not
+	// invariant under the cycle's reflection: the quotient path must stay
+	// off for it (see graph.Automorphisms).
 	m, err := Distribution(ctx, c, func(_ int, a ids.Assignment) local.ViewAlgorithm {
 		return mis.FromColoring{Base: coloring.ForMaxID(a.MaxID())}
-	}, Options{Workers: 4})
+	}, Options{Workers: 4, NoQuotient: true})
 	if err != nil {
 		t.Fatalf("MIS on cycle: %v", err)
 	}
@@ -257,5 +260,70 @@ func TestDistributionShardedMergeIdentical(t *testing.T) {
 	}
 	if _, err := CycleStats(context.Background(), n, Options{Shard: sweep.Shard{Index: 0, Count: 2}}); err == nil {
 		t.Error("sharded CycleStats accepted")
+	}
+}
+
+// TestDistributionQuotientBitIdentical: for families declaring their
+// automorphism group, the auto-routed quotient enumeration returns Stats
+// bit-for-bit identical to the pinned full n! fold — every field,
+// including the pooled histogram and the float MeanSum.
+func TestDistributionQuotientBitIdentical(t *testing.T) {
+	alg := func(int, ids.Assignment) local.ViewAlgorithm { return largestid.Pruning{} }
+	for _, g := range []graph.Graph{
+		graph.MustCycle(7),
+		graph.MustTorus(3, 3),
+		graph.MustCompleteGraph(6),
+		graph.MustImplicitTree(2, 2),
+	} {
+		quot, err := Distribution(context.Background(), g, alg, Options{Workers: 4})
+		if err != nil {
+			t.Fatalf("%T quotient: %v", g, err)
+		}
+		full, err := Distribution(context.Background(), g, alg, Options{Workers: 4, NoQuotient: true})
+		if err != nil {
+			t.Fatalf("%T full: %v", g, err)
+		}
+		if !reflect.DeepEqual(quot, full) {
+			t.Errorf("%T: quotient stats diverge from full fold\nquotient: %+v\nfull:     %+v", g, quot, full)
+		}
+		f, _ := ids.Factorial(g.N())
+		if uint64(quot.Perms) != f {
+			t.Errorf("%T: quotient Perms = %d, want %d! = %d", g, quot.Perms, g.N(), f)
+		}
+	}
+}
+
+// TestDistributionEnumerationCaps pins the two ceilings: the full fold
+// stops at MaxFullEnumerationN (no-symmetry families and NoQuotient runs),
+// the quotient path carries symmetric families to MaxEnumerationN — and a
+// beyond-full-cap cycle actually executes through the quotient (a thin
+// shard keeps the test fast).
+func TestDistributionEnumerationCaps(t *testing.T) {
+	ctx := context.Background()
+	alg := func(int, ids.Assignment) local.ViewAlgorithm { return largestid.Pruning{} }
+	over := MaxFullEnumerationN + 1
+
+	gnp, err := graph.NewGNP(over, 0.5, rand.New(rand.NewSource(7)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Distribution(ctx, gnp, alg, Options{}); !errors.Is(err, ErrTooLarge) {
+		t.Errorf("GNP n=%d: err = %v, want ErrTooLarge", over, err)
+	}
+	c := graph.MustCycle(over)
+	if _, err := Distribution(ctx, c, alg, Options{NoQuotient: true}); !errors.Is(err, ErrTooLarge) {
+		t.Errorf("NoQuotient cycle n=%d: err = %v, want ErrTooLarge", over, err)
+	}
+	if _, err := Distribution(ctx, graph.MustCycle(MaxEnumerationN+1), alg, Options{}); !errors.Is(err, ErrTooLarge) {
+		t.Errorf("cycle n=%d: err = %v, want ErrTooLarge", MaxEnumerationN+1, err)
+	}
+	st, err := Distribution(ctx, c, alg,
+		Options{Shard: sweep.Shard{Index: 0, Count: 1 << 20}, Workers: 2})
+	if err != nil {
+		t.Fatalf("quotient cycle n=%d: %v", over, err)
+	}
+	if st.Perms <= 0 || st.Perms%int64(2*over) != 0 {
+		t.Errorf("thin quotient shard at n=%d folded Perms=%d, want a positive multiple of |G|=%d",
+			over, st.Perms, 2*over)
 	}
 }

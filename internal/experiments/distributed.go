@@ -211,7 +211,11 @@ func loadOrInitCheckpoint(path string, e Experiment, cfg Config, shard sweep.Sha
 		ck := &runCheckpoint{Experiment: e.ID, Config: cfg, Shard: shard,
 			Sweeps: make([]*sweep.Checkpoint, len(specs))}
 		for k := range specs {
-			ck.Sweeps[k] = sweep.NewCheckpoint(sweep.PlanOf(specs[k]))
+			plan, err := sweep.PlanOf(specs[k])
+			if err != nil {
+				return nil, fmt.Errorf("experiments: sweep %d plan: %w", k, err)
+			}
+			ck.Sweeps[k] = sweep.NewCheckpoint(plan)
 		}
 		return ck, nil
 	}
@@ -249,7 +253,11 @@ func loadOrInitCheckpoint(path string, e Experiment, cfg Config, shard sweep.Sha
 		return nil, fmt.Errorf("experiments: checkpoint %s has %d sweeps, experiment has %d", path, len(ck.Sweeps), len(specs))
 	}
 	for k := range specs {
-		if !ck.Sweeps[k].Plan.Equal(sweep.PlanOf(specs[k])) {
+		plan, err := sweep.PlanOf(specs[k])
+		if err != nil {
+			return nil, fmt.Errorf("experiments: sweep %d plan: %w", k, err)
+		}
+		if !ck.Sweeps[k].Plan.Equal(plan) {
 			return nil, fmt.Errorf("experiments: checkpoint %s sweep %d plan does not match the experiment's", path, k)
 		}
 	}
@@ -284,7 +292,10 @@ func shardRanges(e Experiment, cfg Config, shard sweep.Shard) ([][]sweep.TrialRa
 	}
 	ranges := make([][]sweep.TrialRange, len(specs))
 	for k := range specs {
-		plan := sweep.PlanOf(specs[k])
+		plan, err := sweep.PlanOf(specs[k])
+		if err != nil {
+			return nil, fmt.Errorf("experiments: %s sweep %d: %w", e.ID, k, err)
+		}
 		counts, err := plan.Counts()
 		if err != nil {
 			return nil, fmt.Errorf("experiments: %s sweep %d: %w", e.ID, k, err)
@@ -366,8 +377,12 @@ func MergeShards(files ...*ShardFile) (Experiment, *Table, error) {
 		return Experiment{}, nil, fmt.Errorf("experiments: %s sweeps: %w", e.ID, err)
 	}
 	countsBySweep := make([][]int, len(specs))
+	plansBySweep := make([]sweep.Plan, len(specs))
 	for k := range specs {
-		if countsBySweep[k], err = sweep.PlanOf(specs[k]).Counts(); err != nil {
+		if plansBySweep[k], err = sweep.PlanOf(specs[k]); err != nil {
+			return Experiment{}, nil, fmt.Errorf("experiments: %s sweep %d: %w", e.ID, k, err)
+		}
+		if countsBySweep[k], err = plansBySweep[k].Counts(); err != nil {
 			return Experiment{}, nil, fmt.Errorf("experiments: %s sweep %d: %w", e.ID, k, err)
 		}
 	}
@@ -430,15 +445,22 @@ func MergeShards(files ...*ShardFile) (Experiment, *Table, error) {
 					return Experiment{}, nil, fmt.Errorf("experiments: shard %d/%d sweep %d size n=%d claims trials [%d,%d), the space ends at %d",
 						idx, m, k, res.Sizes[i].N, lo, hi, total)
 				}
-				if res.Sizes[i].Trials != hi-lo {
+				// Under a quotient plan every executed representative folds
+				// weight virtual trials, so a claimed range owes
+				// (hi-lo)·weight trials in the aggregate.
+				weight := plansBySweep[k].Weight(i)
+				if res.Sizes[i].Trials != (hi-lo)*weight {
 					return Experiment{}, nil, fmt.Errorf("experiments: shard %d/%d sweep %d size n=%d carries %d trials, its claimed range owes %d",
-						idx, m, k, res.Sizes[i].N, res.Sizes[i].Trials, hi-lo)
+						idx, m, k, res.Sizes[i].N, res.Sizes[i].Trials, (hi-lo)*weight)
 				}
 				// The extremal trial indices are absolute coordinates; a
 				// duplicated file relabelled as another shard still points
 				// at the original slice and is caught here even when the
-				// trial counts happen to match.
-				if res.Sizes[i].Trials > 0 {
+				// trial counts happen to match. Quotient aggregates record
+				// extremal trials as FULL lexicographic ranks — coordinates
+				// of a different (larger) space than the claimed canonical
+				// range — so the containment check only applies unweighted.
+				if res.Sizes[i].Trials > 0 && weight == 1 {
 					for _, ti := range []int{res.Sizes[i].WorstAvgTrial, res.Sizes[i].WorstMaxTrial, res.Sizes[i].BestAvgTrial} {
 						if ti < lo || ti >= hi {
 							return Experiment{}, nil, fmt.Errorf("experiments: shard %d/%d sweep %d size n=%d: extremal trial %d lies outside its claimed range [%d,%d)",

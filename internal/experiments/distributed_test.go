@@ -266,7 +266,7 @@ func TestUnknownExperimentErrorListsIDs(t *testing.T) {
 			t.Errorf("error %q does not list %s", err, id)
 		}
 	}
-	if want := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11"}; len(ue.Known) != len(want) {
+	if want := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12"}; len(ue.Known) != len(want) {
 		t.Errorf("Known = %v, want %v", ue.Known, want)
 	}
 }
@@ -276,8 +276,8 @@ func TestUnknownExperimentErrorListsIDs(t *testing.T) {
 // codec's typed error, never reach a merge.
 func TestReadShardFileRejectsForgedPayloads(t *testing.T) {
 	forged := []string{
-		`{"format":"experiments.shard","version":1,"payload":{"experiment":"E6","config":{"seed":1},"shard":{"index":0,"count":1},"results":[null]}}`,
-		`{"format":"experiments.shard","version":1,"payload":{"experiment":"E6","config":{"seed":1},"shard":{"index":0,"count":1},"results":[{"sizes":[{"n":16,"trials":-5}]}]}}`,
+		`{"format":"experiments.shard","version":2,"payload":{"experiment":"E6","config":{"seed":1},"shard":{"index":0,"count":1},"results":[null]}}`,
+		`{"format":"experiments.shard","version":2,"payload":{"experiment":"E6","config":{"seed":1},"shard":{"index":0,"count":1},"results":[{"sizes":[{"n":16,"trials":-5}]}]}}`,
 	}
 	for i, input := range forged {
 		_, err := ReadShardFile(strings.NewReader(input))
@@ -376,11 +376,11 @@ func TestCheckpointRejectsForgedFile(t *testing.T) {
 	cfg := Config{Seed: 5, Sizes: []int{16}, Trials: 8}
 	forged := []string{
 		// nil per-sweep record
-		`{"format":"experiments.checkpoint","version":1,"payload":{"experiment":"E6","config":{"seed":5,"sizes":[16],"trials":8},"shard":{"index":0,"count":0},"sweeps":[null]}}`,
+		`{"format":"experiments.checkpoint","version":2,"payload":{"experiment":"E6","config":{"seed":5,"sizes":[16],"trials":8},"shard":{"index":0,"count":0},"sweeps":[null]}}`,
 		// done/sizes arrays shorter than the plan's size list
-		`{"format":"experiments.checkpoint","version":1,"payload":{"experiment":"E6","config":{"seed":5,"sizes":[16],"trials":8},"shard":{"index":0,"count":0},"sweeps":[{"plan":{"seed":5,"sizes":[16],"trials":8,"shard":{"index":0,"count":0}},"done":[],"sizes":[]}]}}`,
+		`{"format":"experiments.checkpoint","version":2,"payload":{"experiment":"E6","config":{"seed":5,"sizes":[16],"trials":8},"shard":{"index":0,"count":0},"sweeps":[{"plan":{"seed":5,"sizes":[16],"trials":8,"shard":{"index":0,"count":0}},"done":[],"sizes":[]}]}}`,
 		// invariant-violating aggregates
-		`{"format":"experiments.checkpoint","version":1,"payload":{"experiment":"E6","config":{"seed":5,"sizes":[16],"trials":8},"shard":{"index":0,"count":0},"sweeps":[{"plan":{"seed":5,"sizes":[16],"trials":8,"shard":{"index":0,"count":0}},"done":[[]],"sizes":[{"n":16,"trials":-3}]}]}}`,
+		`{"format":"experiments.checkpoint","version":2,"payload":{"experiment":"E6","config":{"seed":5,"sizes":[16],"trials":8},"shard":{"index":0,"count":0},"sweeps":[{"plan":{"seed":5,"sizes":[16],"trials":8,"shard":{"index":0,"count":0}},"done":[[]],"sizes":[{"n":16,"trials":-3}]}]}}`,
 	}
 	for i, input := range forged {
 		path := filepath.Join(t.TempDir(), "forged.ckpt")

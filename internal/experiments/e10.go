@@ -13,15 +13,27 @@ import (
 	"repro/internal/sweep"
 )
 
-// e10Sizes resolves the experiment's size sweep: enumeration is n!-bounded,
-// so oversized overrides keep only their feasible entries and fall back to
-// the defaults when none fit. Shared by Sweeps and Tabulate so the clamped
-// note renders identically in every process.
+// e10Cap is the largest feasible enumeration size under the config: the
+// symmetry quotient (Config.Quotient) executes only n!/2n canonical
+// representatives on the cycle, lifting the ceiling from
+// exact.MaxFullEnumerationN to exact.MaxEnumerationN.
+func e10Cap(cfg Config) int {
+	if cfg.Quotient {
+		return exact.MaxEnumerationN
+	}
+	return exact.MaxFullEnumerationN
+}
+
+// e10Sizes resolves the experiment's size sweep: enumeration is n!-bounded
+// (n!/2n under -quotient), so oversized overrides keep only their feasible
+// entries and fall back to the defaults when none fit. Shared by Sweeps and
+// Tabulate so the clamped note renders identically in every process.
 func e10Sizes(cfg Config) (sizes []int, clamped bool) {
 	defSizes := []int{5, 6, 7, 8, 9}
+	cap := e10Cap(cfg)
 	sizes = make([]int, 0, len(cfg.Sizes))
 	for _, n := range cfg.Sizes {
-		if n >= 3 && n <= exact.MaxEnumerationN {
+		if n >= 3 && n <= cap {
 			sizes = append(sizes, n)
 		} else {
 			clamped = true
@@ -118,7 +130,8 @@ func e10() Experiment {
 			t.AddNote("worstGap = exact - sampled worst average; sampling (with replacement, sampled/n! is a ratio not a coverage) can only miss the worst, so it must never be negative")
 			t.AddNote("meanErr is the sampling error of the §4 expectation, O(1/sqrt(trials)) by the CLT")
 			if clamped {
-				t.AddNote("sizes beyond exact.MaxEnumerationN=%d were dropped: n! enumeration is the point of this table", exact.MaxEnumerationN)
+				t.AddNote("sizes beyond the enumeration cap n=%d were dropped: n! enumeration is the point of this table (-quotient lifts the cap to %d)",
+					e10Cap(cfg), exact.MaxEnumerationN)
 			}
 			if !worstOK {
 				return t, fmt.Errorf("E10: a sampled worst exceeded the exact worst — enumeration or engine is broken")

@@ -1,0 +1,63 @@
+package experiments
+
+import (
+	"context"
+	"strings"
+	"testing"
+)
+
+// TestE10QuotientByteIdentical: -quotient is a pure perf toggle at the
+// table level — E10's render must be byte-identical with and without it at
+// sizes both caps admit (the CI smoke diff automates the same check).
+func TestE10QuotientByteIdentical(t *testing.T) {
+	e, err := Get("E10")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{Seed: 3, Sizes: []int{5, 6, 7}, Trials: 50}
+	full, err := e.Run(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Quotient = true
+	quot, err := e.Run(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f, q := full.Render(), quot.Render(); f != q {
+		t.Errorf("E10 table depends on the quotient toggle:\nfull:\n%s\nquotient:\n%s", f, q)
+	}
+}
+
+// TestE12RejectsQuotientFlag: the cross-check pins its own quotient/full
+// split; a config-level -quotient would make the diff a tautology.
+func TestE12RejectsQuotientFlag(t *testing.T) {
+	e, err := Get("E12")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, rerr := e.Run(context.Background(), Config{Seed: 1, Quotient: true})
+	if rerr == nil || !strings.Contains(rerr.Error(), "-quotient") {
+		t.Errorf("E12 with Quotient: err = %v, want the pinned-split rejection", rerr)
+	}
+}
+
+// TestE12ReportsIdentity: the table's identical column is true at every
+// size (tabulation errors on the first divergence, so a clean run IS the
+// identity proof).
+func TestE12ReportsIdentity(t *testing.T) {
+	e, err := Get("E12")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab, err := e.Run(context.Background(), Config{Seed: 1, Sizes: []int{5, 6}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 2 {
+		t.Fatalf("got %d rows, want 2", len(tab.Rows))
+	}
+	if out := tab.Render(); !strings.Contains(out, "true") || strings.Contains(out, "false") {
+		t.Errorf("E12 identical column not uniformly true:\n%s", out)
+	}
+}

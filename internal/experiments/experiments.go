@@ -44,6 +44,16 @@ type Config struct {
 	// bytes; the implicit backend is what fits n = 10^6..10^8 sweeps in
 	// O(workers) memory (avgbench -backend).
 	Backend string `json:"backend,omitempty"`
+	// Quotient routes exhaustive sweeps through symmetry-quotient
+	// enumeration: only canonical orbit representatives execute, each
+	// folded with orbit weight, and the merged aggregates are bit-for-bit
+	// identical to the full n! fold. Unlike the pure perf toggles it stays
+	// part of the config identity: the plan's trial space becomes the
+	// canonical rank space (checkpoints and lease runs carve different
+	// coordinates), and it lifts E10's feasible size cap from
+	// exact.MaxFullEnumerationN to exact.MaxEnumerationN. Sampled sweeps
+	// are unaffected (avgbench -quotient).
+	Quotient bool `json:"quotient,omitempty"`
 	// StreamIDs switches the sampled identifier draws to the streaming
 	// permutation family (ids.StreamPerm). Unlike the perf toggles it
 	// CHANGES result bytes — the sampled permutations are a different
@@ -88,7 +98,7 @@ var registry = buildRegistry()
 
 func buildRegistry() map[string]Experiment {
 	all := []Experiment{
-		e1(), e2(), e3(), e4(), e5(), e6(), e7(), e8(), e9(), e10(), e11(),
+		e1(), e2(), e3(), e4(), e5(), e6(), e7(), e8(), e9(), e10(), e11(), e12(),
 	}
 	m := make(map[string]Experiment, len(all))
 	for _, e := range all {
@@ -218,6 +228,11 @@ func configSpec(spec sweep.Spec, cfg Config) sweep.Spec {
 	}
 	if cfg.StreamIDs && spec.Assign == nil && !spec.Exhaustive {
 		spec.StreamIDs = true
+	}
+	// Quotient only means something on the exhaustive path; sampled sweeps
+	// ignore it rather than conflict, mirroring StreamIDs above.
+	if cfg.Quotient && spec.Exhaustive {
+		spec.Quotient = true
 	}
 	return spec
 }

@@ -140,7 +140,11 @@ func MergeLeased(e Experiment, cfg Config, st sweep.Store) (*Table, error) {
 	prefix := LeaseRunPrefix(e, cfg)
 	results := make([]*sweep.Result, len(specs))
 	for k := range specs {
-		res, err := sweep.CollectLeased(st, sweepPrefix(prefix, k), sweep.PlanOf(specs[k]))
+		plan, err := sweep.PlanOf(specs[k])
+		if err != nil {
+			return nil, fmt.Errorf("experiments: %s sweep %d: %w", e.ID, k, err)
+		}
+		res, err := sweep.CollectLeased(st, sweepPrefix(prefix, k), plan)
 		if err != nil {
 			return nil, fmt.Errorf("experiments: %s sweep %d: %w", e.ID, k, err)
 		}
@@ -213,7 +217,11 @@ func LeasedProgress(e Experiment, cfg Config, st sweep.Store) ([]*sweep.Progress
 	prefix := LeaseRunPrefix(e, cfg)
 	out := make([]*sweep.Progress, len(specs))
 	for k := range specs {
-		p, err := sweep.LeaseProgress(st, sweepPrefix(prefix, k), sweep.PlanOf(specs[k]))
+		plan, err := sweep.PlanOf(specs[k])
+		if err != nil {
+			return nil, fmt.Errorf("experiments: %s sweep %d: %w", e.ID, k, err)
+		}
+		p, err := sweep.LeaseProgress(st, sweepPrefix(prefix, k), plan)
 		if err != nil {
 			return nil, fmt.Errorf("experiments: %s sweep %d: %w", e.ID, k, err)
 		}

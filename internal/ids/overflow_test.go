@@ -71,3 +71,47 @@ func TestRankUnrankBoundary(t *testing.T) {
 		t.Fatalf("wrapped error carries N=%d", fr.N)
 	}
 }
+
+// TestCanonicalRankBoundary is the quotient-space analogue of
+// TestRankUnrankBoundary: the table straddles the (n-1)!/2 canonical rank
+// bound on both sides and checks the typed error's payload at each edge.
+func TestCanonicalRankBoundary(t *testing.T) {
+	const n = 7
+	q, err := NewQuotient(n, dihedralGens(n), uint64(2*n), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	count := q.Count() // (n-1)!/2
+	cases := []struct {
+		name string
+		rank uint64
+		ok   bool
+	}{
+		{"first", 0, true},
+		{"mid", count / 2, true},
+		{"last", count - 1, true},
+		{"at count", count, false},
+		{"past count", count + 1, false},
+		{"full-space rank", count * q.Order(), false},
+		{"max uint64", ^uint64(0), false},
+	}
+	for _, tc := range cases {
+		a, err := q.CanonicalUnrank(tc.rank)
+		if tc.ok {
+			if err != nil {
+				t.Errorf("%s: CanonicalUnrank(%d): %v", tc.name, tc.rank, err)
+				continue
+			}
+			if r, err := q.CanonicalRank(a); err != nil || r != tc.rank {
+				t.Errorf("%s: round trip = %d, %v; want %d", tc.name, r, err, tc.rank)
+			}
+			continue
+		}
+		var cr *CanonicalRankRangeError
+		if !errors.As(err, &cr) {
+			t.Errorf("%s: CanonicalUnrank(%d) = %v, want *CanonicalRankRangeError", tc.name, tc.rank, err)
+		} else if cr.Rank != tc.rank || cr.Max != count || cr.N != n {
+			t.Errorf("%s: error carries %+v, want Rank=%d Max=%d N=%d", tc.name, cr, tc.rank, count, n)
+		}
+	}
+}

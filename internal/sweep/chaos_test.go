@@ -70,7 +70,7 @@ func TestLeasedStealFromStraggler(t *testing.T) {
 	if fast.Steals == 0 {
 		t.Errorf("fast worker never stole: %+v", fast)
 	}
-	got, err := CollectLeased(st, "leaserun", PlanOf(spec))
+	got, err := CollectLeased(st, "leaserun", mustPlanOf(spec))
 	if err != nil {
 		t.Fatalf("CollectLeased: %v", err)
 	}
@@ -122,7 +122,7 @@ func TestLeasedSpeculateOnStraggler(t *testing.T) {
 	if fast.Speculated == 0 {
 		t.Errorf("fast worker never speculated: %+v", fast)
 	}
-	got, err := CollectLeased(st, "leaserun", PlanOf(spec))
+	got, err := CollectLeased(st, "leaserun", mustPlanOf(spec))
 	if err != nil {
 		t.Fatalf("CollectLeased: %v", err)
 	}
@@ -144,7 +144,7 @@ func TestLeasedAdoptExpiredLease(t *testing.T) {
 	// A crashed worker's leftover claim: covers the whole space, Beat
 	// frozen forever. RunLeased cleans its own record up even on error, so
 	// the crash is simulated by planting the record directly.
-	plan := PlanOf(spec)
+	plan := mustPlanOf(spec)
 	dead := &Lease{PlanSum: planSum(plan), Worker: "dead", SizeIdx: 0, T0: 0, T1: 24, Next: 0, Seq: 1}
 	if err := ensureLeasePlan(st, "leaserun", &leasePlan{Plan: plan, Grains: 6}); err != nil {
 		t.Fatal(err)
@@ -274,7 +274,7 @@ func runChaosScenario(t *testing.T, sc chaosScenario) {
 			return data, nil
 		})
 	}
-	plan := PlanOf(sc.spec)
+	plan := mustPlanOf(sc.spec)
 	for w, wave := range sc.waves {
 		if w == len(sc.waves)-1 {
 			st.FaultPuts(nil) // the last wave always lands its writes

@@ -46,7 +46,7 @@ func TestCheckpointFullRunMatches(t *testing.T) {
 		t.Fatal(err)
 	}
 	path := filepath.Join(t.TempDir(), "ck.json")
-	w := NewCheckpointWriter(path, NewCheckpoint(PlanOf(spec)))
+	w := NewCheckpointWriter(path, NewCheckpoint(mustPlanOf(spec)))
 	spec.OnBlock = w.OnBlock
 	got, err := Run(context.Background(), spec)
 	if err != nil {
@@ -98,7 +98,7 @@ func TestCheckpointResumeIdentical(t *testing.T) {
 
 			// Phase 1: cancel after a few completed blocks — the "kill".
 			path := filepath.Join(t.TempDir(), "ck.json")
-			w := NewCheckpointWriter(path, NewCheckpoint(PlanOf(tc.spec)))
+			w := NewCheckpointWriter(path, NewCheckpoint(mustPlanOf(tc.spec)))
 			ctx, cancel := context.WithCancel(context.Background())
 			defer cancel()
 			var blocks atomic.Int32
@@ -123,8 +123,8 @@ func TestCheckpointResumeIdentical(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			if !ck.Plan.Equal(PlanOf(tc.spec)) {
-				t.Fatalf("checkpoint plan %+v does not match the spec's %+v", ck.Plan, PlanOf(tc.spec))
+			if !ck.Plan.Equal(mustPlanOf(tc.spec)) {
+				t.Fatalf("checkpoint plan %+v does not match the spec's %+v", ck.Plan, mustPlanOf(tc.spec))
 			}
 			resume := tc.spec
 			resume.Done = ck.Done
@@ -147,7 +147,7 @@ func TestCheckpointResumeIdentical(t *testing.T) {
 // without aborting the sweep.
 func TestCheckpointWriterSurvivesBadPath(t *testing.T) {
 	spec := cycleSpec(7, []int{10}, 4, 2)
-	w := NewCheckpointWriter("/nonexistent-dir/sub/ck.json", NewCheckpoint(PlanOf(spec)))
+	w := NewCheckpointWriter("/nonexistent-dir/sub/ck.json", NewCheckpoint(mustPlanOf(spec)))
 	spec.OnBlock = w.OnBlock
 	if _, err := Run(context.Background(), spec); err != nil {
 		t.Fatalf("sweep failed: %v", err)
@@ -259,7 +259,7 @@ func TestCheckpointWriterFailFast(t *testing.T) {
 	spec := cycleSpec(7, []int{32}, 20000, 2)
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
-	w := NewCheckpointWriter("/nonexistent-dir/sub/ck.json", NewCheckpoint(PlanOf(spec)))
+	w := NewCheckpointWriter("/nonexistent-dir/sub/ck.json", NewCheckpoint(mustPlanOf(spec)))
 	w.FailFast(cancel)
 	spec.OnBlock = w.OnBlock
 	res, err := Run(ctx, spec)

@@ -17,8 +17,10 @@ import (
 
 // codecVersion is the current envelope version. Bump it on any change to
 // the serialized shape of SizeStats, Plan, TrialRange or the envelope
-// itself; readers reject other versions with a *DecodeError.
-const codecVersion = 1
+// itself; readers reject other versions with a *DecodeError. Version 2
+// added the quotient-plan fields (Plan.Quotient/Orders) and the
+// per-completion fold weight (Completion.Weight).
+const codecVersion = 2
 
 // Format tags distinguish the file kinds sharing the envelope.
 const (

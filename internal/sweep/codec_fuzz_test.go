@@ -22,9 +22,9 @@ func FuzzDecodeResult(f *testing.F) {
 	}
 	valid := buf.Bytes()
 	f.Add(valid)
-	f.Add([]byte(`{"format":"sweep.result","version":1,"payload":{"sizes":[]}}`))
+	f.Add([]byte(`{"format":"sweep.result","version":2,"payload":{"sizes":[]}}`))
 	f.Add([]byte(`{"format":"sweep.result","version":2,"payload":{}}`))
-	f.Add([]byte(`{"format":"sweep.checkpoint","version":1,"payload":{}}`))
+	f.Add([]byte(`{"format":"sweep.checkpoint","version":2,"payload":{}}`))
 	f.Add([]byte(`{`))
 	f.Add(bytes.Replace(valid, []byte(`"trials"`), []byte(`"trails"`), 1))
 	f.Fuzz(func(t *testing.T, data []byte) {
@@ -50,7 +50,7 @@ func FuzzDecodeResult(f *testing.F) {
 // payload additionally carries the plan and done-range bookkeeping.
 func FuzzDecodeCheckpoint(f *testing.F) {
 	spec := cycleSpec(5, []int{8}, 6, 2)
-	ck := NewCheckpoint(PlanOf(spec))
+	ck := NewCheckpoint(mustPlanOf(spec))
 	spec.OnBlock = func(b Block, partial *SizeStats) {
 		// Serialised by the sequential fold below (workers=2 may race, so
 		// run single-worker for the seed corpus).
@@ -65,8 +65,8 @@ func FuzzDecodeCheckpoint(f *testing.F) {
 		f.Fatal(err)
 	}
 	f.Add(buf.Bytes())
-	f.Add([]byte(`{"format":"sweep.checkpoint","version":1,"payload":{"plan":{"sizes":[]},"done":[],"sizes":[]}}`))
-	f.Add([]byte(`{"format":"sweep.checkpoint","version":1,"payload":{"plan":{"sizes":[4]},"done":[[{"t0":1,"t1":0}]],"sizes":[{"n":4}]}}`))
+	f.Add([]byte(`{"format":"sweep.checkpoint","version":2,"payload":{"plan":{"sizes":[]},"done":[],"sizes":[]}}`))
+	f.Add([]byte(`{"format":"sweep.checkpoint","version":2,"payload":{"plan":{"sizes":[4]},"done":[[{"t0":1,"t1":0}]],"sizes":[{"n":4}]}}`))
 	f.Fuzz(func(t *testing.T, data []byte) {
 		ck, err := DecodeCheckpoint(bytes.NewReader(data))
 		if err != nil {

@@ -49,12 +49,12 @@ func TestDecodeResultRejects(t *testing.T) {
 		want  string
 	}{
 		{"garbage", "not json at all", "malformed envelope"},
-		{"wrongFormat", `{"format":"sweep.checkpoint","version":1,"payload":{}}`, "not"},
+		{"wrongFormat", `{"format":"sweep.checkpoint","version":2,"payload":{}}`, "not"},
 		{"futureVersion", `{"format":"sweep.result","version":99,"payload":{}}`, "unsupported version"},
-		{"badPayload", `{"format":"sweep.result","version":1,"payload":[1,2,3]}`, "malformed payload"},
-		{"negativeTrials", `{"format":"sweep.result","version":1,"payload":{"sizes":[{"n":4,"trials":-1}]}}`, "impossible trial counts"},
-		{"failuresOverTrials", `{"format":"sweep.result","version":1,"payload":{"sizes":[{"n":4,"trials":1,"failures":2}]}}`, "impossible trial counts"},
-		{"negativeHist", `{"format":"sweep.result","version":1,"payload":{"sizes":[{"n":4,"trials":1,"hist":[-5]}]}}`, "negative histogram"},
+		{"badPayload", `{"format":"sweep.result","version":2,"payload":[1,2,3]}`, "malformed payload"},
+		{"negativeTrials", `{"format":"sweep.result","version":2,"payload":{"sizes":[{"n":4,"trials":-1}]}}`, "impossible trial counts"},
+		{"failuresOverTrials", `{"format":"sweep.result","version":2,"payload":{"sizes":[{"n":4,"trials":1,"failures":2}]}}`, "impossible trial counts"},
+		{"negativeHist", `{"format":"sweep.result","version":2,"payload":{"sizes":[{"n":4,"trials":1,"hist":[-5]}]}}`, "negative histogram"},
 	}
 	for _, c := range cases {
 		t.Run(c.name, func(t *testing.T) {
@@ -76,9 +76,9 @@ func TestDecodeResultRejects(t *testing.T) {
 // TestCheckpointCodecRejects covers the checkpoint-specific validation.
 func TestCheckpointCodecRejects(t *testing.T) {
 	cases := []string{
-		`{"format":"sweep.checkpoint","version":1,"payload":{"plan":{"sizes":[4]},"done":[],"sizes":[]}}`,
-		`{"format":"sweep.checkpoint","version":1,"payload":{"plan":{"sizes":[4]},"done":[[{"t0":5,"t1":2}]],"sizes":[{"n":4}]}}`,
-		`{"format":"sweep.checkpoint","version":1,"payload":{"plan":{"sizes":[4]},"done":[[{"t0":0,"t1":4},{"t0":2,"t1":6}]],"sizes":[{"n":4}]}}`,
+		`{"format":"sweep.checkpoint","version":2,"payload":{"plan":{"sizes":[4]},"done":[],"sizes":[]}}`,
+		`{"format":"sweep.checkpoint","version":2,"payload":{"plan":{"sizes":[4]},"done":[[{"t0":5,"t1":2}]],"sizes":[{"n":4}]}}`,
+		`{"format":"sweep.checkpoint","version":2,"payload":{"plan":{"sizes":[4]},"done":[[{"t0":0,"t1":4},{"t0":2,"t1":6}]],"sizes":[{"n":4}]}}`,
 	}
 	for i, input := range cases {
 		_, err := DecodeCheckpoint(strings.NewReader(input))

@@ -45,9 +45,11 @@ type worker struct {
 }
 
 // execute runs the planned blocks across the worker pool and merges the
-// worker shards into the final Result. total is the planned trial count
-// (after shard and Done carve-outs) used for cancellation accounting.
-func execute(ctx context.Context, spec Spec, graphs []graph.Graph, atlases []*graph.BallAtlas, blocks []Block, total, workers int) (*Result, error) {
+// worker shards into the final Result. quotients (non-nil only under
+// Spec.Quotient) hold each size's canonical ranker. total is the planned
+// WEIGHTED trial count (after shard and Done carve-outs) used for
+// cancellation accounting.
+func execute(ctx context.Context, spec Spec, graphs []graph.Graph, atlases []*graph.BallAtlas, quotients []*ids.Quotient, blocks []Block, total, workers int) (*Result, error) {
 	// The sequential path needs no cancel broadcast — its loop checks
 	// firstErr directly — so it skips the WithCancel context entirely.
 	runCtx, cancel := ctx, func() {}
@@ -107,7 +109,7 @@ func execute(ctx context.Context, spec Spec, graphs []graph.Graph, atlases []*gr
 			if runCtx.Err() != nil {
 				break
 			}
-			if err := w.runBlock(runCtx, spec, graphs[b.SizeIdx], atlases[b.SizeIdx], b); err != nil {
+			if err := w.runBlock(runCtx, spec, graphs[b.SizeIdx], atlases[b.SizeIdx], quotientAt(quotients, b.SizeIdx), b); err != nil {
 				if runCtx.Err() == nil {
 					fail(err)
 				}
@@ -142,7 +144,7 @@ func execute(ctx context.Context, spec Spec, graphs []graph.Graph, atlases []*gr
 				if runCtx.Err() != nil {
 					return
 				}
-				if err := w.runBlock(runCtx, spec, graphs[b.SizeIdx], atlases[b.SizeIdx], b); err != nil {
+				if err := w.runBlock(runCtx, spec, graphs[b.SizeIdx], atlases[b.SizeIdx], quotientAt(quotients, b.SizeIdx), b); err != nil {
 					if runCtx.Err() == nil {
 						fail(err)
 					}
@@ -172,20 +174,38 @@ func initWorker(w *worker, spec Spec, opts []local.Option, shard []SizeStats, ma
 	}
 }
 
+// quotientAt returns the size's canonical ranker, or nil outside the
+// quotient path.
+func quotientAt(quotients []*ids.Quotient, i int) *ids.Quotient {
+	if quotients == nil {
+		return nil
+	}
+	return quotients[i]
+}
+
 // runBlock executes one contiguous block of trials at a single size and
 // folds each into the worker's shard. Batching is what amortises the
 // per-trial harness overhead: the atlas is attached once, the histogram
 // buffer is cleared once, the trial rng is reseeded instead of reallocated,
 // and (when the spec draws its own permutations) one worker-owned buffer is
 // refilled in place by ids.RandomInto. atlas (nil when disabled) is the
-// size's shared ball store. A context cancellation mid-block returns nil;
-// the caller observes the context itself.
+// size's shared ball store; q (nil outside Spec.Quotient) is the size's
+// canonical ranker. A context cancellation mid-block returns nil; the
+// caller observes the context itself.
+//
+// Under a quotient the block is a contiguous range of CANONICAL ranks, but
+// every fold uses the representative's FULL lexicographic rank as its
+// trial index: orbit members share their radius multiset, the extremal
+// achiever set is orbit-closed, and the lowest-full-rank achiever of any
+// extremum is canonical — so weighted folds reproduce the full
+// enumeration's aggregate, including tie-broken extremal trial indices,
+// bit for bit.
 //
 // When Spec.OnBlock is set the block's trials fold into a block-local
 // aggregate first, which is merged into the shard and — only if the block
 // ran to completion — handed to the hook. The hot path (OnBlock nil) folds
 // straight into the shard exactly as before the plan/execute split.
-func (w *worker) runBlock(ctx context.Context, spec Spec, g graph.Graph, atlas *graph.BallAtlas, b Block) error {
+func (w *worker) runBlock(ctx context.Context, spec Spec, g graph.Graph, atlas *graph.BallAtlas, q *ids.Quotient, b Block) error {
 	if spec.Backend == BackendImplicit {
 		// Run validated every graph as a comparable graph.Implicit, so the
 		// assertion and the identity comparison are both safe here.
@@ -215,10 +235,28 @@ func (w *worker) runBlock(ctx context.Context, spec Spec, g graph.Graph, atlas *
 	for r := range w.hist {
 		w.hist[r] = 0
 	}
+	weight := 1
+	fullRank := 0
 	if spec.Exhaustive {
-		// The block is a contiguous rank range: unrank its first
-		// permutation once, then each later trial is one successor step.
-		ids.UnrankInto(w.assign[:n], uint64(b.T0))
+		if q != nil {
+			// The block is a contiguous CANONICAL rank range: unrank its
+			// first representative, recover its full lexicographic rank
+			// once (O(n²)), then track the rank incrementally from the
+			// walk's step counts.
+			weight = int(q.Order())
+			if _, err := q.CanonicalUnrankInto(w.assign[:n], uint64(b.T0)); err != nil {
+				return fmt.Errorf("sweep: size %d canonical rank %d: %w", n, b.T0, err)
+			}
+			fr, err := ids.Assignment(w.assign[:n]).Rank()
+			if err != nil {
+				return fmt.Errorf("sweep: size %d canonical rank %d: %w", n, b.T0, err)
+			}
+			fullRank = int(fr)
+		} else {
+			// The block is a contiguous rank range: unrank its first
+			// permutation once, then each later trial is one successor step.
+			ids.UnrankInto(w.assign[:n], uint64(b.T0))
+		}
 	}
 	for trial := b.T0; trial < b.T1; trial++ {
 		if ctx.Err() != nil {
@@ -234,7 +272,16 @@ func (w *worker) runBlock(ctx context.Context, spec Spec, g graph.Graph, atlas *
 			// No per-trial randomness: the permutation IS the trial
 			// coordinate, so the (expensive) rng reseed is skipped too.
 			if trial > b.T0 {
-				ids.NextInto(w.assign[:n])
+				if q != nil {
+					steps, ok := q.NextCanonicalInto(w.assign[:n])
+					if !ok {
+						w.flushBlock(b, blockStats)
+						return fmt.Errorf("sweep: size %d: canonical walk ended before rank %d", n, trial)
+					}
+					fullRank += int(steps)
+				} else {
+					ids.NextInto(w.assign[:n])
+				}
 			}
 			a = ids.Assignment(w.assign[:n])
 		case spec.Assign != nil:
@@ -273,7 +320,7 @@ func (w *worker) runBlock(ctx context.Context, spec Spec, g graph.Graph, atlas *
 		}
 		hist := w.hist[:maxR+1]
 		sum := summarizeHist(hist)
-		if err := dst.checkFold(maxR, sum); err != nil {
+		if err := dst.checkFoldWeighted(maxR, sum, hist, weight); err != nil {
 			w.flushBlock(b, blockStats)
 			return fmt.Errorf("sweep: fold size %d trial %d: %w", n, trial, err)
 		}
@@ -291,7 +338,14 @@ func (w *worker) runBlock(ctx context.Context, spec Spec, g graph.Graph, atlas *
 		if spec.Observe != nil {
 			spec.Observe(b.SizeIdx, trial, g, a, res)
 		}
-		dst.addTrial(trial, sum, hist, verifyFailed)
+		// Under a quotient the fold's trial index is the representative's
+		// full lexicographic rank — the coordinate full enumeration would
+		// have used — so extremal tie-breaking stays orbit-stable.
+		foldTrial := trial
+		if q != nil {
+			foldTrial = fullRank
+		}
+		dst.addTrialWeighted(foldTrial, sum, hist, verifyFailed, weight)
 		for _, r := range res.Radii {
 			hist[r] = 0
 		}

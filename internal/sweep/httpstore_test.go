@@ -266,7 +266,7 @@ func TestRunLeasedOverHTTPStore(t *testing.T) {
 	}); err != nil {
 		t.Fatalf("RunLeased over HTTP: %v", err)
 	}
-	got, err := CollectLeased(rs, "leaserun", PlanOf(spec))
+	got, err := CollectLeased(rs, "leaserun", mustPlanOf(spec))
 	if err != nil {
 		t.Fatalf("CollectLeased over HTTP: %v", err)
 	}

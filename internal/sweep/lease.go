@@ -33,6 +33,7 @@ import (
 	"fmt"
 	"hash/fnv"
 	"io"
+	"math"
 	"sort"
 	"time"
 )
@@ -68,10 +69,24 @@ type Lease struct {
 // every field except Worker, which is why Worker is excluded from the
 // merge's equality reasoning.
 type Completion struct {
-	PlanSum uint64    `json:"plansum"`
-	Worker  string    `json:"worker"`
-	Block   Block     `json:"block"`
-	Stats   SizeStats `json:"stats"`
+	PlanSum uint64 `json:"plansum"`
+	Worker  string `json:"worker"`
+	Block   Block  `json:"block"`
+	// Weight is the per-trial fold weight of the block's aggregate: the
+	// orbit size under a quotient plan, omitted (meaning 1) otherwise.
+	// Scans treat a record whose weight disagrees with the plan's as
+	// foreign — its aggregate covers a different mass.
+	Weight int64     `json:"weight,omitempty"`
+	Stats  SizeStats `json:"stats"`
+}
+
+// normWeight maps the wire encoding (0 = field omitted = weight 1) to the
+// effective fold weight.
+func normWeight(w int64) int64 {
+	if w == 0 {
+		return 1
+	}
+	return w
 }
 
 // leasePlan is the run's identity record at <run>/plan: cooperating
@@ -140,9 +155,20 @@ func DecodeCompletion(r io.Reader) (*Completion, error) {
 	if c.Stats.N <= 0 {
 		return reject(fmt.Sprintf("aggregate for impossible size n=%d", c.Stats.N))
 	}
-	if got, want := c.Stats.Trials, c.Block.T1-c.Block.T0; got != want {
-		return reject(fmt.Sprintf("aggregate carries %d trials, block [%d,%d) owes %d",
-			got, c.Block.T0, c.Block.T1, want))
+	if c.Weight < 0 {
+		return reject(fmt.Sprintf("negative fold weight %d", c.Weight))
+	}
+	// The aggregate owes (T1-T0)·weight trials. The weight is untrusted
+	// input, so the multiply is overflow-guarded by division.
+	w := normWeight(c.Weight)
+	span := int64(c.Block.T1 - c.Block.T0)
+	if w > math.MaxInt64/span {
+		return reject(fmt.Sprintf("weighted trial count of block [%d,%d) × %d overflows",
+			c.Block.T0, c.Block.T1, w))
+	}
+	if got, want := int64(c.Stats.Trials), span*w; got != want {
+		return reject(fmt.Sprintf("aggregate carries %d trials, block [%d,%d) × weight %d owes %d",
+			got, c.Block.T0, c.Block.T1, w, want))
 	}
 	if err := validateSizes([]SizeStats{c.Stats}, FormatCompletion); err != nil {
 		return nil, err
@@ -359,16 +385,27 @@ type scanState struct {
 // are immutable once valid) so repeated scans cost O(new records), not
 // O(all records).
 type leaseScanner struct {
-	st     Store
-	prefix string
-	sum    uint64
-	counts []int
-	comps  map[string]*Completion
+	st      Store
+	prefix  string
+	sum     uint64
+	counts  []int
+	weights []int
+	comps   map[string]*Completion
 }
 
-func newLeaseScanner(st Store, prefix string, sum uint64, counts []int) *leaseScanner {
+func newLeaseScanner(st Store, prefix string, sum uint64, counts, weights []int) *leaseScanner {
 	return &leaseScanner{st: st, prefix: prefix, sum: sum, counts: counts,
-		comps: make(map[string]*Completion)}
+		weights: weights, comps: make(map[string]*Completion)}
+}
+
+// planWeights derives the per-size fold weights of a plan whose Counts
+// already validated (Orders aligned with Sizes under Quotient).
+func planWeights(p Plan) []int {
+	ws := make([]int, len(p.Sizes))
+	for i := range ws {
+		ws[i] = p.Weight(i)
+	}
+	return ws
 }
 
 func (s *leaseScanner) scan() (*scanState, error) {
@@ -389,8 +426,9 @@ func (s *leaseScanner) scan() (*scanState, error) {
 			continue // torn or forged: absent until overwritten with valid bytes
 		}
 		if c.PlanSum != s.sum || c.Block.SizeIdx >= len(s.counts) ||
-			c.Block.T1 > s.counts[c.Block.SizeIdx] {
-			continue // foreign record
+			c.Block.T1 > s.counts[c.Block.SizeIdx] ||
+			normWeight(c.Weight) != int64(s.weights[c.Block.SizeIdx]) {
+			continue // foreign record (wrong plan, range, or fold weight)
 		}
 		s.comps[name] = c
 	}
@@ -453,6 +491,7 @@ type leaseRunner struct {
 	prefix  string
 	sum     uint64
 	counts  []int
+	weights []int        // fold weight per size index (quotient orbit size)
 	grain   []int        // grain size per size index
 	target  []TrialRange // this worker's target range per size
 	order   []int        // size indices, largest instance first
@@ -529,7 +568,10 @@ func RunLeased(ctx context.Context, spec Spec, st Store, opts LeaseOptions) (Lea
 		ctx = context.Background()
 	}
 
-	plan := PlanOf(spec)
+	plan, err := PlanOf(spec)
+	if err != nil {
+		return zero, err
+	}
 	counts, err := plan.Counts()
 	if err != nil {
 		return zero, err
@@ -540,7 +582,7 @@ func RunLeased(ctx context.Context, spec Spec, st Store, opts LeaseOptions) (Lea
 
 	r := &leaseRunner{
 		spec: spec, st: st, opts: opts, prefix: opts.Prefix,
-		sum: planSum(plan), counts: counts,
+		sum: planSum(plan), counts: counts, weights: planWeights(plan),
 		grain:  make([]int, len(counts)),
 		target: make([]TrialRange, len(counts)),
 	}
@@ -565,7 +607,7 @@ func RunLeased(ctx context.Context, spec Spec, st Store, opts LeaseOptions) (Lea
 	sort.SliceStable(r.order, func(a, b int) bool {
 		return plan.Sizes[r.order[a]] > plan.Sizes[r.order[b]]
 	})
-	r.scanner = newLeaseScanner(st, r.prefix, r.sum, counts)
+	r.scanner = newLeaseScanner(st, r.prefix, r.sum, counts, r.weights)
 
 	defer st.Delete(leaseKey(r.prefix, opts.Worker))
 	if err = r.loop(ctx); err != nil {
@@ -796,6 +838,9 @@ func (r *leaseRunner) executeLease(ctx context.Context, b Block, seq int64) erro
 			return err
 		}
 		comp := &Completion{PlanSum: r.sum, Worker: r.opts.Worker, Block: gb, Stats: stats}
+		if w := r.weights[gb.SizeIdx]; w > 1 {
+			comp.Weight = int64(w)
+		}
 		var buf bytes.Buffer
 		if err := EncodeCompletion(&buf, comp); err != nil {
 			return err
@@ -953,7 +998,7 @@ func LeaseProgress(st Store, prefix string, plan Plan) (*Progress, error) {
 	if err != nil {
 		return nil, err
 	}
-	sc, err := newLeaseScanner(st, prefix, planSum(plan), counts).scan()
+	sc, err := newLeaseScanner(st, prefix, planSum(plan), counts, planWeights(plan)).scan()
 	if err != nil {
 		return nil, err
 	}
@@ -1012,7 +1057,8 @@ func CollectLeased(st Store, prefix string, plan Plan) (*Result, error) {
 			continue
 		}
 		if c.PlanSum != sum || c.Block.SizeIdx >= len(counts) ||
-			c.Block.T1 > counts[c.Block.SizeIdx] || c.Stats.N != plan.Sizes[c.Block.SizeIdx] {
+			c.Block.T1 > counts[c.Block.SizeIdx] || c.Stats.N != plan.Sizes[c.Block.SizeIdx] ||
+			normWeight(c.Weight) != int64(plan.Weight(c.Block.SizeIdx)) {
 			continue
 		}
 		bySize[c.Block.SizeIdx] = append(bySize[c.Block.SizeIdx], keyed{c: c, key: name})

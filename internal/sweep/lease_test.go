@@ -47,7 +47,7 @@ func runLeasedAll(t *testing.T, spec Spec, st Store, workers int, optsOf func(i 
 	if prefix == "" {
 		prefix = "leaserun"
 	}
-	got, err := CollectLeased(st, prefix, PlanOf(spec))
+	got, err := CollectLeased(st, prefix, mustPlanOf(spec))
 	if err != nil {
 		t.Fatalf("CollectLeased: %v", err)
 	}
@@ -135,7 +135,7 @@ func TestLeasedStaticScheduleIdentical(t *testing.T) {
 	if total.Steals != 0 || total.Speculated != 0 {
 		t.Errorf("static schedule stole or speculated: %+v", total)
 	}
-	got, err := CollectLeased(st, "leaserun", PlanOf(spec))
+	got, err := CollectLeased(st, "leaserun", mustPlanOf(spec))
 	if err != nil {
 		t.Fatalf("CollectLeased: %v", err)
 	}
@@ -167,7 +167,7 @@ func TestLeasedResumeAfterKill(t *testing.T) {
 	if err == nil {
 		t.Fatal("cancelled run: want error")
 	}
-	if _, err := CollectLeased(st, "leaserun", PlanOf(spec)); err == nil {
+	if _, err := CollectLeased(st, "leaserun", mustPlanOf(spec)); err == nil {
 		t.Fatal("collect of a half-dead run: want IncompleteError")
 	}
 	stats, err := RunLeased(context.Background(), spec, st, LeaseOptions{
@@ -180,7 +180,7 @@ func TestLeasedResumeAfterKill(t *testing.T) {
 	if stats.Grains == 0 {
 		t.Errorf("rescuer did no work: %+v", stats)
 	}
-	got, err := CollectLeased(st, "leaserun", PlanOf(spec))
+	got, err := CollectLeased(st, "leaserun", mustPlanOf(spec))
 	if err != nil {
 		t.Fatalf("CollectLeased: %v", err)
 	}
@@ -233,7 +233,7 @@ func TestLeaseRunIdentityMismatch(t *testing.T) {
 	if _, err := RunLeased(context.Background(), other, st, LeaseOptions{Worker: "c", GrainsPerSize: 4}); err == nil {
 		t.Fatal("plan mismatch: want error")
 	}
-	if _, err := CollectLeased(st, "leaserun", PlanOf(other)); err == nil {
+	if _, err := CollectLeased(st, "leaserun", mustPlanOf(other)); err == nil {
 		t.Fatal("collect with foreign plan: want error")
 	}
 }
@@ -246,7 +246,7 @@ func TestCollectLeasedTypedErrors(t *testing.T) {
 	if _, err := RunLeased(context.Background(), spec, st, LeaseOptions{Worker: "w", GrainsPerSize: 4}); err != nil {
 		t.Fatal(err)
 	}
-	plan := PlanOf(spec)
+	plan := mustPlanOf(spec)
 
 	// Tear a hole: grain [4,8) vanishes.
 	if err := st.Delete("leaserun/done/0-4"); err != nil {
@@ -446,7 +446,7 @@ func TestLeasedStoreFaultSurfacesWorkerError(t *testing.T) {
 // complete without joining the run, and count live claims.
 func TestLeaseProgressSnapshot(t *testing.T) {
 	spec := cycleSpec(11, []int{6, 9}, 8, 1)
-	plan := PlanOf(spec)
+	plan := mustPlanOf(spec)
 	st := NewMemStore()
 	p, err := LeaseProgress(st, "leaserun", plan)
 	if err != nil {

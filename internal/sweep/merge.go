@@ -15,8 +15,10 @@ import (
 
 // finish merges the worker shards into the final Result and classifies how
 // the sweep ended: clean, failed, or cancelled with partial aggregates.
-// total is the number of trials the plan asked for (after the shard and
-// Done carve-outs).
+// total is the number of WEIGHTED trials the plan asked for (after the
+// shard and Done carve-outs) — under a quotient each planned
+// representative counts its whole orbit, matching what SizeStats.Trials
+// accumulates.
 func finish(ctx context.Context, spec Spec, total int, ws []worker, firstErr error) (*Result, error) {
 	res := &Result{Sizes: make([]SizeStats, len(spec.Sizes))}
 	done := 0

@@ -85,6 +85,16 @@ type Plan struct {
 	Trials int `json:"trials,omitempty"`
 	// Exhaustive marks full n! rank enumeration instead of sampling.
 	Exhaustive bool `json:"exhaustive,omitempty"`
+	// Quotient marks symmetry-quotient enumeration: the trial space is the
+	// canonical-representative rank space (n!/Orders[i] per size) and every
+	// executed trial folds with weight Orders[i]. Only valid with
+	// Exhaustive.
+	Quotient bool `json:"quotient,omitempty"`
+	// Orders holds, per size, the declared automorphism group order — the
+	// uniform orbit size and hence the fold weight — when Quotient is set.
+	// It is part of the plan's identity: two quotient plans tile the same
+	// trial space only if they quotient by the same groups.
+	Orders []uint64 `json:"orders,omitempty"`
 	// Shard is the contiguous slice of every size's trial space this plan
 	// covers; the zero value covers everything.
 	Shard Shard `json:"shard"`
@@ -92,7 +102,10 @@ type Plan struct {
 
 // PlanOf derives the plan a Spec executes, normalising the trial count the
 // way Run does (unset sampled Trials means 1; Exhaustive pins it to 0).
-func PlanOf(spec Spec) Plan {
+// Under Quotient it builds the spec's graphs (the same seeded construction
+// Run performs) to record each size's declared group order, so deriving a
+// quotient plan can fail the way Run would.
+func PlanOf(spec Spec) (Plan, error) {
 	trials := spec.Trials
 	if trials <= 0 {
 		trials = 1
@@ -100,19 +113,36 @@ func PlanOf(spec Spec) Plan {
 	if spec.Exhaustive {
 		trials = 0
 	}
-	return Plan{
+	p := Plan{
 		Seed:       spec.Seed,
 		Sizes:      append([]int(nil), spec.Sizes...),
 		Trials:     trials,
 		Exhaustive: spec.Exhaustive,
+		Quotient:   spec.Quotient,
 		Shard:      spec.Shard,
 	}
+	if spec.Quotient {
+		graphs, err := buildGraphs(spec)
+		if err != nil {
+			return Plan{}, err
+		}
+		qs, err := quotientsFor(graphs)
+		if err != nil {
+			return Plan{}, err
+		}
+		p.Orders = make([]uint64, len(qs))
+		for i, q := range qs {
+			p.Orders[i] = q.Order()
+		}
+	}
+	return p, nil
 }
 
 // Counts returns the per-size GLOBAL trial counts the plan's coordinates
-// range over: the sampled count everywhere, or the full n! rank space
-// under Exhaustive. This is the space Shard ranges, Done lists and lease
-// schedules are carved out of.
+// range over: the sampled count everywhere, the full n! rank space under
+// Exhaustive, or the n!/Orders[i] canonical rank space under Quotient.
+// This is the space Shard ranges, Done lists and lease schedules are
+// carved out of.
 func (p Plan) Counts() ([]int, error) {
 	trials := p.Trials
 	if trials <= 0 {
@@ -126,6 +156,12 @@ func (p Plan) Counts() ([]int, error) {
 			if err != nil {
 				return nil, fmt.Errorf("sweep: exhaustive size %d: %w", n, err)
 			}
+			if p.Quotient {
+				if i >= len(p.Orders) || p.Orders[i] == 0 || f%p.Orders[i] != 0 {
+					return nil, fmt.Errorf("sweep: quotient plan carries no valid group order for size %d", n)
+				}
+				f /= p.Orders[i]
+			}
 			if f > math.MaxInt {
 				return nil, fmt.Errorf("sweep: exhaustive trial count %d overflows int at size %d", f, n)
 			}
@@ -135,14 +171,30 @@ func (p Plan) Counts() ([]int, error) {
 	return counts, nil
 }
 
+// Weight returns the fold weight of one executed trial at size index i:
+// the orbit size Orders[i] under Quotient, 1 otherwise. Call Counts first
+// on untrusted plans — it validates that Orders aligns with Sizes.
+func (p Plan) Weight(i int) int {
+	if !p.Quotient {
+		return 1
+	}
+	return int(p.Orders[i])
+}
+
 // Equal reports whether two plans describe the same work.
 func (p Plan) Equal(o Plan) bool {
 	if p.Seed != o.Seed || p.Trials != o.Trials || p.Exhaustive != o.Exhaustive ||
-		p.Shard != o.Shard || len(p.Sizes) != len(o.Sizes) {
+		p.Quotient != o.Quotient || p.Shard != o.Shard ||
+		len(p.Sizes) != len(o.Sizes) || len(p.Orders) != len(o.Orders) {
 		return false
 	}
 	for i, n := range p.Sizes {
 		if o.Sizes[i] != n {
+			return false
+		}
+	}
+	for i, w := range p.Orders {
+		if o.Orders[i] != w {
 			return false
 		}
 	}

@@ -8,6 +8,16 @@ import (
 	"testing"
 )
 
+// mustPlanOf derives a spec's plan for tests whose specs cannot make
+// PlanOf fail (no quotient, or a quotient over supported families).
+func mustPlanOf(spec Spec) Plan {
+	p, err := PlanOf(spec)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
 // TestShardRangePartition is the plan layer's core invariant: for any
 // (total, count), the m shard ranges are contiguous, cover [0, total)
 // exactly once, and differ in size by at most one.
@@ -150,16 +160,16 @@ func TestPlanBlocksCoverage(t *testing.T) {
 // value including the size list.
 func TestPlanOfEqual(t *testing.T) {
 	spec := cycleSpec(9, []int{8, 16}, 0, 1)
-	p := PlanOf(spec)
+	p := mustPlanOf(spec)
 	if p.Trials != 1 {
 		t.Errorf("PlanOf left Trials=%d, want normalised 1", p.Trials)
 	}
 	ex := exhaustiveSpec([]int{5}, 1)
-	pe := PlanOf(ex)
+	pe := mustPlanOf(ex)
 	if pe.Trials != 0 || !pe.Exhaustive {
 		t.Errorf("exhaustive PlanOf = %+v", pe)
 	}
-	q := PlanOf(spec)
+	q := mustPlanOf(spec)
 	if !p.Equal(q) {
 		t.Error("equal plans reported unequal")
 	}
@@ -167,7 +177,7 @@ func TestPlanOfEqual(t *testing.T) {
 	if p.Equal(q) {
 		t.Error("plans with different sizes reported equal")
 	}
-	q = PlanOf(spec)
+	q = mustPlanOf(spec)
 	q.Shard = Shard{Index: 0, Count: 2}
 	if p.Equal(q) {
 		t.Error("plans with different shards reported equal")

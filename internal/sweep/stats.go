@@ -50,6 +50,43 @@ func (s *SizeStats) checkFold(maxR int, sum measure.Summary) error {
 	return nil
 }
 
+// checkFoldWeighted is checkFold for a weight-w fold (a quotient
+// representative settling its whole orbit). The weighted addends can be
+// enormous (weight is up to n!), so the guards divide instead of multiply
+// — and the histogram buckets, safe from overflow at weight 1 by the
+// totals' guards, need their own per-bucket checks here.
+func (s *SizeStats) checkFoldWeighted(maxR int, sum measure.Summary, hist []int64, weight int) error {
+	if weight == 1 {
+		return s.checkFold(maxR, sum)
+	}
+	if maxR > maxHistRadius {
+		return &AggregateOverflowError{Radius: maxR}
+	}
+	w := int64(weight)
+	if sum.Sum > 0 && w > (math.MaxInt64-s.TotalSum)/int64(sum.Sum) {
+		return &AggregateOverflowError{Radius: -1, Total: s.TotalSum, Add: int64(sum.Sum)}
+	}
+	if sum.Max > 0 && w > (math.MaxInt64-s.TotalMax)/int64(sum.Max) {
+		return &AggregateOverflowError{Radius: -1, Total: s.TotalMax, Add: int64(sum.Max)}
+	}
+	if s.Trials > math.MaxInt-weight {
+		return &AggregateOverflowError{Radius: -1, Total: int64(s.Trials), Add: w}
+	}
+	for r, c := range hist {
+		if c == 0 {
+			continue
+		}
+		var cur int64
+		if r < len(s.Hist) {
+			cur = s.Hist[r]
+		}
+		if w > (math.MaxInt64-cur)/c {
+			return &AggregateOverflowError{Radius: r, Total: cur, Add: c}
+		}
+	}
+	return nil
+}
+
 // SizeStats is the streaming aggregate of every trial executed at one sweep
 // size. It is O(max radius) in memory — not O(trials) — because trials fold
 // into integer totals, a pooled radius histogram, and the summaries of the
@@ -132,17 +169,29 @@ func HistQuantile(hist []int64, q float64) float64 {
 // addTrial folds one completed trial into the aggregate. hist is the
 // trial's own radius histogram; sum its Summary.
 func (s *SizeStats) addTrial(trial int, sum measure.Summary, hist []int64, verifyFailed bool) {
-	s.Trials++
+	s.addTrialWeighted(trial, sum, hist, verifyFailed, 1)
+}
+
+// addTrialWeighted folds one executed trial that stands for weight
+// identical trials — a quotient's canonical representative settling its
+// whole orbit. Counts, totals and histogram mass scale by weight; the
+// extremal summaries do not (every orbit member realises the same
+// summary, and trial is already the lowest full rank achieving it), so a
+// weighted fold commutes with Merge exactly like weight unit folds.
+func (s *SizeStats) addTrialWeighted(trial int, sum measure.Summary, hist []int64, verifyFailed bool, weight int) {
+	wasEmpty := s.Trials == 0
+	s.Trials += weight
 	if verifyFailed {
-		s.Failures++
+		s.Failures += weight
 	}
-	s.TotalSum += int64(sum.Sum)
-	s.TotalMax += int64(sum.Max)
+	w := int64(weight)
+	s.TotalSum += w * int64(sum.Sum)
+	s.TotalMax += w * int64(sum.Max)
 	s.Hist = growHist(s.Hist, len(hist))
 	for r, c := range hist {
-		s.Hist[r] += c
+		s.Hist[r] += w * c
 	}
-	if s.Trials == 1 {
+	if wasEmpty {
 		s.WorstAvg, s.WorstAvgTrial = sum, trial
 		s.WorstMax, s.WorstMaxTrial = sum, trial
 		s.BestAvg, s.BestAvgTrial = sum, trial

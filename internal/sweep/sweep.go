@@ -41,6 +41,7 @@ import (
 	"fmt"
 	"math/rand"
 	"runtime"
+	"strings"
 
 	"repro/internal/graph"
 	"repro/internal/ids"
@@ -69,6 +70,19 @@ type Spec struct {
 	// must be unset. Sizes are capped at ids.MaxRankN, and wall-clock is
 	// the caller's business: bound enormous enumerations with the context.
 	Exhaustive bool
+	// Quotient, valid only with Exhaustive, compresses full enumeration by
+	// the graph's symmetry: every size's graph must declare its
+	// automorphism group (graph.Automorphisms), trial t executes the
+	// rank-t CANONICAL representative — the lexicographic minimum of its
+	// orbit (ids.CanonicalUnrank order) — and folds with weight |Aut| at
+	// the representative's FULL lexicographic rank. The action on
+	// injective assignments is free and the observed radius multiset is
+	// orbit-invariant, so the merged aggregates (totals, histograms, the
+	// extremal trials and their indices) are bit-for-bit identical to the
+	// full n! enumeration while executing only n!/|Aut| trials per size.
+	// Graphs that do not declare a group fail with
+	// *QuotientUnsupportedError, mirroring the implicit backend's decline.
+	Quotient bool
 	// Shard restricts the run to the contiguous slice Shard.Index of
 	// Shard.Count of every size's trial space (sampled indices or
 	// exhaustive ranks alike). The zero value runs everything. Partial
@@ -160,6 +174,87 @@ type Result struct {
 	Sizes []SizeStats `json:"sizes"`
 }
 
+// SpecConflictError reports Spec toggles that define the same thing twice,
+// or a toggle missing its prerequisite: the typed form of the
+// exhaustive-path validation failures, so drivers diagnose a Quotient,
+// Exhaustive or StreamIDs conflict the same way they diagnose backend
+// declines (internal/cli).
+type SpecConflictError struct {
+	// Fields names the Spec fields whose combination cannot run.
+	Fields []string
+	// Reason explains the conflict and how to resolve it.
+	Reason string
+}
+
+func (e *SpecConflictError) Error() string {
+	return fmt.Sprintf("sweep: %s: %s", strings.Join(e.Fields, "+"), e.Reason)
+}
+
+// QuotientUnsupportedError reports a graph the symmetry-quotient path
+// cannot serve: its family does not implement graph.Automorphisms, or it
+// declined to declare a group at this size. Qualifying lists the families
+// that do declare, for the CLI's remediation message.
+type QuotientUnsupportedError struct {
+	// Graph is the offending instance's Go type (fmt %T).
+	Graph string
+	// N is the instance's vertex count.
+	N int
+	// Qualifying lists the symmetry-declaring families the graph package
+	// ships.
+	Qualifying []string
+}
+
+func (e *QuotientUnsupportedError) Error() string {
+	return fmt.Sprintf("sweep: quotient enumeration cannot serve %s (n=%d): the graph family must declare its automorphism group; qualifying families: %s",
+		e.Graph, e.N, strings.Join(e.Qualifying, ", "))
+}
+
+// buildGraphs builds every size's graph once, up front: Graph
+// implementations are immutable, so all workers share them. One reseeded
+// generator serves every build; Rand.Seed reproduces a fresh generator bit
+// for bit, so PlanOf and Run derive identical instances.
+func buildGraphs(spec Spec) ([]graph.Graph, error) {
+	graphs := make([]graph.Graph, len(spec.Sizes))
+	grng := rand.New(rand.NewSource(0))
+	for i, n := range spec.Sizes {
+		grng.Seed(graphSeed(spec.Seed, i))
+		g, err := spec.Graph(n, grng)
+		if err != nil {
+			return nil, fmt.Errorf("sweep: build size %d: %w", n, err)
+		}
+		graphs[i] = g
+	}
+	return graphs, nil
+}
+
+// quotientsFor derives each size's canonical-rank quotient from the
+// graph's declared automorphism group. A family that does not implement
+// graph.Automorphisms — or declines at this size — fails with a typed
+// *QuotientUnsupportedError; a declaration the closure cross-check
+// rejects surfaces the ids layer's typed error.
+func quotientsFor(graphs []graph.Graph) ([]*ids.Quotient, error) {
+	qs := make([]*ids.Quotient, len(graphs))
+	for i, g := range graphs {
+		var sym graph.Symmetry
+		if ag, ok := g.(graph.Automorphisms); ok {
+			sym = ag.Automorphisms()
+		}
+		if !sym.Declares() {
+			return nil, &QuotientUnsupportedError{
+				Graph:      fmt.Sprintf("%T", g),
+				N:          g.N(),
+				Qualifying: graph.AutomorphismFamilies(),
+			}
+		}
+		q, err := ids.NewQuotient(g.N(), sym.Generators, sym.Order, sym.Full)
+		if err != nil {
+			return nil, fmt.Errorf("sweep: quotient size %d: %w", g.N(), err)
+		}
+		qs[i] = q
+	}
+	return qs, nil
+}
+
 // Run executes the sweep. On cancellation it returns the partial aggregates
 // together with an error wrapping the context's; on any other failure the
 // first error wins and the sweep stops early.
@@ -175,21 +270,29 @@ func Run(ctx context.Context, spec Spec) (*Result, error) {
 	}
 	if spec.Exhaustive {
 		if spec.Assign != nil {
-			return nil, fmt.Errorf("sweep: Exhaustive enumerates permutations itself; Assign must be nil")
+			return nil, &SpecConflictError{Fields: []string{"Exhaustive", "Assign"},
+				Reason: "Exhaustive enumerates permutations itself; Assign must be nil"}
 		}
 		if spec.Trials > 0 {
-			return nil, fmt.Errorf("sweep: Exhaustive ignores Trials; leave it zero")
+			return nil, &SpecConflictError{Fields: []string{"Exhaustive", "Trials"},
+				Reason: "Exhaustive ignores Trials; leave it zero"}
 		}
+	}
+	if spec.Quotient && !spec.Exhaustive {
+		return nil, &SpecConflictError{Fields: []string{"Quotient", "Exhaustive"},
+			Reason: "Quotient compresses the exhaustive rank space; set Exhaustive too"}
 	}
 	if err := spec.Shard.validate(); err != nil {
 		return nil, err
 	}
 	if spec.StreamIDs {
 		if spec.Assign != nil {
-			return nil, fmt.Errorf("sweep: StreamIDs replaces the default identifier draw; Assign must be nil")
+			return nil, &SpecConflictError{Fields: []string{"StreamIDs", "Assign"},
+				Reason: "StreamIDs replaces the default identifier draw; Assign must be nil"}
 		}
 		if spec.Exhaustive {
-			return nil, fmt.Errorf("sweep: StreamIDs and Exhaustive both define the trial's permutation; pick one")
+			return nil, &SpecConflictError{Fields: []string{"StreamIDs", "Exhaustive"},
+				Reason: "StreamIDs and Exhaustive both define the trial's permutation; pick one"}
 		}
 	}
 	workers := spec.Workers
@@ -200,39 +303,50 @@ func Run(ctx context.Context, spec Spec) (*Result, error) {
 		ctx = context.Background()
 	}
 
-	// Build every size's graph once, up front: Graph implementations are
-	// immutable, so all workers share them. One reseeded generator serves
-	// every build; Rand.Seed reproduces a fresh generator bit for bit.
-	graphs := make([]graph.Graph, len(spec.Sizes))
-	grng := rand.New(rand.NewSource(0))
-	for i, n := range spec.Sizes {
-		grng.Seed(graphSeed(spec.Seed, i))
-		g, err := spec.Graph(n, grng)
-		if err != nil {
-			return nil, fmt.Errorf("sweep: build size %d: %w", n, err)
+	graphs, err := buildGraphs(spec)
+	if err != nil {
+		return nil, err
+	}
+
+	// Under Quotient, every size's declared group is materialized once and
+	// shared read-only by all workers (Quotient methods are concurrency-
+	// safe on distinct buffers).
+	var quotients []*ids.Quotient
+	if spec.Quotient {
+		if quotients, err = quotientsFor(graphs); err != nil {
+			return nil, err
 		}
-		graphs[i] = g
 	}
 
 	// Per-size trial counts of the GLOBAL space: the sampled count
-	// everywhere, or the full n! rank space under Exhaustive. The shard
+	// everywhere, the full n! rank space under Exhaustive, or the
+	// canonical n!/|Aut| rank space under Quotient — with weights[i]
+	// restoring the full space's mass through the weighted fold. The shard
 	// range and the Done complement are carved out of these below.
 	trials := spec.Trials
 	if trials <= 0 {
 		trials = 1
 	}
 	counts := make([]int, len(spec.Sizes))
+	weights := make([]int, len(spec.Sizes))
 	globalTotal := 0
 	for i, g := range graphs {
-		counts[i] = trials
+		counts[i], weights[i] = trials, 1
 		if spec.Exhaustive {
 			f, err := ids.Factorial(g.N())
 			if err != nil {
 				return nil, fmt.Errorf("sweep: exhaustive size %d: %w", g.N(), err)
 			}
-			counts[i] = int(f)
+			if quotients != nil {
+				counts[i] = int(quotients[i].Count())
+				weights[i] = int(quotients[i].Order())
+			} else {
+				counts[i] = int(f)
+			}
 		}
-		if globalTotal += counts[i]; globalTotal < 0 {
+		// globalTotal counts WEIGHTED trials — the full space's mass even
+		// under a quotient — matching the unit finish() accounts in.
+		if globalTotal += counts[i] * weights[i]; globalTotal < 0 {
 			return nil, fmt.Errorf("sweep: exhaustive trial count overflows across sizes %v", spec.Sizes)
 		}
 	}
@@ -277,12 +391,20 @@ func Run(ctx context.Context, spec Spec) (*Result, error) {
 		}
 	}
 	blocks := planBlocks(order, counts, spec.Shard, spec.Done, workers)
-	total := plannedTrials(blocks)
-	if workers > total && total > 0 {
-		workers = total
+	planned := plannedTrials(blocks)
+	if workers > planned && planned > 0 {
+		workers = planned
+	}
+	// Cancellation accounting is in WEIGHTED trials: each executed
+	// canonical representative settles its whole orbit. Overflow is
+	// covered by the globalTotal check above (blocks tile a subset of the
+	// global space).
+	total := 0
+	for _, b := range blocks {
+		total += (b.T1 - b.T0) * weights[b.SizeIdx]
 	}
 
 	// EXECUTE: run the planned blocks through the pool, then MERGE the
 	// worker shards into the final per-size aggregates.
-	return execute(ctx, spec, graphs, atlases, blocks, total, workers)
+	return execute(ctx, spec, graphs, atlases, quotients, blocks, total, workers)
 }
